@@ -1,0 +1,36 @@
+"""E10 — cloud-gaming dispatch regeneration benchmark.
+
+Shape asserted: Any Fit members rent far less server-time than one VM per
+request; hourly billing preserves the ranking; everything ≥ OPT LB.
+"""
+
+from repro.algorithms import BestFit, FirstFit, NewBinPerItem, NextFit
+from repro.cloud import dispatch_trace
+from repro.experiments import get_experiment
+from repro.opt.lower_bounds import opt_total_lower_bound
+
+
+def test_bench_dispatch_day(benchmark, gaming_trace_day):
+    report = benchmark(lambda: dispatch_trace(gaming_trace_day, FirstFit()))
+    naive = dispatch_trace(gaming_trace_day, NewBinPerItem())
+    assert report.continuous_cost < 0.8 * naive.continuous_cost
+    assert report.billed_cost >= report.continuous_cost
+    assert report.continuous_cost >= opt_total_lower_bound(gaming_trace_day.items)
+
+
+def test_bench_fleet_ranking(benchmark, gaming_trace_day):
+    def run():
+        return {
+            algo.name: float(dispatch_trace(gaming_trace_day, algo).continuous_cost)
+            for algo in (FirstFit(), BestFit(), NextFit(), NewBinPerItem())
+        }
+
+    costs = benchmark(run)
+    # Consolidating policies beat the non-consolidating baselines.
+    assert costs["first-fit"] < costs["next-fit"] < costs["new-bin-per-item"]
+    assert costs["best-fit"] < costs["new-bin-per-item"]
+
+
+def test_bench_cloud_gaming_experiment_table(benchmark):
+    result = benchmark(lambda: get_experiment("cloud-gaming")(seeds=(0,), horizon=12 * 60.0))
+    assert result.all_claims_hold

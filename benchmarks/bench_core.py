@@ -1,0 +1,48 @@
+"""E1/E2 — core machinery benchmarks: simulator throughput, span, profiles.
+
+These time the substrate every experiment stands on and pin the Table 1 /
+Figure 1 semantics (span, notation, exact cost integration) on realistic
+input sizes.
+"""
+
+from repro import FirstFit, simulate, trace_span
+from repro.opt.load import load_profile, load_profile_np
+from repro.workloads import Clipped, Exponential, Uniform, generate_trace
+
+
+def _big_trace(n_target=4000, seed=0):
+    return generate_trace(
+        arrival_rate=n_target / 500.0,
+        horizon=500.0,
+        duration=Clipped(Exponential(4.0), 1.0, 12.0),
+        size=Uniform(0.05, 0.6),
+        seed=seed,
+    )
+
+
+def test_bench_simulate_first_fit(benchmark):
+    trace = _big_trace()
+    result = benchmark(lambda: simulate(trace.items, FirstFit()))
+    # Shape: a consolidating packing pays far less than one bin per item.
+    assert result.num_bins_used < len(trace) / 3
+    assert result.total_cost() < sum(it.length for it in trace.items)
+
+
+def test_bench_span(benchmark):
+    trace = _big_trace()
+    span = benchmark(lambda: trace_span(trace.items))
+    stats = trace.stats
+    assert stats.max_interval <= span <= stats.packing_period
+
+
+def test_bench_load_profile_exact(benchmark):
+    trace = _big_trace()
+    times, loads = benchmark(lambda: load_profile(trace.items))
+    assert loads[-1] == 0
+    assert len(times) <= 2 * len(trace)
+
+
+def test_bench_load_profile_numpy(benchmark):
+    trace = _big_trace()
+    times, loads = benchmark(lambda: load_profile_np(trace.items))
+    assert abs(loads[-1]) < 1e-9

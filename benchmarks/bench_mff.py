@@ -1,0 +1,52 @@
+"""E8 — Section 4.4 regeneration benchmark: Modified First Fit."""
+
+from repro import FirstFit, ModifiedFirstFit, simulate
+from repro.analysis.bounds import mff_bound_known_mu, mff_bound_unknown_mu
+from repro.core.metrics import trace_stats
+from repro.experiments import get_experiment
+from repro.opt.lower_bounds import opt_total_lower_bound
+from repro.workloads import Choice, Clipped, Exponential, generate_trace
+
+
+def _bimodal(seed=0):
+    return generate_trace(
+        arrival_rate=6.0,
+        horizon=150.0,
+        duration=Clipped(Exponential(3.0), 1.0, 8.0),
+        size=Choice.of([0.04, 0.06, 0.10, 0.30, 0.45, 0.60], [4, 4, 4, 1, 1, 1]),
+        seed=seed,
+    )
+
+
+def test_bench_mff_vs_ff(benchmark):
+    trace = _bimodal()
+    opt_lb = opt_total_lower_bound(trace.items)
+    mu = float(trace_stats(trace.items).mu)
+
+    def run():
+        mff = simulate(trace.items, ModifiedFirstFit())
+        ff = simulate(trace.items, FirstFit())
+        return float(mff.total_cost() / opt_lb), float(ff.total_cost() / opt_lb)
+
+    mff_ratio, ff_ratio = benchmark(run)
+    assert mff_ratio <= float(mff_bound_unknown_mu(mu))
+    # MFF's worst-case bound beats FF's; average costs stay comparable.
+    assert mff_ratio <= 2 * ff_ratio
+
+
+def test_bench_mff_known_mu(benchmark):
+    trace = _bimodal(seed=1)
+    mu = float(trace_stats(trace.items).mu)
+    opt_lb = opt_total_lower_bound(trace.items)
+
+    def run():
+        result = simulate(trace.items, ModifiedFirstFit.with_known_mu(mu))
+        return float(result.total_cost() / opt_lb)
+
+    ratio = benchmark(run)
+    assert ratio <= mff_bound_known_mu(mu)
+
+
+def test_bench_mff_experiment_table(benchmark):
+    result = benchmark(lambda: get_experiment("mff")(seeds=(0,), k_ablation=(4, 8)))
+    assert result.all_claims_hold

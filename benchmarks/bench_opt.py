@@ -1,0 +1,51 @@
+"""E11 — OPT machinery benchmark: bounds, FFD sweep, exact B&B."""
+
+from repro.experiments import get_experiment
+from repro.opt.lower_bounds import opt_bracket
+from repro.opt.snapshot import exact_bin_count, opt_total_exact
+from repro.workloads import Clipped, Exponential, Uniform, generate_trace
+
+
+def _trace(seed=0, rate=3.0, horizon=120.0):
+    return generate_trace(
+        arrival_rate=rate,
+        horizon=horizon,
+        duration=Clipped(Exponential(3.0), 1.0, 9.0),
+        size=Uniform(0.1, 0.9),
+        seed=seed,
+    )
+
+
+def test_bench_opt_bracket(benchmark):
+    trace = _trace()
+    bracket = benchmark(lambda: opt_bracket(trace.items))
+    assert bracket.lower <= bracket.upper
+    # On random traces the bracket is tight to within a few percent.
+    assert float(bracket.upper / bracket.lower) < 1.25
+
+
+def test_bench_opt_exact_integral(benchmark):
+    trace = _trace(rate=1.5, horizon=80.0)
+    exact = benchmark(lambda: opt_total_exact(trace.items))
+    bracket = opt_bracket(trace.items)
+    assert bracket.pointwise_lb <= exact <= bracket.ffd_ub
+
+
+def test_bench_exact_bin_count_hard_instance(benchmark):
+    # FFD-suboptimal family: forces real branching.
+    sizes = [0.45, 0.45, 0.35, 0.35, 0.2, 0.2] * 3
+    count = benchmark(lambda: exact_bin_count(sizes))
+    assert count == 6
+
+
+def test_bench_l2_sweep(benchmark):
+    from repro.opt import opt_total_l2_lower_bound, pointwise_lower_bound
+
+    trace = _trace(rate=2.0, horizon=120.0)
+    l2 = benchmark(lambda: opt_total_l2_lower_bound(trace.items))
+    assert l2 >= pointwise_lower_bound(trace.items)
+
+
+def test_bench_bounds_sandwich_experiment(benchmark):
+    result = benchmark(lambda: get_experiment("bounds-sandwich")(seeds=(0,), horizon=40.0))
+    assert result.all_claims_hold

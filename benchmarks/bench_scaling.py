@@ -1,0 +1,60 @@
+"""Scaling benchmarks: simulator and OPT machinery vs trace size.
+
+Per the HPC-Python workflow (measure before optimising): these pin the
+throughput of the per-event engine and the OPT sweeps as traces grow, so a
+future change that accidentally quadratifies a hot path shows up here.
+"""
+
+import pytest
+
+from repro import BestFit, FirstFit, simulate
+from repro.opt.load import load_profile_np
+from repro.opt.lower_bounds import pointwise_lower_bound
+from repro.opt.snapshot import opt_total_ffd_upper_bound
+from repro.workloads import Clipped, Exponential, Uniform, generate_trace
+
+
+def _trace(n_items: int, seed: int = 0):
+    return generate_trace(
+        arrival_rate=n_items / 1000.0,
+        horizon=1000.0,
+        duration=Clipped(Exponential(5.0), 1.0, 15.0),
+        size=Uniform(0.05, 0.5),
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("n_items", [1000, 4000, 16000])
+def test_bench_simulate_scaling(benchmark, n_items):
+    trace = _trace(n_items)
+    result = benchmark(lambda: simulate(trace.items, FirstFit()))
+    assert result.num_bins_used >= 1
+    benchmark.extra_info["items"] = len(trace)
+    benchmark.extra_info["bins"] = result.num_bins_used
+
+
+@pytest.mark.parametrize("n_items", [1000, 8000])
+def test_bench_best_fit_scaling(benchmark, n_items):
+    trace = _trace(n_items)
+    result = benchmark(lambda: simulate(trace.items, BestFit()))
+    assert result.num_bins_used >= 1
+
+
+@pytest.mark.parametrize("n_items", [1000, 8000])
+def test_bench_pointwise_lb_scaling(benchmark, n_items):
+    trace = _trace(n_items)
+    lb = benchmark(lambda: pointwise_lower_bound(trace.items))
+    assert lb > 0
+
+
+@pytest.mark.parametrize("n_items", [1000, 4000])
+def test_bench_ffd_sweep_scaling(benchmark, n_items):
+    trace = _trace(n_items)
+    ub = benchmark(lambda: opt_total_ffd_upper_bound(trace.items))
+    assert ub >= pointwise_lower_bound(trace.items)
+
+
+def test_bench_numpy_load_profile_large(benchmark):
+    trace = _trace(30000)
+    times, loads = benchmark(lambda: load_profile_np(trace.items))
+    assert times.size <= 2 * len(trace)

@@ -1,0 +1,39 @@
+"""E3 — Theorem 1 / Figure 2 regeneration benchmark.
+
+Shape asserted: for every Any Fit member the measured ratio equals
+``kμ/(k+μ−1)`` exactly and climbs towards μ as k grows.
+"""
+
+from fractions import Fraction
+
+from repro.adversaries import predicted_anyfit_ratio, run_theorem1_adversary
+from repro.algorithms import BestFit, FirstFit, WorstFit
+from repro.experiments import get_experiment
+
+
+def test_bench_theorem1_single_run(benchmark):
+    out = benchmark(lambda: run_theorem1_adversary(FirstFit(), k=20, mu=10))
+    assert out.measured_ratio == predicted_anyfit_ratio(20, 10)
+    assert out.opt.is_tight
+
+
+def test_bench_theorem1_series(benchmark):
+    def series():
+        return [
+            run_theorem1_adversary(BestFit(), k=k, mu=16).measured_ratio
+            for k in (2, 4, 8, 16, 32)
+        ]
+
+    ratios = benchmark(series)
+    # Monotone towards μ = 16, never reaching it.
+    assert ratios == sorted(ratios)
+    assert all(r < 16 for r in ratios)
+    assert ratios[-1] > Fraction(10)
+
+
+def test_bench_theorem1_experiment_table(benchmark):
+    result = benchmark(
+        lambda: get_experiment("thm1-anyfit")(ks=(2, 5, 10), mus=(4,), algorithms=[WorstFit()])
+    )
+    assert result.all_claims_hold
+    assert len(result.table.rows) == 3

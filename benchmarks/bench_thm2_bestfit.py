@@ -1,0 +1,46 @@
+"""E4 — Theorem 2 / Figure 3 regeneration benchmark.
+
+Shape asserted: Best Fit's ratio on the trap clears k/2 and grows with k,
+while First Fit on the identical items stays an order of magnitude lower.
+"""
+
+from repro import FirstFit, simulate
+from repro.adversaries import run_theorem2_adversary
+from repro.experiments import get_experiment
+
+
+def test_bench_theorem2_trap(benchmark):
+    out = benchmark(lambda: run_theorem2_adversary(k=6, mu=3, n_iterations=6))
+    assert float(out.measured_ratio_lower) >= 3.0  # k/2
+    assert out.result.num_bins_used == 6
+
+
+def test_bench_theorem2_growth_series(benchmark):
+    def series():
+        return [
+            float(
+                run_theorem2_adversary(
+                    k=k, mu=3, n_iterations=2 * k // 3 + 2
+                ).measured_ratio_lower
+            )
+            for k in (3, 5, 8)
+        ]
+
+    ratios = benchmark(series)
+    assert ratios == sorted(ratios)
+    assert ratios[-1] >= 4.0
+
+
+def test_bench_theorem2_ff_control(benchmark):
+    trap = run_theorem2_adversary(k=6, mu=3, n_iterations=5)
+
+    def ff_on_trap():
+        return simulate(trap.result.items, FirstFit(), capacity=1)
+
+    ff = benchmark(ff_on_trap)
+    assert float(ff.total_cost()) < float(trap.algorithm_cost) / 2
+
+
+def test_bench_theorem2_experiment_table(benchmark):
+    result = benchmark(lambda: get_experiment("thm2-bestfit")(ks=(3, 5)))
+    assert result.all_claims_hold

@@ -1,0 +1,35 @@
+"""E5 — Theorem 3 regeneration benchmark (large items)."""
+
+from repro import FirstFit, simulate
+from repro.experiments import get_experiment
+from repro.opt.lower_bounds import opt_total_lower_bound
+from repro.workloads import Uniform, generate_trace
+
+
+def test_bench_theorem3_ratio(benchmark):
+    k = 4
+    trace = generate_trace(
+        arrival_rate=4.0,
+        horizon=300.0,
+        duration=Uniform(1.0, 10.0),
+        size=Uniform(1.0 / k, 1.0),
+        seed=0,
+    )
+
+    def run():
+        result = simulate(trace.items, FirstFit())
+        return float(result.total_cost() / opt_total_lower_bound(trace.items))
+
+    ratio = benchmark(run)
+    assert ratio <= k
+    # On random (non-adversarial) large items the ratio is far below k.
+    assert ratio < 2.0
+
+
+def test_bench_theorem3_experiment_table(benchmark):
+    result = benchmark(
+        lambda: get_experiment("thm3-large-items")(
+            ks=(2, 4), arrival_rates=(1.0,), seeds=(0,)
+        )
+    )
+    assert result.all_claims_hold

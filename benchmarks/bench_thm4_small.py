@@ -1,0 +1,60 @@
+"""E6/E9 — Theorem 4 + Figures 4-7 + Table 2 regeneration benchmark.
+
+Times the full proof-decomposition pipeline (split/merge, reference
+structure, Lemma verification) on a realistic First Fit packing.
+"""
+
+from repro import FirstFit, simulate
+from repro.analysis.bounds import theorem4_bound
+from repro.analysis.ff_decomposition import decompose_first_fit, verify_decomposition
+from repro.core.metrics import trace_stats
+from repro.experiments import get_experiment
+from repro.opt.lower_bounds import opt_total_lower_bound
+from repro.workloads import Clipped, Exponential, Uniform, generate_trace
+
+
+def _small_item_packing(k=4, seed=0):
+    trace = generate_trace(
+        arrival_rate=6.0,
+        horizon=120.0,
+        duration=Clipped(Exponential(3.0), 1.0, 10.0),
+        size=Uniform(0.02, 0.999 / k),
+        seed=seed,
+    )
+    return trace, simulate(trace.items, FirstFit())
+
+
+def test_bench_theorem4_ratio(benchmark):
+    k = 4
+    trace, result = _small_item_packing(k)
+
+    def run():
+        return float(result.total_cost() / opt_total_lower_bound(trace.items))
+
+    ratio = benchmark(run)
+    mu = float(trace_stats(trace.items).mu)
+    assert ratio <= theorem4_bound(mu, k)
+    assert ratio < 2.0  # random instances sit far below the worst case
+
+
+def test_bench_decomposition_pipeline(benchmark):
+    k = 4
+    _, result = _small_item_packing(k)
+
+    def run():
+        dec = decompose_first_fit(result)
+        return verify_decomposition(dec, small_k=k)
+
+    report = benchmark(run)
+    assert report.all_ok
+    # Table 2's census: Case V pairs exist on realistic traces.
+    assert report.case_counts.get("V", 0) > 0
+
+
+def test_bench_theorem4_experiment_table(benchmark):
+    result = benchmark(
+        lambda: get_experiment("thm4-small-items")(
+            ks=(4,), arrival_rates=(4.0,), horizon=60.0, seeds=(0,)
+        )
+    )
+    assert result.all_claims_hold

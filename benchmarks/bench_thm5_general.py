@@ -1,0 +1,35 @@
+"""E7 — Theorem 5 + Figure 8 regeneration benchmark (general First Fit)."""
+
+from repro import FirstFit, simulate
+from repro.analysis.bounds import theorem5_bound
+from repro.analysis.ff_decomposition import decompose_first_fit, verify_decomposition
+from repro.core.metrics import trace_stats
+from repro.experiments import get_experiment
+from repro.opt.lower_bounds import opt_total_lower_bound
+from repro.workloads import Clipped, Exponential, Uniform, generate_burst_trace
+
+
+def test_bench_theorem5_on_bursts(benchmark):
+    trace = generate_burst_trace(
+        num_bursts=20,
+        burst_size=30,
+        burst_spacing=4.0,
+        duration=Clipped(Exponential(4.0), 1.0, 8.0),
+        size=Uniform(0.05, 0.9),
+        seed=0,
+    )
+
+    def run():
+        result = simulate(trace.items, FirstFit())
+        return result, float(result.total_cost() / opt_total_lower_bound(trace.items))
+
+    result, ratio = benchmark(run)
+    mu = float(trace_stats(trace.items).mu)
+    assert ratio <= theorem5_bound(mu)
+    report = verify_decomposition(decompose_first_fit(result))
+    assert report.all_ok
+
+
+def test_bench_theorem5_experiment_table(benchmark):
+    result = benchmark(lambda: get_experiment("thm5-general-ff")(seeds=(0,)))
+    assert result.all_claims_hold

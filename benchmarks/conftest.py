@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one paper display (see DESIGN.md's experiment
+index), asserts its *shape* (who wins, by what factor, where the trend
+points), and times the regeneration.  The printed rows themselves come from
+``python -m repro run <experiment>``; EXPERIMENTS.md records both.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def gaming_trace_day():
+    from repro.workloads import generate_gaming_trace
+
+    return generate_gaming_trace(seed=0, horizon=24 * 60.0)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Head-to-head: every packing policy across workload shapes.
+
+Sweeps the full algorithm fleet over contrasting workloads (steady Poisson,
+bursty, bimodal sizes, heavy-tailed sessions) and reports empirical
+competitive ratios against the OPT lower bound — the average-case
+complement to the paper's worst-case analysis.
+
+Run:  python examples/algorithm_comparison.py
+"""
+
+from repro.algorithms import (
+    BestFit,
+    FirstFit,
+    HarmonicFit,
+    LastFit,
+    ModifiedFirstFit,
+    NewBinPerItem,
+    NextFit,
+    RandomFit,
+    WorstFit,
+)
+from repro.analysis import compare_algorithms, render_table
+from repro.workloads import (
+    BoundedPareto,
+    Choice,
+    Clipped,
+    Exponential,
+    Uniform,
+    generate_burst_trace,
+    generate_trace,
+)
+
+
+def fleet():
+    return [
+        FirstFit(),
+        BestFit(),
+        WorstFit(),
+        LastFit(),
+        RandomFit(seed=1),
+        NextFit(),
+        ModifiedFirstFit(),
+        HarmonicFit(num_classes=3),
+        NewBinPerItem(),
+    ]
+
+
+WORKLOADS = {
+    "steady poisson": generate_trace(
+        arrival_rate=4.0,
+        horizon=150.0,
+        duration=Clipped(Exponential(3.0), 1.0, 9.0),
+        size=Uniform(0.05, 0.7),
+        seed=0,
+    ),
+    "bursty": generate_burst_trace(
+        num_bursts=15,
+        burst_size=25,
+        burst_spacing=8.0,
+        duration=Clipped(Exponential(5.0), 1.0, 12.0),
+        size=Uniform(0.05, 0.6),
+        seed=0,
+    ),
+    "bimodal sizes": generate_trace(
+        arrival_rate=5.0,
+        horizon=150.0,
+        duration=Clipped(Exponential(3.0), 1.0, 8.0),
+        size=Choice.of([0.05, 0.08, 0.45, 0.6], [5, 5, 1, 1]),
+        seed=0,
+    ),
+    "heavy-tail sessions": generate_trace(
+        arrival_rate=3.0,
+        horizon=150.0,
+        duration=BoundedPareto(1.0, 40.0, alpha=1.3),
+        size=Uniform(0.1, 0.5),
+        seed=0,
+    ),
+}
+
+summary = {algo.name: [] for algo in fleet()}
+for name, trace in WORKLOADS.items():
+    measurements = compare_algorithms(trace.items, fleet())
+    rows = [
+        [m.algorithm_name, float(m.cost), f"{m.ratio_upper:.3f}"]
+        for m in sorted(measurements, key=lambda m: m.cost)
+    ]
+    print(render_table(["algorithm", "total cost", "vs OPT lb"], rows,
+                       title=f"{name} ({len(trace)} items, mu={float(trace.mu):.2g})"))
+    print()
+    for m in measurements:
+        summary[m.algorithm_name].append(m.ratio_upper)
+
+rows = [
+    [name, f"{sum(rs) / len(rs):.3f}", f"{max(rs):.3f}"]
+    for name, rs in sorted(summary.items(), key=lambda kv: sum(kv[1]))
+]
+print(render_table(["algorithm", "mean ratio", "worst ratio"], rows,
+                   title="summary across workloads (lower is better)"))
+print("\nNote the paper's punchline in the numbers: Best Fit often wins on "
+      "average\nyet Theorem 2 shows it can be made arbitrarily bad, while "
+      "First Fit is never\nfar off and carries a 2μ+13 worst-case guarantee.")

@@ -1,0 +1,21 @@
+"""Adaptive adversaries realising the paper's lower-bound constructions."""
+
+from .anyfit_lower_bound import (
+    Theorem1Outcome,
+    predicted_anyfit_ratio,
+    run_theorem1_adversary,
+)
+from .bestfit_unbounded import (
+    Theorem2Outcome,
+    run_theorem2_adversary,
+    theorem2_epsilon,
+)
+
+__all__ = [
+    "Theorem1Outcome",
+    "predicted_anyfit_ratio",
+    "run_theorem1_adversary",
+    "Theorem2Outcome",
+    "run_theorem2_adversary",
+    "theorem2_epsilon",
+]

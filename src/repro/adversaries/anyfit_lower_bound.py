@@ -1,0 +1,148 @@
+"""Theorem 1 / Figure 2: the μ lower bound for Any Fit packing.
+
+The adversary (capacity ``W = 1``):
+
+1. At time 0, ``k²`` items of size ``1/k`` arrive.  Any Fit packing must
+   open exactly ``k`` bins (each fills to level 1).
+2. At time ``Δ`` (the minimum interval length), items depart so that each
+   opened bin retains exactly **one** item.
+3. At time ``μΔ`` (the maximum interval length), the survivors depart.
+
+Any Fit keeps ``k`` bins open for the whole ``[0, μΔ]``, so
+``AF_total = k·μΔ·C``; the optimum packs the ``k`` survivors into one bin
+after ``Δ``, so ``OPT_total = kΔ·C + (μ−1)Δ·C`` and the ratio is
+``kμ/(k+μ−1) → μ`` as ``k → ∞``.
+
+The construction is *adaptive* (step 2 depends on where the algorithm put
+the items), so it is driven through the incremental
+:class:`~repro.core.simulator.Simulator` and works against **any** online
+algorithm — footnote 1 of the paper notes the bound applies universally.
+All arithmetic uses :class:`fractions.Fraction`, so measured costs equal
+the closed forms exactly.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..algorithms.base import PackingAlgorithm
+from ..core.result import PackingResult
+from ..core.simulator import Simulator
+from ..opt.lower_bounds import OptBracket, opt_bracket
+
+__all__ = ["Theorem1Outcome", "predicted_anyfit_ratio", "run_theorem1_adversary"]
+
+
+def predicted_anyfit_ratio(k: int, mu: numbers.Real) -> Fraction:
+    """Equation (1) of the paper: ``AF_total/OPT_total = kμ/(k+μ−1)``."""
+    k = Fraction(k)
+    mu = Fraction(mu)
+    return (k * mu) / (k + mu - 1)
+
+
+@dataclass(frozen=True)
+class Theorem1Outcome:
+    """Measured and predicted quantities for one Theorem 1 run."""
+
+    k: int
+    mu: Fraction
+    delta: Fraction
+    result: PackingResult
+    algorithm_cost: Fraction
+    opt: OptBracket
+    predicted_algorithm_cost: Fraction
+    predicted_opt_total: Fraction
+
+    @property
+    def measured_ratio(self) -> Fraction:
+        """Algorithm cost over the (tight) OPT_total."""
+        return Fraction(self.algorithm_cost) / Fraction(self.opt.upper)
+
+    @property
+    def predicted_ratio(self) -> Fraction:
+        return predicted_anyfit_ratio(self.k, self.mu)
+
+    @property
+    def matches_prediction(self) -> bool:
+        """Whether the measurement reproduces the paper's formulas exactly.
+
+        Holds for every Any Fit algorithm; a non-Any-Fit algorithm may open
+        a different number of bins, in which case only the measured values
+        are meaningful.
+        """
+        return (
+            self.algorithm_cost == self.predicted_algorithm_cost
+            and Fraction(self.opt.lower) == self.predicted_opt_total
+            and Fraction(self.opt.upper) == self.predicted_opt_total
+        )
+
+
+def run_theorem1_adversary(
+    algorithm: PackingAlgorithm,
+    *,
+    k: int,
+    mu: numbers.Real,
+    delta: numbers.Real = 1,
+) -> Theorem1Outcome:
+    """Run the Figure 2 adversary against ``algorithm``.
+
+    Parameters
+    ----------
+    k:
+        Number of bins the construction targets (``k² `` items of size
+        ``1/k`` arrive at time 0); ``k ≥ 2``.
+    mu:
+        Target max/min interval length ratio ``μ ≥ 1``; may be a Fraction.
+    delta:
+        The minimum interval length ``Δ > 0``.
+    """
+    if k < 2:
+        raise ValueError(f"need k ≥ 2, got {k}")
+    mu = Fraction(mu)
+    delta = Fraction(delta)
+    if mu < 1:
+        raise ValueError(f"need μ ≥ 1, got {mu}")
+    if delta <= 0:
+        raise ValueError(f"need Δ > 0, got {delta}")
+
+    size = Fraction(1, k)
+    sim = Simulator(algorithm, capacity=1, cost_rate=1)
+
+    # Step 1: k² items of size 1/k arrive at time 0.
+    for i in range(k * k):
+        sim.arrive(Fraction(0), size, item_id=f"t1-{i}", tag="phase0")
+
+    # Step 2 (adaptive): inspect the packing; in every open bin keep one
+    # item until μΔ, depart the rest at Δ.
+    survivors: list[str] = []
+    leavers: list[str] = []
+    for b in sim.open_bins:
+        ids = [item.item_id for item in b.items()]
+        survivors.append(ids[0])
+        leavers.extend(ids[1:])
+    if mu == 1:
+        # Degenerate μ = 1: every item lives exactly Δ.
+        for item_id in leavers + survivors:
+            sim.depart(item_id, delta)
+    else:
+        for item_id in leavers:
+            sim.depart(item_id, delta)
+        # Step 3: survivors leave at μΔ.
+        for item_id in survivors:
+            sim.depart(item_id, mu * delta)
+
+    result = sim.finish()
+    cost = Fraction(result.total_cost())
+    bracket = opt_bracket(result.items, capacity=1, cost_rate=1)
+    return Theorem1Outcome(
+        k=k,
+        mu=mu,
+        delta=delta,
+        result=result,
+        algorithm_cost=cost,
+        opt=bracket,
+        predicted_algorithm_cost=k * mu * delta,
+        predicted_opt_total=k * delta + (mu - 1) * delta,
+    )

@@ -1,0 +1,211 @@
+"""Theorem 2 / Figure 3: Best Fit has no bounded competitive ratio.
+
+The adversary (capacity ``W = 1``), parameterised by ``k`` bins, ratio
+target ``μ``, and ``n`` iterations; all items have the same tiny size ``ε``:
+
+1. At time 0, ``1/ε · k`` items arrive; Best Fit fills exactly ``k`` bins
+   ``b_1..b_k`` to level 1.
+2. At time ``Δ``, departures leave bin ``b_i`` at level ``1/k − i·ε``
+   (``b_1`` highest).
+3. Iteration ``j = 1..n``: ``k`` item groups arrive one after another in
+   the window ``[jμΔ − δ, jμΔ]``; group ``m`` has total size
+   ``1/k − (jk+m)·ε``.  Because ``b_m`` is the *highest-level* bin when
+   group ``m`` arrives, Best Fit pours the whole group into ``b_m``; the
+   adversary then departs all of ``b_m``'s old items, dropping it below
+   every not-yet-refreshed bin so group ``m+1`` targets ``b_{m+1}``.
+
+Best Fit therefore keeps ``k`` bins open forever while the active volume
+stays ≈ 1: its cost is ≈ ``k·nμΔ·C`` against ``OPT_total ≈ nμΔ·C``, a
+ratio ≥ ``k/2`` — unbounded in ``k`` at (essentially) fixed μ.
+
+Notes on exactness: the construction is driven adaptively through the
+incremental simulator with ``Fraction`` arithmetic; after every group the
+bin level is asserted equal to the paper's configuration
+``<(1/k − (jk+m)ε)|_ε>`` *exactly*.  The realized max/min interval ratio is
+``μ + O(δ)`` rather than exactly μ (old items must outlive the group that
+displaces them by a sliver); the outcome reports the realized value.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..algorithms.base import PackingAlgorithm
+from ..algorithms.best_fit import BestFit
+from ..core.metrics import trace_stats
+from ..core.result import PackingResult
+from ..core.simulator import SimulationError, Simulator
+from ..opt.lower_bounds import OptBracket, opt_bracket
+
+__all__ = ["Theorem2Outcome", "run_theorem2_adversary", "theorem2_epsilon"]
+
+
+def theorem2_epsilon(k: int, n_iterations: int) -> Fraction:
+    """An ``ε`` small enough for every group to have a positive item count.
+
+    Group ``m`` of iteration ``j`` holds ``1/(kε) − (jk+m)`` items, which
+    must stay positive up to ``j = n``; ``ε = 1/(2k²(n+1))`` gives
+    ``1/(kε) = 2k(n+1) > (n+1)k ≥ jk + m`` and makes ``1/(kε)`` an integer.
+    """
+    return Fraction(1, 2 * k * k * (n_iterations + 1))
+
+
+@dataclass(frozen=True)
+class Theorem2Outcome:
+    """Measured quantities for one Theorem 2 run."""
+
+    k: int
+    mu: Fraction
+    n_iterations: int
+    epsilon: Fraction
+    delta_small: Fraction
+    result: PackingResult
+    algorithm_cost: Fraction
+    opt: OptBracket
+    realized_mu: Fraction
+
+    @property
+    def measured_ratio_lower(self) -> Fraction:
+        """Conservative measured ratio: cost over the OPT upper bound."""
+        return Fraction(self.algorithm_cost) / Fraction(self.opt.upper)
+
+    @property
+    def paper_ratio_floor(self) -> Fraction:
+        """Theorem 2's claim: the ratio is at least ``k/2`` for large n."""
+        return Fraction(self.k, 2)
+
+
+def run_theorem2_adversary(
+    *,
+    k: int,
+    mu: numbers.Real,
+    n_iterations: int,
+    algorithm: PackingAlgorithm | None = None,
+    delta_window: numbers.Real | None = None,
+    compute_opt: bool = True,
+) -> Theorem2Outcome:
+    """Run the Figure 3 adversary (against Best Fit by default).
+
+    Parameters
+    ----------
+    k:
+        Number of bins (and the ratio target ``k/2``); ``k ≥ 2``.
+    mu:
+        Nominal interval ratio ``μ > 1``.
+    n_iterations:
+        Number of refresh iterations ``n ≥ 1``; Theorem 2 needs
+        ``n ≳ (k−1)/μ`` for the ``k/2`` floor, which the caller controls.
+    algorithm:
+        The algorithm to trap (default a fresh :class:`BestFit`).  The
+        level assertions only hold for Best Fit semantics; other algorithms
+        escape the trap (First Fit provably stays bounded) — in that case
+        assertions are skipped and the measured costs stand on their own.
+    delta_window:
+        The window width ``δ``; defaults to ``Δ/(4k(n+1))`` (tiny).
+    compute_opt:
+        Skip the OPT bracket (the costly part) when false; the bracket
+        fields are then ``None``.
+    """
+    if k < 2:
+        raise ValueError(f"need k ≥ 2, got {k}")
+    if n_iterations < 1:
+        raise ValueError(f"need n ≥ 1, got {n_iterations}")
+    mu = Fraction(mu)
+    if mu <= 1:
+        raise ValueError(f"need μ > 1, got {mu}")
+
+    delta = Fraction(1)  # Δ: the minimum interval length
+    eps = theorem2_epsilon(k, n_iterations)
+    per_bin = 2 * k * (n_iterations + 1)  # 1/(kε): items per full level-1/k stack
+    if delta_window is not None:
+        dwin = Fraction(delta_window)
+    else:
+        # Tiny relative to Δ, and small enough that the phase-2 survivors
+        # (living ≈ μΔ − O(δ)) still live at least Δ.
+        dwin = min(delta / (4 * k * (n_iterations + 1)), (mu - 1) * delta / 2)
+    if not 0 < dwin < delta:
+        raise ValueError(f"need 0 < δ < Δ, got {dwin}")
+    if (mu - 1) * delta <= dwin:
+        raise ValueError(
+            f"δ = {dwin} too large for μ = {mu}: phase-2 survivors would live "
+            f"less than the minimum interval Δ"
+        )
+
+    algo = algorithm if algorithm is not None else BestFit()
+    check_levels = isinstance(algo, BestFit)
+    sim = Simulator(algo, capacity=1, cost_rate=1)
+
+    # Phase 1: k/ε items of size ε at time 0 -> k full bins.
+    # 1/ε = k·per_bin, so k/ε = k²·per_bin items of total size exactly k.
+    total_items = k * k * per_bin
+    for i in range(total_items):
+        sim.arrive(Fraction(0), eps, item_id=f"t2-init-{i}", tag="phase0")
+    if check_levels and sim.num_open_bins != k:
+        raise SimulationError(
+            f"construction expected {k} bins after phase 1, got {sim.num_open_bins}"
+        )
+    bins = sim.open_bins  # opening order: b_1..b_k
+
+    # Phase 2: at Δ, trim bin b_i (1-based i) down to 1/k − i·ε.
+    old_items: list[list[str]] = []  # current "old" residents per bin
+    for idx, b in enumerate(bins):
+        i = idx + 1
+        keep = per_bin - i  # (1/k − i·ε)/ε items
+        ids = [item.item_id for item in b.items()]
+        for item_id in ids[keep:]:
+            sim.depart(item_id, delta)
+        old_items.append(ids[:keep])
+        if check_levels and b.level != Fraction(1, k) - i * eps:
+            raise SimulationError(f"bin {i} level {b.level} != 1/k − {i}ε after trim")
+
+    # Phase 3: n iterations of k groups.
+    counter = 0
+    for j in range(1, n_iterations + 1):
+        for m in range(1, k + 1):
+            arrive_t = j * mu * delta - dwin + m * dwin / (k + 1)
+            depart_t = arrive_t + dwin / (2 * (k + 1))
+            count = per_bin - (j * k + m)
+            target = bins[m - 1]
+            new_ids: list[str] = []
+            for _ in range(count):
+                item_id = f"t2-{j}-{m}-{counter}"
+                counter += 1
+                placed = sim.arrive(arrive_t, eps, item_id=item_id, tag=f"iter{j}")
+                new_ids.append(item_id)
+                if check_levels and placed is not target:
+                    raise SimulationError(
+                        f"iteration {j} group {m}: Best Fit placed into bin "
+                        f"{placed.index}, expected bin {target.index}"
+                    )
+            for item_id in old_items[m - 1]:
+                sim.depart(item_id, depart_t)
+            old_items[m - 1] = new_ids
+            if check_levels and target.level != Fraction(1, k) - (j * k + m) * eps:
+                raise SimulationError(
+                    f"iteration {j} group {m}: bin level {target.level} != "
+                    f"<(1/k − {j * k + m}ε)|_ε>"
+                )
+
+    # Wind-down: the final residents leave after a full maximum interval.
+    for m in range(1, k + 1):
+        arrive_t = n_iterations * mu * delta - dwin + m * dwin / (k + 1)
+        for item_id in old_items[m - 1]:
+            sim.depart(item_id, arrive_t + mu * delta)
+
+    result = sim.finish()
+    cost = Fraction(result.total_cost())
+    bracket = opt_bracket(result.items, capacity=1, cost_rate=1) if compute_opt else None
+    stats = trace_stats(result.items)
+    return Theorem2Outcome(
+        k=k,
+        mu=mu,
+        n_iterations=n_iterations,
+        epsilon=eps,
+        delta_small=dwin,
+        result=result,
+        algorithm_cost=cost,
+        opt=bracket,
+        realized_mu=Fraction(stats.mu),
+    )

@@ -1,0 +1,47 @@
+"""Online packing algorithms for the MinTotal DBP problem.
+
+The family structure mirrors Section 3.2 of the paper: Any Fit algorithms
+(never open a bin while one fits) with First Fit and Best Fit as the two
+canonical members, plus Modified First Fit (Section 4.4) and baselines.
+Algorithms are also available by registry name via :func:`get_algorithm`.
+"""
+
+from .base import (
+    AnyFitAlgorithm,
+    Arrival,
+    OPEN_NEW,
+    PackingAlgorithm,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from .any_fit import AnyFit, LastFit, RandomFit, WorstFit
+from .baselines import NewBinPerItem, NextFit
+from .best_fit import BestFit
+from .first_fit import FirstFit
+from .harmonic import HarmonicFit
+from .modified_best_fit import ModifiedBestFit
+from .modified_first_fit import LARGE, SMALL, ModifiedFirstFit
+
+__all__ = [
+    "PackingAlgorithm",
+    "AnyFitAlgorithm",
+    "Arrival",
+    "OPEN_NEW",
+    "register_algorithm",
+    "get_algorithm",
+    "available_algorithms",
+    "FirstFit",
+    "BestFit",
+    "WorstFit",
+    "LastFit",
+    "RandomFit",
+    "AnyFit",
+    "NextFit",
+    "NewBinPerItem",
+    "HarmonicFit",
+    "ModifiedFirstFit",
+    "ModifiedBestFit",
+    "LARGE",
+    "SMALL",
+]

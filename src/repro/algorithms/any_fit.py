@@ -1,0 +1,87 @@
+"""Additional Any Fit family members and a generic pluggable Any Fit.
+
+The paper analyses Any Fit as a family ("the family of packing algorithms
+that open a new bin only when no currently opened bin can accommodate the
+item").  Theorem 1's lower bound of μ applies to *every* member, so this
+module provides several members beyond FF/BF to exercise that claim
+empirically:
+
+* Worst Fit — fitting bin with the largest residual capacity;
+* Last Fit — most recently opened fitting bin;
+* Random Fit — uniformly random fitting bin (seeded);
+* ``AnyFit(rule)`` — any user-supplied selection rule, with the family
+  property (never open a bin while one fits) enforced by the base class.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from ..core.bin import Bin
+from .base import AnyFitAlgorithm, Arrival, register_algorithm
+
+__all__ = ["WorstFit", "LastFit", "RandomFit", "AnyFit"]
+
+
+@register_algorithm("worst-fit")
+class WorstFit(AnyFitAlgorithm):
+    """Place each item into the fitting bin with the most residual capacity."""
+
+    def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
+        best = fitting_bins[0]
+        for candidate in fitting_bins[1:]:
+            if candidate.residual > best.residual:
+                best = candidate
+        return best
+
+
+@register_algorithm("last-fit")
+class LastFit(AnyFitAlgorithm):
+    """Place each item into the most recently opened bin that fits."""
+
+    def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
+        return fitting_bins[-1]
+
+
+@register_algorithm("random-fit")
+class RandomFit(AnyFitAlgorithm):
+    """Place each item into a uniformly random fitting bin.
+
+    Deterministic given ``seed``; reset at every simulation start so the
+    same instance can be reused across runs reproducibly.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self, capacity) -> None:
+        self._rng = random.Random(self.seed)
+
+    def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
+        return self._rng.choice(fitting_bins)
+
+    def __repr__(self) -> str:
+        return f"RandomFit(seed={self.seed})"
+
+
+class AnyFit(AnyFitAlgorithm):
+    """Generic Any Fit with a user-supplied selection rule.
+
+    ``rule(item, fitting_bins)`` must return one of ``fitting_bins``.  Use
+    this to test novel heuristics against Theorem 1's universal μ lower
+    bound without writing a class:
+
+    >>> most_items = AnyFit(lambda item, bins: max(bins, key=lambda b: b.num_items))
+    """
+
+    name = "any-fit"
+
+    def __init__(self, rule: Callable[[Arrival, Sequence[Bin]], Bin], name: str | None = None):
+        self._rule = rule
+        if name is not None:
+            self.name = name
+
+    def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
+        return self._rule(item, fitting_bins)

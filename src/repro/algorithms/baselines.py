@@ -1,0 +1,54 @@
+"""Baseline policies outside the Any Fit family.
+
+These bracket the Any Fit algorithms in experiments:
+
+* :class:`NewBinPerItem` realises bound (b.3): every item gets its own bin,
+  so ``A_total(R) = C · Σ_r len(I(r))`` exactly — the natural upper
+  baseline ("one VM per playing request").
+* :class:`NextFit` keeps a single *current* bin and opens a new one when an
+  item does not fit there, even if older bins have room.  It is **not** an
+  Any Fit algorithm, so Theorem 1's μ lower bound does not automatically
+  cover it; experiments show it is simply worse in cost.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.bin import Bin
+from .base import Arrival, OPEN_NEW, PackingAlgorithm, register_algorithm
+
+__all__ = ["NewBinPerItem", "NextFit"]
+
+
+@register_algorithm("new-bin-per-item")
+class NewBinPerItem(PackingAlgorithm):
+    """Open a fresh bin for every arriving item (bound b.3 made concrete)."""
+
+    def choose_bin(self, item: Arrival, open_bins: Sequence[Bin]):
+        return OPEN_NEW
+
+
+@register_algorithm("next-fit")
+class NextFit(PackingAlgorithm):
+    """Keep one current bin; open a new current bin whenever an item misses.
+
+    The DBP adaptation of classical Next Fit: the current bin is the most
+    recently opened one that is still open.  If the current bin closed
+    (all its items departed), the next arrival opens a fresh bin.
+    """
+
+    def __init__(self) -> None:
+        self._current: Bin | None = None
+
+    def reset(self, capacity) -> None:
+        self._current = None
+
+    def choose_bin(self, item: Arrival, open_bins: Sequence[Bin]):
+        current = self._current
+        if current is not None and current.is_open and current.fits(item):
+            return current
+        return OPEN_NEW
+
+    def on_bin_opened(self, bin: Bin, item: Arrival) -> None:
+        self._current = bin

@@ -1,0 +1,35 @@
+"""Best Fit packing (Section 3.2 of the paper).
+
+"Best Fit packing tries to put it into the best opened bin, i.e., the one
+with the smallest residual capacity after adding the item."  Equivalently,
+among the bins that fit, pick the one with the highest current level.
+Theorem 2 shows Best Fit has **no bounded competitive ratio** for MinTotal
+DBP, for any fixed μ — the adversary in
+:mod:`repro.adversaries.bestfit_unbounded` realises the construction.
+
+Ties (equal levels) are broken towards the earliest-opened bin, which is the
+deterministic choice the paper's Theorem 2 construction assumes ("the bin
+with the highest level in the system" is unique there, so the tiebreak never
+fires in that instance).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.bin import Bin
+from .base import AnyFitAlgorithm, Arrival, register_algorithm
+
+__all__ = ["BestFit"]
+
+
+@register_algorithm("best-fit")
+class BestFit(AnyFitAlgorithm):
+    """Place each item into the fitting bin with the least residual capacity."""
+
+    def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
+        best = fitting_bins[0]
+        for candidate in fitting_bins[1:]:
+            if candidate.residual < best.residual:
+                best = candidate
+        return best

@@ -1,0 +1,56 @@
+"""Modified Best Fit — the ablation that explains MFF's design.
+
+MFF's improvement comes from two ingredients: size classification *and*
+the First Fit rule inside each class.  A natural question is whether
+classification alone rescues Best Fit.  It does not: Theorem 2's trap uses
+items of a single tiny size, so the whole construction lives inside one
+size class, where classified Best Fit behaves exactly like plain Best Fit
+— still unboundedly bad.  ``ModifiedBestFit`` exists to make that argument
+executable (see ``tests/test_modified_best_fit.py``); the paper's choice of
+First Fit inside MFF's classes is what carries the bounded ratio.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Sequence
+
+from ..core.bin import Bin
+from .base import Arrival, OPEN_NEW, PackingAlgorithm, register_algorithm
+from .modified_first_fit import LARGE, SMALL
+
+__all__ = ["ModifiedBestFit"]
+
+
+@register_algorithm("modified-best-fit")
+class ModifiedBestFit(PackingAlgorithm):
+    """Best Fit within MFF-style large/small pools (threshold ``W/k``)."""
+
+    def __init__(self, k: numbers.Real = 8) -> None:
+        if not k > 1:
+            raise ValueError(f"modified Best Fit requires k > 1, got {k}")
+        self.k = k
+        self._threshold: numbers.Real | None = None
+
+    def reset(self, capacity: numbers.Real) -> None:
+        self._threshold = capacity / self.k
+
+    def classify(self, item: Arrival) -> str:
+        if self._threshold is None:
+            raise RuntimeError("algorithm not reset; run it through the simulator")
+        return LARGE if item.size >= self._threshold else SMALL
+
+    def choose_bin(self, item: Arrival, open_bins: Sequence[Bin]):
+        wanted = self.classify(item)
+        best: Bin | None = None
+        for b in open_bins:
+            if b.label == wanted and b.fits(item):
+                if best is None or b.residual < best.residual:
+                    best = b
+        return best if best is not None else OPEN_NEW
+
+    def on_bin_opened(self, bin: Bin, item: Arrival) -> None:
+        bin.label = self.classify(item)
+
+    def __repr__(self) -> str:
+        return f"ModifiedBestFit(k={self.k})"

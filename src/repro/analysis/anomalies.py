@@ -1,0 +1,78 @@
+"""Online-packing anomalies: less work can cost more.
+
+A classical pathology of online packing (and scheduling) algorithms:
+*removing* an item from the trace can **increase** the algorithm's total
+cost, because the removed item was steering later placements somewhere
+cheap.  The optimum is trivially monotone (serving a subset never needs
+more), so every anomaly is a pure artifact of online decision-making — a
+vivid, concrete form of the suboptimality the paper's competitive analysis
+bounds.
+
+:func:`find_removal_anomalies` searches a trace for such items; the
+``anomalies`` experiment measures how common they are per algorithm.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..algorithms.base import PackingAlgorithm
+from ..core.item import Item
+from ..core.simulator import simulate
+
+__all__ = ["RemovalAnomaly", "find_removal_anomalies"]
+
+
+@dataclass(frozen=True, slots=True)
+class RemovalAnomaly:
+    """Removing ``item_id`` raised the algorithm's cost."""
+
+    item_id: str
+    base_cost: numbers.Real
+    reduced_trace_cost: numbers.Real
+
+    @property
+    def increase(self) -> numbers.Real:
+        return self.reduced_trace_cost - self.base_cost
+
+    @property
+    def relative_increase(self) -> float:
+        return float(self.increase / self.base_cost)
+
+
+def find_removal_anomalies(
+    items: Sequence[Item],
+    algorithm_factory: Callable[[], PackingAlgorithm],
+    *,
+    capacity: numbers.Real = 1,
+    tolerance: float = 1e-9,
+    stop_after: int | None = None,
+) -> list[RemovalAnomaly]:
+    """All single-item removals that *increase* the algorithm's cost.
+
+    ``algorithm_factory`` must build a fresh algorithm per run (stateful
+    algorithms cannot be reused across simulations).  O(n) simulations of
+    n−1 items each — keep traces moderate.  ``stop_after`` caps the number
+    of anomalies collected (early exit for existence checks).
+    """
+    items = list(items)
+    if len(items) < 2:
+        return []
+    base = simulate(items, algorithm_factory(), capacity=capacity).total_cost()
+    anomalies: list[RemovalAnomaly] = []
+    for i in range(len(items)):
+        reduced = items[:i] + items[i + 1 :]
+        cost = simulate(reduced, algorithm_factory(), capacity=capacity).total_cost()
+        if cost > base + tolerance * max(1.0, float(base)):
+            anomalies.append(
+                RemovalAnomaly(
+                    item_id=items[i].item_id,
+                    base_cost=base,
+                    reduced_trace_cost=cost,
+                )
+            )
+            if stop_after is not None and len(anomalies) >= stop_after:
+                break
+    return anomalies

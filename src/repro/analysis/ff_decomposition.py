@@ -1,0 +1,615 @@
+"""The Theorem 4/5 proof machinery of Figures 4-8, executable.
+
+The paper's First Fit analysis decomposes every bin's usage period and
+builds combinatorial structure over the pieces:
+
+* **Figure 4** — each usage period ``I_i`` splits at
+  ``E_i = max{I_j^+ : j < i}`` into an overlapped part ``I_i^L`` and a
+  residual part ``I_i^R``; the ``I_i^R`` are disjoint and tile the span
+  (equation (5)).
+* **Figure 5** — every ``I_i^L`` longer than ``(μ+2)Δ`` is split into
+  sub-periods ``I_{i,j}`` of length exactly ``(μ+2)Δ`` (counted from the
+  right), with a first-piece merge rule; Features (f.1)-(f.3).
+* **Figure 6** — each sub-period has a *reference point* ``t_{i,j}`` (the
+  earliest new item packed into ``b_i`` during it; Features (f.4)-(f.5))
+  and a *reference bin* ``b†(I_{i,j})`` (the last-opened earlier bin still
+  open at ``t_{i,j}``), giving a *reference period*
+  ``[t_{i,j}−Δ, t_{i,j}+Δ]`` on the reference bin.
+* **Table 2 / Lemmas 1-3** — reference periods can only intersect in
+  Case V (two first sub-periods of different bins), and then only in
+  chains of length ≤ 2.
+* **Figure 7 / Lemma 4** — intersecting pairs are matched into
+  *joint-periods*; joint and single periods have non-intersecting
+  reference periods.
+* **Figure 8 / Lemma 5** — *auxiliary periods* (same window on ``b_i``
+  itself) never intersect; inequality (14) charges ``W·Δ`` of resource
+  demand to each sub-period, yielding inequality (15) and Theorem 5.
+
+:func:`decompose_first_fit` computes all of it for a finished First Fit
+packing, and :func:`verify_decomposition` checks **every** feature, lemma
+and inequality, returning a :class:`DecompositionReport`.  The test suite
+runs this over hypothesis-generated traces: any counterexample to the
+paper's proof would surface as a failing property.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.interval import Interval
+from ..core.item import Item
+from ..core.metrics import (
+    max_interval_length,
+    min_interval_length,
+    total_demand,
+    trace_span,
+)
+from ..core.result import BinRecord, PackingResult
+
+__all__ = [
+    "SubPeriod",
+    "FFDecomposition",
+    "DecompositionError",
+    "DecompositionReport",
+    "decompose_first_fit",
+    "verify_decomposition",
+    "CASE_I",
+    "CASE_II",
+    "CASE_III",
+    "CASE_IV",
+    "CASE_V",
+    "classify_case",
+]
+
+
+class DecompositionError(RuntimeError):
+    """A structural claim of the paper's proof failed to hold (a bug —
+    either in this implementation or, far less likely, in the paper)."""
+
+
+# Table 2 case labels.
+CASE_I = "I"
+CASE_II = "II"
+CASE_III = "III"
+CASE_IV = "IV"
+CASE_V = "V"
+
+
+@dataclass(frozen=True)
+class SubPeriod:
+    """One ``I_{i,j}`` with its reference structure.
+
+    ``bin_index`` is 0-based (the paper's ``b_{i}`` with ``i =
+    bin_index+1``); ``j`` is 1-based as in the paper.
+    """
+
+    bin_index: int
+    j: int
+    interval: Interval
+    ref_time: numbers.Real  # t_{i,j}
+    ref_bin_index: int  # b†(I_{i,j}), 0-based
+
+    @property
+    def length(self) -> numbers.Real:
+        return self.interval.length
+
+
+def classify_case(p: SubPeriod, q: SubPeriod) -> str:
+    """Table 2: classify an unordered pair of distinct sub-periods."""
+    same_bin = p.bin_index == q.bin_index
+    j1, j2 = p.j, q.j
+    if same_bin:
+        if j1 >= 2 and j2 >= 2:
+            return CASE_I
+        if (j1 == 1) != (j2 == 1):
+            return CASE_II
+        raise ValueError("two distinct first sub-periods of the same bin cannot exist")
+    if j1 >= 2 and j2 >= 2:
+        return CASE_III
+    if (j1 == 1) != (j2 == 1):
+        return CASE_IV
+    return CASE_V
+
+
+@dataclass
+class FFDecomposition:
+    """Everything Figures 4-8 define, computed for one FF packing."""
+
+    result: PackingResult
+    delta: numbers.Real  # Δ, the minimum item interval length
+    mu: numbers.Real  # μ
+    usage: list[Interval]  # I_i per bin
+    closers: list[numbers.Real]  # E_i per bin
+    left_parts: list[Interval | None]  # I_i^L (None when empty)
+    right_parts: list[Interval | None]  # I_i^R (None when empty)
+    subperiods: list[SubPeriod]  # all I_{i,j}, every one with references
+
+    # ---------------------------------------------------------- basic sums
+
+    @property
+    def mu_delta(self) -> numbers.Real:
+        return self.mu * self.delta
+
+    def total_left_length(self) -> numbers.Real:
+        """``Σ_i len(I_i^L)``."""
+        total: numbers.Real = 0
+        for iv in self.left_parts:
+            if iv is not None:
+                total = total + iv.length
+        return total
+
+    def total_right_length(self) -> numbers.Real:
+        """``Σ_i len(I_i^R)`` — equals ``span(R)`` (equation (5))."""
+        total: numbers.Real = 0
+        for iv in self.right_parts:
+            if iv is not None:
+                total = total + iv.length
+        return total
+
+    def total_subperiod_length(self) -> numbers.Real:
+        """``len(I^L)`` — equals ``Σ_i len(I_i^L)`` (equation (7))."""
+        total: numbers.Real = 0
+        for sp in self.subperiods:
+            total = total + sp.length
+        return total
+
+    # ---------------------------------------------------- reference windows
+
+    def window(self, sp: SubPeriod) -> Interval:
+        """``[t_{i,j} − Δ, t_{i,j} + Δ]``."""
+        return Interval(sp.ref_time - self.delta, sp.ref_time + self.delta)
+
+    def reference_periods_intersect(self, p: SubPeriod, q: SubPeriod) -> bool:
+        """Same reference bin and ``|t1 − t2| < 2Δ``."""
+        if p.ref_bin_index != q.ref_bin_index:
+            return False
+        diff = p.ref_time - q.ref_time
+        if diff < 0:
+            diff = -diff
+        return diff < 2 * self.delta
+
+    def auxiliary_periods_intersect(self, p: SubPeriod, q: SubPeriod) -> bool:
+        """Same own bin and ``|t1 − t2| < 2Δ`` (Lemma 5 says: never)."""
+        if p.bin_index != q.bin_index:
+            return False
+        diff = p.ref_time - q.ref_time
+        if diff < 0:
+            diff = -diff
+        return diff < 2 * self.delta
+
+    # -------------------------------------------------- intersecting split
+
+    def partition_subperiods(self) -> tuple[list[SubPeriod], list[SubPeriod]]:
+        """Split into ``(I_I^L, I_U^L)``: with/without an intersecting peer."""
+        intersecting: list[SubPeriod] = []
+        lonely: list[SubPeriod] = []
+        sps = self.subperiods
+        flagged = [False] * len(sps)
+        for a in range(len(sps)):
+            for b in range(a + 1, len(sps)):
+                if self.reference_periods_intersect(sps[a], sps[b]):
+                    flagged[a] = True
+                    flagged[b] = True
+        for sp, f in zip(sps, flagged):
+            (intersecting if f else lonely).append(sp)
+        return intersecting, lonely
+
+    def build_pairs(
+        self,
+    ) -> tuple[list[tuple[SubPeriod, SubPeriod]], list[SubPeriod], list[SubPeriod]]:
+        """The Figure 7 pairing: ``(joint_periods, single_periods, I_U^L)``.
+
+        Processes periods of ``I_I^L`` in ascending bin order; an unpaired
+        period with a back-intersect partner forms a joint-period with it.
+        """
+        intersecting, lonely = self.partition_subperiods()
+        intersecting.sort(key=lambda sp: sp.bin_index)
+        paired: set[int] = set()
+        joints: list[tuple[SubPeriod, SubPeriod]] = []
+        singles: list[SubPeriod] = []
+        for a, sp in enumerate(intersecting):
+            if a in paired:
+                continue
+            partner = None
+            for b in range(a + 1, len(intersecting)):
+                if b in paired:
+                    continue
+                if self.reference_periods_intersect(sp, intersecting[b]):
+                    partner = b
+                    break
+            if partner is None:
+                singles.append(sp)
+            else:
+                paired.add(a)
+                paired.add(partner)
+                joints.append((sp, intersecting[partner]))
+        return joints, singles, lonely
+
+    # ------------------------------------------------------ resource demand
+
+    def _bin_items_at(self, bin_index: int, t: numbers.Real) -> list[Item]:
+        """Items resident in bin ``bin_index`` at time ``t`` (arrivals at t
+        included, departures at t excluded — the simulator's convention)."""
+        return [
+            it
+            for it in self.result.items_in_bin(bin_index)
+            if it.arrival <= t < it.departure
+        ]
+
+    def window_demand(self, bin_index: int, t: numbers.Real) -> numbers.Real:
+        """``u(p)`` for the window ``[t−Δ, t+Δ]`` on the given bin.
+
+        Sum over the items resident at ``t`` of size × (overlap of their
+        interval with the window) — exactly the quantity inequality (8)
+        and (14) lower-bound.
+        """
+        window = Interval(t - self.delta, t + self.delta)
+        total: numbers.Real = 0
+        for it in self._bin_items_at(bin_index, t):
+            overlap = window.intersection(Interval(it.arrival, it.departure))
+            if overlap is not None:
+                total = total + it.size * overlap.length
+        return total
+
+
+def _first_fit_only(result: PackingResult) -> None:
+    if result.algorithm_name not in ("first-fit",):
+        raise ValueError(
+            "the Figure 4-8 decomposition is specific to First Fit packings; "
+            f"got a result from {result.algorithm_name!r}"
+        )
+
+
+def decompose_first_fit(result: PackingResult) -> FFDecomposition:
+    """Compute the full proof decomposition of a finished FF packing."""
+    _first_fit_only(result)
+    if not result.bins:
+        raise ValueError("cannot decompose an empty packing")
+    items = result.items
+    delta = min_interval_length(items)
+    mu = max_interval_length(items) / delta
+    bins: Sequence[BinRecord] = result.bins
+    usage = [b.usage_interval() for b in bins]
+    packing_start = min(it.arrival for it in items)
+
+    closers: list[numbers.Real] = []
+    left_parts: list[Interval | None] = []
+    right_parts: list[Interval | None] = []
+    latest_close: numbers.Real = packing_start
+    for i, iv in enumerate(usage):
+        e_i = packing_start if i == 0 else latest_close
+        closers.append(e_i)
+        if e_i <= iv.left:
+            left_parts.append(None)
+            right_parts.append(iv)
+        elif e_i >= iv.right:
+            left_parts.append(iv)
+            right_parts.append(None)
+        else:
+            left_parts.append(Interval(iv.left, e_i))
+            right_parts.append(Interval(e_i, iv.right))
+        if iv.right > latest_close:
+            latest_close = iv.right
+
+    block = (mu + 2) * delta  # (μ+2)Δ: the split width
+    subperiods: list[SubPeriod] = []
+    for i, part in enumerate(left_parts):
+        if part is None:
+            continue
+        length = part.length
+        if length <= block:
+            pieces = [part]
+        else:
+            num = math.ceil(length / block)
+            # Splitter points at right − k·(μ+2)Δ, k = 1..num−1.
+            cuts = [part.right - k * block for k in range(num - 1, 0, -1)]
+            bounds = [part.left, *cuts, part.right]
+            pieces = [Interval(bounds[a], bounds[a + 1]) for a in range(len(bounds) - 1)]
+            if pieces[0].length < 2 * delta and len(pieces) > 1:
+                pieces = [Interval(pieces[0].left, pieces[1].right), *pieces[2:]]
+        for j, piece in enumerate(pieces, start=1):
+            t = _reference_point(result, i, piece)
+            ref_bin = _reference_bin(usage, i, t)
+            subperiods.append(
+                SubPeriod(bin_index=i, j=j, interval=piece, ref_time=t, ref_bin_index=ref_bin)
+            )
+
+    return FFDecomposition(
+        result=result,
+        delta=delta,
+        mu=mu,
+        usage=usage,
+        closers=closers,
+        left_parts=left_parts,
+        right_parts=right_parts,
+        subperiods=subperiods,
+    )
+
+
+def _reference_point(
+    result: PackingResult,
+    bin_index: int,
+    piece: Interval,
+) -> numbers.Real:
+    """``t_{i,j}``: earliest assignment into the bin within the sub-period.
+
+    Sub-period membership is ``[left, right)`` — the right endpoint of
+    ``I_i^L`` is the start of ``I_i^R`` (or the bin's close) and belongs to
+    neither sub-period, matching the paper's partition.
+    """
+    record = result.bins[bin_index]
+    candidates = [
+        t for t, _ in record.assignments if piece.left <= t < piece.right
+    ]
+    if not candidates:
+        raise DecompositionError(
+            f"no new item packed into bin {bin_index} during sub-period "
+            f"[{piece.left}, {piece.right}) — contradicts the paper's Section 4.3 claim"
+        )
+    return min(candidates)
+
+
+def _reference_bin(usage: Sequence[Interval], bin_index: int, t: numbers.Real) -> int:
+    """``b†``: the last-opened bin ``k < i`` with ``t < I_k^+``."""
+    for k in range(bin_index - 1, -1, -1):
+        if t < usage[k].right:
+            return k
+    raise DecompositionError(
+        f"reference bin of bin {bin_index} at t={t} does not exist — "
+        "t should have been in I_i^R"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Verification
+
+
+@dataclass
+class DecompositionReport:
+    """Outcome of verifying every paper claim on one decomposition.
+
+    ``violations`` is empty iff every feature, lemma and inequality holds.
+    """
+
+    num_bins: int
+    num_subperiods: int
+    violations: list[str] = field(default_factory=list)
+    #: Count of sub-period pairs per Table 2 case.
+    case_counts: dict[str, int] = field(default_factory=dict)
+    num_joint: int = 0
+    num_single: int = 0
+    num_lonely: int = 0
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.violations
+
+    def raise_on_violation(self) -> None:
+        if self.violations:
+            raise DecompositionError("; ".join(self.violations))
+
+
+def verify_decomposition(
+    dec: FFDecomposition,
+    *,
+    small_k: numbers.Real | None = None,
+    tolerance: float = 1e-9,
+) -> DecompositionReport:
+    """Check every claim of Section 4.3 against a concrete decomposition.
+
+    Parameters
+    ----------
+    small_k:
+        When the trace satisfies the small-items premise (all sizes
+        < W/k), pass ``k`` to additionally check inequality (8)
+        (``u(p†) ≥ (W − W/k)Δ`` per sub-period) and inequality (11).
+    """
+    report = DecompositionReport(
+        num_bins=len(dec.usage), num_subperiods=len(dec.subperiods)
+    )
+    v = report.violations
+    delta, mu = dec.delta, dec.mu
+    block = (mu + 2) * delta
+    cap = dec.result.capacity
+
+    def close(a: numbers.Real, b: numbers.Real) -> bool:
+        return abs(a - b) <= tolerance * max(1, abs(a), abs(b))
+
+    def ge(a: numbers.Real, b: numbers.Real) -> bool:
+        return a >= b - tolerance * max(1, abs(a), abs(b))
+
+    def le(a: numbers.Real, b: numbers.Real) -> bool:
+        return a <= b + tolerance * max(1, abs(a), abs(b))
+
+    # --- Figure 4 / equation (5): I_i^R are disjoint and tile the span.
+    right = [iv for iv in dec.right_parts if iv is not None]
+    for a in range(len(right)):
+        for b in range(a + 1, len(right)):
+            if right[a].overlaps(right[b]):
+                v.append(f"I^R parts overlap: {right[a]} vs {right[b]}")
+    span = trace_span(dec.result.items)
+    if not close(dec.total_right_length(), span):
+        v.append(
+            f"equation (5) fails: Σ len(I_i^R) = {dec.total_right_length()} != span = {span}"
+        )
+
+    # --- equations (4)/(6): lengths add up to the FF cost.
+    ff_cost = dec.result.total_cost() / dec.result.cost_rate
+    lhs = dec.total_left_length() + dec.total_right_length()
+    if not close(lhs, ff_cost):
+        v.append(f"equation (4) fails: Σ(len I^L + len I^R) = {lhs} != Σ len(I_i) = {ff_cost}")
+
+    # --- equation (7): sub-periods tile the I^L parts.
+    if not close(dec.total_subperiod_length(), dec.total_left_length()):
+        v.append(
+            f"equation (7) fails: len(I^L) = {dec.total_subperiod_length()} != "
+            f"Σ len(I_i^L) = {dec.total_left_length()}"
+        )
+
+    # --- Features (f.1)-(f.3).
+    by_bin: dict[int, list[SubPeriod]] = {}
+    for sp in dec.subperiods:
+        by_bin.setdefault(sp.bin_index, []).append(sp)
+    for i, sps in by_bin.items():
+        sps.sort(key=lambda s: s.j)
+        for sp in sps:
+            if not le(sp.length, (mu + 4) * delta):
+                v.append(f"(f.1) fails for I_{{{i},{sp.j}}}: len {sp.length} > (μ+4)Δ")
+            if sp.j >= 2 and not close(sp.length, block):
+                v.append(f"(f.2) fails for I_{{{i},{sp.j}}}: len {sp.length} != (μ+2)Δ")
+        if len(sps) >= 2 and not ge(sps[0].length, 2 * delta):
+            v.append(f"(f.3) fails for bin {i}: first sub-period len {sps[0].length} < 2Δ")
+
+    # --- Features (f.4)-(f.5) and the reference-bin / First Fit property.
+    for sp in dec.subperiods:
+        if sp.j == 1:
+            if sp.ref_time != sp.interval.left:
+                v.append(
+                    f"(f.4) fails for I_{{{sp.bin_index},1}}: t = {sp.ref_time} != "
+                    f"I^- = {sp.interval.left}"
+                )
+        if not (sp.interval.left <= sp.ref_time and le(sp.ref_time, sp.interval.left + mu * delta)):
+            v.append(
+                f"(f.5) fails for I_{{{sp.bin_index},{sp.j}}}: t = {sp.ref_time} not in "
+                f"[I^-, I^- + μΔ]"
+            )
+        # Reference bin is open at t and, by First Fit, must have been too
+        # full for the item placed at t.
+        ref_usage = dec.usage[sp.ref_bin_index]
+        if not (ref_usage.left <= sp.ref_time < ref_usage.right):
+            v.append(
+                f"reference bin {sp.ref_bin_index} not open at t = {sp.ref_time} "
+                f"for I_{{{sp.bin_index},{sp.j}}}"
+            )
+        placed = [
+            it
+            for it in dec.result.items_in_bin(sp.bin_index)
+            if it.arrival == sp.ref_time
+        ]
+        if placed:
+            new_size = min(it.size for it in placed)
+            ref_level = sum(it.size for it in dec._bin_items_at(sp.ref_bin_index, sp.ref_time))
+            if not ge(ref_level + new_size, cap):
+                v.append(
+                    f"First Fit property fails at t = {sp.ref_time}: reference bin "
+                    f"{sp.ref_bin_index} level {ref_level} + new item {new_size} < W"
+                )
+
+    # --- Table 2 / Lemma 1: intersections only in Case V.
+    sps = dec.subperiods
+    for a in range(len(sps)):
+        for b in range(a + 1, len(sps)):
+            case = classify_case(sps[a], sps[b])
+            report.case_counts[case] = report.case_counts.get(case, 0) + 1
+            if case != CASE_V and dec.reference_periods_intersect(sps[a], sps[b]):
+                v.append(
+                    f"Lemma 1 fails: Case {case} pair "
+                    f"I_{{{sps[a].bin_index},{sps[a].j}}} / I_{{{sps[b].bin_index},{sps[b].j}}} "
+                    "has intersecting reference periods"
+                )
+
+    # --- Lemma 2: a Case-V front period of an intersecting pair is short.
+    for a in range(len(sps)):
+        for b in range(a + 1, len(sps)):
+            p, q = sps[a], sps[b]
+            if p.j == 1 and q.j == 1 and p.bin_index != q.bin_index:
+                front = p if p.bin_index < q.bin_index else q
+                if dec.reference_periods_intersect(p, q) and not front.length < 2 * delta + tolerance:
+                    v.append(
+                        f"Lemma 2 fails: front period of intersecting pair has length "
+                        f"{front.length} ≥ 2Δ"
+                    )
+
+    # --- Lemma 3: at most one front- and one back-intersect per period.
+    for sp in sps:
+        if sp.j != 1:
+            continue
+        backs = [
+            q
+            for q in sps
+            if q is not sp and q.bin_index > sp.bin_index and dec.reference_periods_intersect(sp, q)
+        ]
+        fronts = [
+            q
+            for q in sps
+            if q is not sp and q.bin_index < sp.bin_index and dec.reference_periods_intersect(sp, q)
+        ]
+        if len(backs) > 1:
+            v.append(f"Lemma 3 fails: I_{{{sp.bin_index},1}} has {len(backs)} back-intersects")
+        if len(fronts) > 1:
+            v.append(f"Lemma 3 fails: I_{{{sp.bin_index},1}} has {len(fronts)} front-intersects")
+
+    # --- Lemma 4 via the pairing, and the (μ+6)Δ length bound per unit.
+    joints, singles, lonely = dec.build_pairs()
+    report.num_joint = len(joints)
+    report.num_single = len(singles)
+    report.num_lonely = len(lonely)
+    units: list[tuple[SubPeriod, ...]] = [tuple(j) for j in joints]
+    units += [(s,) for s in singles] + [(s,) for s in lonely]
+    for a in range(len(units)):
+        for b in range(a + 1, len(units)):
+            pa, pb = units[a][0], units[b][0]
+            if dec.reference_periods_intersect(pa, pb):
+                v.append(
+                    "Lemma 4 fails: reference periods of two distinct joint/single "
+                    f"units intersect (bins {pa.bin_index} and {pb.bin_index})"
+                )
+    for unit in units:
+        total_len: numbers.Real = 0
+        for sp in unit:
+            total_len = total_len + sp.length
+        if not le(total_len, (mu + 6) * delta):
+            v.append(
+                f"unit length bound fails: joint/single unit of bins "
+                f"{[sp.bin_index for sp in unit]} has total length {total_len} > (μ+6)Δ"
+            )
+
+    # --- Lemma 5: auxiliary periods never intersect.
+    for a in range(len(sps)):
+        for b in range(a + 1, len(sps)):
+            if dec.auxiliary_periods_intersect(sps[a], sps[b]):
+                v.append(
+                    f"Lemma 5 fails: auxiliary periods of "
+                    f"I_{{{sps[a].bin_index},{sps[a].j}}} and "
+                    f"I_{{{sps[b].bin_index},{sps[b].j}}} intersect"
+                )
+
+    # --- Inequalities (8), (14), (15) and the cost bound (10)/(13).
+    num_units = len(units)
+    u_total = total_demand(dec.result.items)
+    if small_k is not None:
+        for unit in units:
+            anchor = unit[0]
+            demand = dec.window_demand(anchor.ref_bin_index, anchor.ref_time)
+            if not ge(demand, (cap - cap / small_k) * delta):
+                v.append(
+                    f"inequality (8) fails: u(p†) = {demand} < (W − W/k)Δ "
+                    f"for unit anchored at bin {anchor.bin_index}"
+                )
+        if not ge(u_total, num_units * (cap - cap / small_k) * delta):
+            v.append(
+                f"inequality (11) fails: u(R) = {u_total} < units × (W − W/k)Δ"
+            )
+    for unit in units:
+        anchor = unit[0]
+        ref = dec.window_demand(anchor.ref_bin_index, anchor.ref_time)
+        aux = dec.window_demand(anchor.bin_index, anchor.ref_time)
+        if not ge(ref + aux, cap * delta):
+            v.append(
+                f"inequality (14) fails: u(p†) + u(p‡) = {ref + aux} < WΔ for "
+                f"unit anchored at bin {anchor.bin_index}, t = {anchor.ref_time}"
+            )
+    if not ge(2 * u_total, num_units * cap * delta):
+        v.append(f"inequality (15) fails: u(R) = {u_total} < ½·units·WΔ")
+    ff_total = dec.result.total_cost()
+    c = dec.result.cost_rate
+    bound_13 = c * num_units * (mu + 6) * delta + c * trace_span(dec.result.items)
+    if not le(ff_total, bound_13):
+        v.append(
+            f"cost bound (10)/(13) fails: FF_total = {ff_total} > "
+            f"C·units·(μ+6)Δ + C·span = {bound_13}"
+        )
+    return report

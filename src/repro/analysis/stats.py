@@ -1,0 +1,72 @@
+"""Multi-seed aggregation for experiments.
+
+Experiments that average over seeds report ``mean ± ci95``; this module
+holds the (numpy-backed) summary machinery plus pairwise win-rate tables
+used by the fleet comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["RunSummary", "summarize", "paired_win_rate", "aggregate_by_key"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunSummary:
+    """Mean/σ/CI of one metric over repeated runs."""
+
+    n: int
+    mean: float
+    std: float
+    ci95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95:.2g} (n={self.n})"
+
+
+def summarize(values: Iterable[float]) -> RunSummary:
+    """Normal-approximation summary (sample std, 1.96·σ/√n half-width)."""
+    xs = np.asarray(list(values), dtype=float)
+    if xs.size == 0:
+        raise ValueError("cannot summarise zero runs")
+    std = float(xs.std(ddof=1)) if xs.size > 1 else 0.0
+    return RunSummary(
+        n=int(xs.size),
+        mean=float(xs.mean()),
+        std=std,
+        ci95=1.96 * std / math.sqrt(xs.size) if xs.size > 1 else 0.0,
+        minimum=float(xs.min()),
+        maximum=float(xs.max()),
+    )
+
+
+def paired_win_rate(a: Sequence[float], b: Sequence[float]) -> float:
+    """Fraction of paired runs where ``a`` is strictly cheaper than ``b``.
+
+    Ties count half, so two identical series score 0.5 — 'no evidence
+    either way' rather than 'a never wins'.
+    """
+    if len(a) != len(b) or not a:
+        raise ValueError("need equal-length, non-empty paired series")
+    wins = sum(1.0 if x < y else (0.5 if x == y else 0.0) for x, y in zip(a, b))
+    return wins / len(a)
+
+
+def aggregate_by_key(
+    rows: Iterable[Mapping[str, object]],
+    *,
+    key: str,
+    metric: str,
+) -> dict[object, RunSummary]:
+    """Group rows by ``row[key]`` and summarise ``row[metric]`` per group."""
+    groups: dict[object, list[float]] = {}
+    for row in rows:
+        groups.setdefault(row[key], []).append(float(row[metric]))  # type: ignore[arg-type]
+    return {k: summarize(v) for k, v in groups.items()}

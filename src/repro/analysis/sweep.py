@@ -1,0 +1,65 @@
+"""Parameter sweeps: the grid-runner behind the experiment tables."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = ["grid", "run_sweep", "SweepResult"]
+
+
+def grid(**axes: Iterable[Any]) -> list[dict[str, Any]]:
+    """Cartesian product of named parameter axes, as dicts.
+
+    >>> grid(k=[2, 4], mu=[1, 10])
+    [{'k': 2, 'mu': 1}, {'k': 2, 'mu': 10}, {'k': 4, 'mu': 1}, {'k': 4, 'mu': 10}]
+    """
+    names = list(axes)
+    out = []
+    for combo in itertools.product(*(list(axes[n]) for n in names)):
+        out.append(dict(zip(names, combo)))
+    return out
+
+
+@dataclass
+class SweepResult:
+    """Rows produced by a sweep, with helpers for tabulation."""
+
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add(self, row: Mapping[str, Any]) -> None:
+        self.rows.append([row.get(h) for h in self.headers])
+
+    def column(self, name: str) -> list[Any]:
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_table(self, *, title: str | None = None, precision: int = 4) -> str:
+        from .tables import render_table
+
+        return render_table(self.headers, self.rows, title=title, precision=precision)
+
+
+def run_sweep(
+    fn: Callable[..., Mapping[str, Any]],
+    points: Sequence[Mapping[str, Any]],
+    *,
+    headers: Sequence[str] | None = None,
+) -> SweepResult:
+    """Call ``fn(**point)`` for each grid point; collect the returned rows.
+
+    ``fn`` returns a mapping of column name → value.  ``headers`` defaults
+    to the keys of the first returned row (insertion order preserved).
+    """
+    if not points:
+        raise ValueError("empty sweep")
+    result: SweepResult | None = None
+    for point in points:
+        row = fn(**point)
+        if result is None:
+            result = SweepResult(headers=list(headers) if headers else list(row))
+        result.add(row)
+    assert result is not None
+    return result

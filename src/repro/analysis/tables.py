@@ -1,0 +1,69 @@
+"""Plain-text result tables for experiments and benchmarks.
+
+Every experiment renders its rows through :func:`render_table`, so bench
+output mirrors the row/series structure a paper table would have.
+"""
+
+from __future__ import annotations
+
+import numbers
+from fractions import Fraction
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_value", "render_table", "rows_to_csv"]
+
+
+def format_value(value: Any, *, precision: int = 4) -> str:
+    """Human formatting: floats to ``precision`` significant digits,
+    Fractions shown exactly, everything else via ``str``."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{value} ({float(value):.{precision}g})"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    if isinstance(value, numbers.Real):
+        return str(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned plain-text table.
+
+    >>> print(render_table(["algo", "cost"], [["first-fit", 6.0]]))
+    algo       cost
+    ---------  ----
+    first-fit  6
+    """
+    cells = [[format_value(v, precision=precision) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Minimal CSV (no quoting needed for our numeric tables)."""
+    out = [",".join(headers)]
+    for row in rows:
+        out.append(",".join(str(v) for v in row))
+    return "\n".join(out)

@@ -1,0 +1,108 @@
+"""Plain-text visualisation of packings.
+
+Renders a packing as an ASCII timeline — one row per bin, one column per
+time bucket, glyph darkness by bin level — plus a load sparkline.  Used by
+the examples and handy when debugging adversarial constructions:
+
+    bin  0 |▓▓▓▓▓▓▓▓▓▓▓▓░░░░░░░░░░░░░░░░|
+    bin  1 |▓▓▓▓▓▓░░░░░░                |
+    load   |▇▇▇▇▅▅▃▃▂▂▁▁                |
+"""
+
+from __future__ import annotations
+
+from ..core.result import PackingResult
+
+__all__ = ["render_packing_timeline", "render_load_sparkline"]
+
+#: Level glyphs from empty to full.
+_LEVEL_GLYPHS = " ·░▒▓█"
+_SPARK_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+def _bucket_edges(start: float, end: float, width: int) -> list[float]:
+    step = (end - start) / width
+    return [start + i * step for i in range(width + 1)]
+
+
+def _bin_level_at(result: PackingResult, bin_index: int, t: float) -> float:
+    return float(
+        sum(
+            it.size
+            for it in result.items_in_bin(bin_index)
+            if it.arrival <= t < it.departure
+        )
+    )
+
+
+def render_packing_timeline(
+    result: PackingResult,
+    *,
+    width: int = 60,
+    max_bins: int = 20,
+) -> str:
+    """Render bins × time with level shading.
+
+    Each cell samples the bin's level at the bucket midpoint; a cell is
+    blank when the bin is not open there.  At most ``max_bins`` rows are
+    drawn (a trailing summary line reports the rest).
+    """
+    if width < 4:
+        raise ValueError(f"width must be at least 4, got {width}")
+    if not result.bins:
+        return "(empty packing)"
+    start = float(min(b.opened_at for b in result.bins))
+    end = float(max(b.closed_at for b in result.bins))
+    if end <= start:
+        return "(degenerate packing period)"
+    edges = _bucket_edges(start, end, width)
+    lines = []
+    shown = list(result.bins[:max_bins])
+    for b in shown:
+        cap = float(result.bin_capacity(b))
+        cells = []
+        for i in range(width):
+            mid = (edges[i] + edges[i + 1]) / 2
+            if float(b.opened_at) <= mid < float(b.closed_at):
+                level = _bin_level_at(result, b.index, mid) / cap
+                idx = min(len(_LEVEL_GLYPHS) - 1, max(1, round(level * (len(_LEVEL_GLYPHS) - 1))))
+                cells.append(_LEVEL_GLYPHS[idx])
+            else:
+                cells.append(" ")
+        lines.append(f"bin {b.index:3d} |{''.join(cells)}|")
+    if len(result.bins) > max_bins:
+        lines.append(f"... and {len(result.bins) - max_bins} more bins")
+    lines.append(
+        f"t in [{start:g}, {end:g}], cell ≈ {(end - start) / width:.3g} time units; "
+        f"shade = bin level / W"
+    )
+    return "\n".join(lines)
+
+
+def render_load_sparkline(
+    result: PackingResult,
+    *,
+    width: int = 60,
+) -> str:
+    """One-line sparkline of the total active load over the packing period."""
+    from ..opt.load import load_profile
+
+    items = result.items
+    if not items:
+        return "(no items)"
+    times, loads = load_profile(items)
+    start, end = float(times[0]), float(times[-1])
+    if end <= start:
+        return "(degenerate packing period)"
+    peak = max(float(x) for x in loads) or 1.0
+    edges = _bucket_edges(start, end, width)
+    cells = []
+    idx = 0
+    for i in range(width):
+        mid = (edges[i] + edges[i + 1]) / 2
+        while idx + 1 < len(times) and float(times[idx + 1]) <= mid:
+            idx += 1
+        frac = float(loads[idx]) / peak
+        g = min(len(_SPARK_GLYPHS) - 1, max(0, round(frac * (len(_SPARK_GLYPHS) - 1))))
+        cells.append(_SPARK_GLYPHS[g])
+    return f"load    |{''.join(cells)}| peak {peak:g}"

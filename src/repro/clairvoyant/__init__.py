@@ -1,0 +1,18 @@
+"""Departure-aware algorithms: what knowing d(r) at arrival is worth."""
+
+from .predictions import predicted_departures, simulate_with_predictions
+from .algorithms import (
+    ClairvoyantAlgorithm,
+    DurationAlignedFit,
+    MinExpandFit,
+    simulate_clairvoyant,
+)
+
+__all__ = [
+    "ClairvoyantAlgorithm",
+    "MinExpandFit",
+    "DurationAlignedFit",
+    "simulate_clairvoyant",
+    "predicted_departures",
+    "simulate_with_predictions",
+]

@@ -1,0 +1,65 @@
+"""Packing with *predicted* departures (algorithms-with-predictions).
+
+Perfect clairvoyance (``simulate_clairvoyant``) is an upper bound on what
+any session-length predictor can deliver.  Real predictors are noisy; this
+module binds a *perturbed* oracle — multiplicative log-normal error on each
+item's duration — to the departure-aware algorithms, so experiments can map
+how the clairvoyance gain decays with prediction quality (experiment
+``prediction-noise``).
+
+The noise model: predicted duration = true duration × exp(N(0, σ²)).
+σ = 0 is perfect foresight; σ ≈ 1 is guessing within a factor of ~e.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Iterable
+
+import numpy as np
+
+from ..core.item import Item
+from ..core.result import PackingResult
+from ..core.simulator import simulate
+from .algorithms import ClairvoyantAlgorithm
+
+__all__ = ["predicted_departures", "simulate_with_predictions"]
+
+
+def predicted_departures(
+    items: Iterable[Item], *, noise_sigma: float, seed: int = 0
+) -> dict[str, numbers.Real]:
+    """Noisy departure predictions, item id → predicted departure time."""
+    if noise_sigma < 0:
+        raise ValueError(f"noise sigma must be non-negative, got {noise_sigma}")
+    rng = np.random.default_rng(seed)
+    out: dict[str, numbers.Real] = {}
+    for it in items:
+        if noise_sigma == 0:
+            out[it.item_id] = it.departure
+        else:
+            factor = float(rng.lognormal(0.0, noise_sigma))
+            out[it.item_id] = it.arrival + it.length * factor
+    return out
+
+
+def simulate_with_predictions(
+    items: Iterable[Item],
+    algorithm: ClairvoyantAlgorithm,
+    *,
+    noise_sigma: float,
+    seed: int = 0,
+    capacity: numbers.Real = 1,
+    cost_rate: numbers.Real = 1,
+) -> PackingResult:
+    """Replay a trace with the algorithm consulting noisy predictions.
+
+    The *simulation* still uses true departures — only the algorithm's
+    oracle lies.  ``noise_sigma = 0`` reproduces
+    :func:`~repro.clairvoyant.algorithms.simulate_clairvoyant` exactly.
+    """
+    trace = list(items)
+    algorithm.bind_oracle(
+        predicted_departures(trace, noise_sigma=noise_sigma, seed=seed)
+    )
+    return simulate(trace, algorithm, capacity=capacity, cost_rate=cost_rate)

@@ -1,0 +1,221 @@
+"""Command-line interface: run experiments, generate and dispatch traces.
+
+Usage::
+
+    python -m repro list
+    python -m repro run thm1-anyfit
+    python -m repro run all --strict
+    python -m repro algorithms
+    python -m repro generate --kind gaming --seed 7 --out day.json
+    python -m repro dispatch day.json --algorithm best-fit
+    python -m repro viz day.json --algorithm first-fit --width 72
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .algorithms import available_algorithms, get_algorithm
+from .experiments import available_experiments, experiment_info, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mintotal-dbp",
+        description="MinTotal Dynamic Bin Packing — reproduction of Li, Tang & "
+        "Cai (SPAA 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available experiments")
+    sub.add_parser("algorithms", help="list the registered packing algorithms")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment name from 'list', or 'all'")
+    run_p.add_argument(
+        "--precision", type=int, default=4, help="significant digits in tables"
+    )
+    run_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any paper claim fails",
+    )
+    run_p.add_argument(
+        "--out", type=Path, default=None, help="also write results as JSON to this path"
+    )
+
+    gen_p = sub.add_parser("generate", help="generate a synthetic trace file")
+    gen_p.add_argument(
+        "--kind",
+        choices=["gaming", "poisson", "bursts"],
+        default="gaming",
+        help="workload family",
+    )
+    gen_p.add_argument("--seed", type=int, default=0)
+    gen_p.add_argument("--horizon", type=float, default=24 * 60.0, help="trace length")
+    gen_p.add_argument("--rate", type=float, default=1.0, help="arrival rate (poisson/bursts)")
+    gen_p.add_argument("--out", type=Path, required=True, help="output .json or .csv path")
+
+    disp_p = sub.add_parser("dispatch", help="serve a trace file with one algorithm")
+    disp_p.add_argument("trace", type=Path, help=".json or .csv trace file")
+    disp_p.add_argument("--algorithm", default="first-fit", help="registry name")
+    disp_p.add_argument("--capacity", type=float, default=1.0, help="bin capacity W")
+    disp_p.add_argument("--rate", type=float, default=1.0, help="cost rate C")
+    disp_p.add_argument(
+        "--quantum", type=float, default=None, help="billing quantum (e.g. 60 for hourly)"
+    )
+
+    report_p = sub.add_parser("report", help="run experiments and write a markdown report")
+    report_p.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (default: the whole catalogue)",
+    )
+    report_p.add_argument("--out", type=Path, default=None, help="output .md path (default: stdout)")
+    report_p.add_argument("--precision", type=int, default=4)
+
+    viz_p = sub.add_parser("viz", help="render a packing timeline for a trace file")
+    viz_p.add_argument("trace", type=Path)
+    viz_p.add_argument("--algorithm", default="first-fit")
+    viz_p.add_argument("--capacity", type=float, default=1.0)
+    viz_p.add_argument("--width", type=int, default=72)
+    viz_p.add_argument("--max-bins", type=int, default=24)
+    return parser
+
+
+def _load_trace(path: Path):
+    from .workloads import Trace
+
+    text = path.read_text()
+    if path.suffix == ".csv":
+        return Trace.from_csv(text, name=path.stem)
+    return Trace.from_json(text)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .workloads import (
+        Clipped,
+        Exponential,
+        Uniform,
+        generate_burst_trace,
+        generate_gaming_trace,
+        generate_trace,
+    )
+
+    if args.kind == "gaming":
+        trace = generate_gaming_trace(seed=args.seed, horizon=args.horizon)
+    elif args.kind == "poisson":
+        trace = generate_trace(
+            arrival_rate=args.rate,
+            horizon=args.horizon,
+            duration=Clipped(Exponential(30.0), 5.0, 240.0),
+            size=Uniform(0.1, 0.6),
+            seed=args.seed,
+        )
+    else:
+        trace = generate_burst_trace(
+            num_bursts=max(1, int(args.horizon // 30)),
+            burst_size=max(1, int(args.rate * 30)),
+            burst_spacing=30.0,
+            duration=Clipped(Exponential(30.0), 5.0, 240.0),
+            size=Uniform(0.1, 0.6),
+            seed=args.seed,
+        )
+    payload = trace.to_csv() if args.out.suffix == ".csv" else trace.to_json()
+    args.out.write_text(payload)
+    stats = trace.stats
+    print(
+        f"wrote {len(trace)} items to {args.out} "
+        f"(span {float(stats.span):.4g}, mu {float(stats.mu):.4g})"
+    )
+    return 0
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    from .cloud import ServerType, dispatch_trace
+
+    trace = _load_trace(args.trace)
+    algo = get_algorithm(args.algorithm)
+    server = ServerType(
+        gpu_capacity=args.capacity, rate=args.rate, billing_quantum=args.quantum
+    )
+    report = dispatch_trace(trace, algo, server_type=server)
+    for key, value in report.summary_row().items():
+        print(f"{key:14s} {value}")
+    return 0
+
+
+def _cmd_viz(args: argparse.Namespace) -> int:
+    from .analysis.viz import render_load_sparkline, render_packing_timeline
+    from .core.simulator import simulate
+
+    trace = _load_trace(args.trace)
+    result = simulate(trace.items, get_algorithm(args.algorithm), capacity=args.capacity)
+    print(render_packing_timeline(result, width=args.width, max_bins=args.max_bins))
+    print(render_load_sparkline(result, width=args.width))
+    print(
+        f"{result.algorithm_name}: {result.num_bins_used} bins, "
+        f"cost {float(result.total_cost()):.6g}"
+    )
+    return 0
+
+
+def _run_one(name: str, precision: int, collected: list) -> bool:
+    result = get_experiment(name)()
+    collected.append(result)
+    print(result.render(precision=precision))
+    print()
+    return result.all_claims_hold
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in available_experiments():
+            info = experiment_info(name)
+            print(f"{name:18s} {info['display']:32s} {info['description']}")
+        return 0
+    if args.command == "algorithms":
+        for name in available_algorithms():
+            print(name)
+        return 0
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "dispatch":
+        return _cmd_dispatch(args)
+    if args.command == "viz":
+        return _cmd_viz(args)
+    if args.command == "report":
+        from .experiments.report import generate_report
+
+        markdown, ok = generate_report(args.experiments or None, precision=args.precision)
+        if args.out is not None:
+            args.out.write_text(markdown)
+            print(f"report written to {args.out}")
+        else:
+            print(markdown)
+        return 0 if ok else 1
+    # run
+    names = available_experiments() if args.experiment == "all" else [args.experiment]
+    ok = True
+    collected: list = []
+    for name in names:
+        ok = _run_one(name, args.precision, collected) and ok
+    if args.out is not None:
+        from .experiments.io import results_to_json
+
+        args.out.write_text(results_to_json(collected))
+        print(f"results written to {args.out}")
+    if args.strict and not ok:
+        print("some paper claims FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Cloud substrate: game-server VMs, online dispatch, billing."""
+
+from .dispatcher import (
+    CloudGamingDispatcher,
+    DispatchReport,
+    ServerType,
+    dispatch_trace,
+)
+from .finite_fleet import (
+    FiniteFleetDispatcher,
+    QueueingReport,
+    serve_with_fleet_limit,
+)
+from .flavors import Flavor, FlavorAwareFirstFit, fleet_bill
+from .multi_region import RegionBill, RegionPricing, price_by_region
+
+__all__ = [
+    "Flavor",
+    "FlavorAwareFirstFit",
+    "fleet_bill",
+    "FiniteFleetDispatcher",
+    "QueueingReport",
+    "serve_with_fleet_limit",
+    "ServerType",
+    "DispatchReport",
+    "CloudGamingDispatcher",
+    "dispatch_trace",
+    "RegionPricing",
+    "RegionBill",
+    "price_by_region",
+]

@@ -1,0 +1,221 @@
+"""Finite fleets: admission control when servers are capped.
+
+The paper (and :mod:`repro.core.simulator`) assumes an unlimited bin
+supply — the public-cloud premise.  Real deployments cap concurrent VMs
+(quota, budget, a private cluster).  This module adds that regime: a
+dispatcher with at most ``fleet_limit`` concurrent servers that either
+**queues** arrivals FIFO until capacity frees, or **drops** them.
+
+Semantics:
+
+* A queued session plays for its full duration once admitted (the player
+  waits in a lobby; the session shifts, it does not shrink).
+* Departures at an instant are processed before arrivals, and every
+  departure triggers FIFO admission attempts (no head-of-line bypass: if
+  the queue head does not fit, nothing behind it is tried — fairness over
+  utilisation, the common lobby policy).
+* Placement uses any online packing algorithm; ``OPEN_NEW`` is honoured
+  only below the fleet cap.
+
+This engine intentionally reuses :class:`~repro.core.bin.Bin` but not the
+infinite-supply simulator: the departure times depend on admission times,
+which the core replay cannot know up front.
+"""
+
+from __future__ import annotations
+
+import heapq
+import numbers
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..algorithms.base import Arrival, OPEN_NEW, PackingAlgorithm
+from ..core.bin import Bin
+from ..core.cost import CostModel
+from ..core.item import Item
+from .dispatcher import ServerType
+
+__all__ = ["AdmissionPolicy", "QueueingReport", "FiniteFleetDispatcher", "serve_with_fleet_limit"]
+
+#: Admission policies.
+QUEUE = "queue"
+DROP = "drop"
+AdmissionPolicy = str
+_POLICIES = (QUEUE, DROP)
+
+
+@dataclass(frozen=True, slots=True)
+class _Request:
+    item: Item
+    seq: int
+
+
+@dataclass
+class QueueingReport:
+    """Outcome of serving a trace on a capped fleet."""
+
+    fleet_limit: int
+    policy: AdmissionPolicy
+    num_requests: int
+    num_served: int
+    num_dropped: int
+    total_cost: numbers.Real  #: continuous server-time cost
+    billed_cost: numbers.Real  #: under the server type's billing model
+    peak_servers: int
+    waits: list[numbers.Real] = field(default_factory=list)  #: per served request
+
+    @property
+    def drop_rate(self) -> float:
+        return self.num_dropped / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        return float(sum(self.waits) / len(self.waits)) if self.waits else 0.0
+
+    @property
+    def max_wait(self) -> numbers.Real:
+        return max(self.waits, default=0)
+
+    @property
+    def queue_rate(self) -> float:
+        """Fraction of served requests that had to wait."""
+        if not self.waits:
+            return 0.0
+        return sum(1 for w in self.waits if w > 0) / len(self.waits)
+
+
+class FiniteFleetDispatcher:
+    """Event-driven engine for capped fleets (driven via :func:`serve_with_fleet_limit`)."""
+
+    def __init__(
+        self,
+        algorithm: PackingAlgorithm,
+        *,
+        fleet_limit: int,
+        server_type: ServerType | None = None,
+        policy: AdmissionPolicy = QUEUE,
+    ) -> None:
+        if fleet_limit < 1:
+            raise ValueError(f"fleet limit must be ≥ 1, got {fleet_limit}")
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; options: {_POLICIES}")
+        self.algorithm = algorithm
+        self.fleet_limit = fleet_limit
+        self.server_type = server_type or ServerType()
+        self.policy = policy
+
+        self._open: list[Bin] = []
+        self._all: list[Bin] = []
+        self._heap: list[tuple[numbers.Real, int, str, Bin]] = []  # departures
+        self._queue: deque[_Request] = deque()
+        self._waits: list[numbers.Real] = []
+        self._served = 0
+        self._dropped = 0
+        self._peak = 0
+        self._tiebreak = 0
+        algorithm.reset(self.server_type.gpu_capacity)
+
+    # ------------------------------------------------------------- internals
+
+    def _try_place(self, request: _Request, now: numbers.Real) -> bool:
+        item = request.item
+        view = Arrival(item_id=item.item_id, size=item.size, arrival=now, tag=item.tag)
+        choice = self.algorithm.choose_bin(view, self._open)
+        if choice is OPEN_NEW or choice is None:
+            if len(self._open) >= self.fleet_limit:
+                return False
+            target = Bin(index=len(self._all), capacity=self.server_type.gpu_capacity)
+            target.add(view, now)
+            self._open.append(target)
+            self._all.append(target)
+            self.algorithm.on_bin_opened(target, view)
+        else:
+            target = choice  # type: ignore[assignment]
+            if not target.fits(view):
+                raise RuntimeError(
+                    f"algorithm {self.algorithm.name!r} chose an unfit bin for "
+                    f"{item.item_id!r}"
+                )
+            target.add(view, now)
+        self._peak = max(self._peak, len(self._open))
+        departure = now + item.length
+        self._tiebreak += 1
+        heapq.heappush(self._heap, (departure, self._tiebreak, item.item_id, target))
+        self._waits.append(now - item.arrival)
+        self._served += 1
+        return True
+
+    def _drain_departures(self, until: numbers.Real) -> None:
+        """Process departures ≤ ``until``; admit queued requests after each."""
+        while self._heap and self._heap[0][0] <= until:
+            time, _, item_id, target = heapq.heappop(self._heap)
+            target.remove(item_id, time)
+            if target.is_closed:
+                self._open.remove(target)
+            self.algorithm.on_item_departed(item_id, target)
+            self._admit_from_queue(time)
+
+    def _admit_from_queue(self, now: numbers.Real) -> None:
+        while self._queue and self._try_place(self._queue[0], now):
+            self._queue.popleft()
+
+    # ------------------------------------------------------------------ API
+
+    def serve(self, items: Iterable[Item]) -> QueueingReport:
+        """Serve a whole trace; returns the queueing report."""
+        requests = [
+            _Request(item=item, seq=i)
+            for i, item in enumerate(
+                sorted(items, key=lambda it: (it.arrival, it.item_id))
+            )
+        ]
+        n = len(requests)
+        for request in requests:
+            self._drain_departures(request.item.arrival)
+            if not self._try_place(request, request.item.arrival):
+                if self.policy == QUEUE:
+                    self._queue.append(request)
+                else:
+                    self._dropped += 1
+        # Drain everything; queued requests admit as capacity frees.
+        while self._heap:
+            self._drain_departures(self._heap[0][0])
+        assert not self._queue, "queue failed to drain after all departures"
+
+        continuous = self.server_type.continuous_model()
+        billed: CostModel = self.server_type.billed_model()
+        total = 0
+        billed_total = 0
+        for b in self._all:
+            total = total + continuous.bin_cost(b.usage_length)
+            billed_total = billed_total + billed.bin_cost(b.usage_length)
+        return QueueingReport(
+            fleet_limit=self.fleet_limit,
+            policy=self.policy,
+            num_requests=n,
+            num_served=self._served,
+            num_dropped=self._dropped,
+            total_cost=total,
+            billed_cost=billed_total,
+            peak_servers=self._peak,
+            waits=self._waits,
+        )
+
+
+def serve_with_fleet_limit(
+    items: Iterable[Item],
+    algorithm: PackingAlgorithm,
+    *,
+    fleet_limit: int,
+    server_type: ServerType | None = None,
+    policy: AdmissionPolicy = QUEUE,
+) -> QueueingReport:
+    """Serve a trace on a capped fleet (fresh dispatcher per call)."""
+    dispatcher = FiniteFleetDispatcher(
+        algorithm,
+        fleet_limit=fleet_limit,
+        server_type=server_type,
+        policy=policy,
+    )
+    return dispatcher.serve(items)

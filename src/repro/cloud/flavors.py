@@ -1,0 +1,135 @@
+"""Heterogeneous game-server fleets: multiple VM flavours.
+
+The paper assumes identical bins; real clouds rent several instance sizes
+whose prices are usually sub-linear in capacity (a 2× GPU server costs
+less than 2× the small one).  This module extends the model:
+
+* :class:`Flavor` — a rentable capacity/rate pair;
+* :class:`FlavorAwareFirstFit` — First Fit over open servers of *any*
+  flavour, opening (by default) the cheapest flavour that fits the item
+  when nothing has room; the bin label records the flavour so
+  :func:`fleet_bill` (built on the per-label pricing machinery) produces
+  the rental bill;
+* experiment E17 (``fleet-mix``) compares single-flavour against mixed
+  fleets under sub-linear pricing.
+
+The engine supports this through
+:meth:`~repro.algorithms.base.PackingAlgorithm.new_bin_capacity` and
+per-bin capacities in :class:`~repro.core.result.BinRecord`.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..algorithms.base import Arrival, OPEN_NEW, PackingAlgorithm
+from ..core.bin import Bin
+from ..core.result import PackingResult
+from .multi_region import RegionBill, RegionPricing, price_by_region
+
+__all__ = ["Flavor", "FlavorAwareFirstFit", "fleet_bill"]
+
+
+@dataclass(frozen=True, slots=True)
+class Flavor:
+    """One rentable VM flavour."""
+
+    name: str
+    capacity: numbers.Real
+    rate: numbers.Real  #: cost per open time unit
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("flavour needs a name")
+        if self.capacity <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive, got {self.capacity}")
+        if self.rate <= 0:
+            raise ValueError(f"{self.name}: rate must be positive, got {self.rate}")
+
+    @property
+    def rate_per_capacity(self) -> float:
+        return float(self.rate / self.capacity)
+
+
+class FlavorAwareFirstFit(PackingAlgorithm):
+    """First Fit across a mixed fleet.
+
+    Placement: earliest-opened open server (of any flavour) with room.
+    Opening: among flavours that fit the item, pick by ``open_policy``:
+
+    * ``"cheapest"`` — lowest absolute rate (favours small flavours);
+    * ``"best-density"`` — lowest rate per capacity (favours the bulk
+      discount of big flavours);
+    * ``"smallest"`` — smallest fitting capacity.
+    """
+
+    name = "flavor-first-fit"
+
+    _POLICIES = ("cheapest", "best-density", "smallest")
+
+    def __init__(self, flavors: Sequence[Flavor], open_policy: str = "cheapest") -> None:
+        if not flavors:
+            raise ValueError("need at least one flavour")
+        names = [f.name for f in flavors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate flavour names: {names}")
+        if open_policy not in self._POLICIES:
+            raise ValueError(f"unknown open policy {open_policy!r}; options: {self._POLICIES}")
+        self.flavors = tuple(flavors)
+        self.open_policy = open_policy
+        self._pending: Flavor | None = None
+
+    @property
+    def max_capacity(self) -> numbers.Real:
+        return max(f.capacity for f in self.flavors)
+
+    def _pick_flavor(self, item: Arrival) -> Flavor:
+        fitting = [f for f in self.flavors if f.capacity >= item.size]
+        if not fitting:
+            raise ValueError(
+                f"item {item.item_id!r} of size {item.size} fits no flavour "
+                f"(max capacity {self.max_capacity})"
+            )
+        if self.open_policy == "cheapest":
+            return min(fitting, key=lambda f: (f.rate, f.capacity))
+        if self.open_policy == "best-density":
+            return min(fitting, key=lambda f: (f.rate_per_capacity, f.capacity))
+        return min(fitting, key=lambda f: (f.capacity, f.rate))
+
+    def choose_bin(self, item: Arrival, open_bins: Sequence[Bin]):
+        for b in open_bins:
+            if b.fits(item):
+                return b
+        self._pending = self._pick_flavor(item)
+        return OPEN_NEW
+
+    def new_bin_capacity(self, item: Arrival):
+        assert self._pending is not None
+        return self._pending.capacity
+
+    def on_bin_opened(self, bin: Bin, item: Arrival) -> None:
+        assert self._pending is not None
+        bin.label = self._pending.name
+        self._pending = None
+
+    def __repr__(self) -> str:
+        return (
+            f"FlavorAwareFirstFit({[f.name for f in self.flavors]}, "
+            f"open_policy={self.open_policy!r})"
+        )
+
+
+def fleet_bill(
+    result: PackingResult,
+    flavors: Sequence[Flavor],
+    *,
+    billing_quantum: numbers.Real | None = None,
+) -> RegionBill:
+    """Price a mixed-fleet packing: each bin at its flavour's rate."""
+    pricing = RegionPricing(
+        rates={f.name: f.rate for f in flavors},
+        billing_quantum=billing_quantum,
+    )
+    return price_by_region(result, pricing)

@@ -1,0 +1,86 @@
+"""Multi-region billing for zone-constrained dispatch.
+
+Public clouds price the *same* VM differently per region; once bins carry
+zone labels (see :mod:`repro.constrained`), a packing's bill decomposes by
+region.  This module prices a finished packing under per-zone rates and
+billing quanta, giving the constrained experiments a dollars-denominated
+view of the locality premium.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.cost import ContinuousCost, CostModel, QuantizedCost
+from ..core.result import PackingResult
+
+__all__ = ["RegionPricing", "RegionBill", "price_by_region"]
+
+
+@dataclass(frozen=True)
+class RegionPricing:
+    """Per-zone rates (cost per time unit) and an optional billing quantum."""
+
+    rates: Mapping[str, numbers.Real]
+    billing_quantum: numbers.Real | None = None
+    #: Rate applied to bins whose label is not in ``rates`` (None = error).
+    default_rate: numbers.Real | None = None
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise ValueError("need at least one zone rate")
+        for zone, rate in self.rates.items():
+            if rate <= 0:
+                raise ValueError(f"rate for zone {zone!r} must be positive, got {rate}")
+        if self.billing_quantum is not None and self.billing_quantum <= 0:
+            raise ValueError(f"billing quantum must be positive, got {self.billing_quantum}")
+        if self.default_rate is not None and self.default_rate <= 0:
+            raise ValueError(f"default rate must be positive, got {self.default_rate}")
+
+    def model_for(self, zone: object) -> CostModel:
+        rate = self.rates.get(zone, self.default_rate)  # type: ignore[arg-type]
+        if rate is None:
+            raise KeyError(
+                f"no rate configured for zone {zone!r} and no default_rate set"
+            )
+        if self.billing_quantum is None:
+            return ContinuousCost(rate=rate)
+        return QuantizedCost(rate=rate, quantum=self.billing_quantum)
+
+
+@dataclass
+class RegionBill:
+    """A packing's bill decomposed by region."""
+
+    per_zone_cost: dict[str, numbers.Real] = field(default_factory=dict)
+    per_zone_bins: dict[str, int] = field(default_factory=dict)
+    per_zone_time: dict[str, numbers.Real] = field(default_factory=dict)
+
+    @property
+    def total(self) -> numbers.Real:
+        total: numbers.Real = 0
+        for cost in self.per_zone_cost.values():
+            total = total + cost
+        return total
+
+    def zones(self) -> list[str]:
+        return sorted(self.per_zone_cost)
+
+
+def price_by_region(result: PackingResult, pricing: RegionPricing) -> RegionBill:
+    """Bill every bin of a packing at its zone's rate.
+
+    Bin zone = ``bin.label`` (set by the constrained algorithms; plain
+    algorithms leave it ``None``, which requires ``default_rate``).
+    """
+    bill = RegionBill()
+    for b in result.bins:
+        zone = b.label if isinstance(b.label, str) else str(b.label)
+        model = pricing.model_for(b.label)
+        cost = model.bin_cost(b.usage_length)
+        bill.per_zone_cost[zone] = bill.per_zone_cost.get(zone, 0) + cost
+        bill.per_zone_bins[zone] = bill.per_zone_bins.get(zone, 0) + 1
+        bill.per_zone_time[zone] = bill.per_zone_time.get(zone, 0) + b.usage_length
+    return bill

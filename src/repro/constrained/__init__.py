@@ -1,0 +1,34 @@
+"""Constrained DBP: items restricted to zone subsets (the paper's future work)."""
+
+from .algorithms import (
+    FIRST_ALLOWED,
+    LEAST_OPEN_BINS,
+    MOST_OPEN_BINS,
+    ConstrainedAnyFit,
+    ConstrainedBestFit,
+    ConstrainedFirstFit,
+    ConstrainedWorstFit,
+)
+from .model import (
+    ZoneConstraint,
+    allowed_zones,
+    constrained_item,
+    validate_zoned_items,
+)
+from .workload import RegionTopology, generate_constrained_trace
+
+__all__ = [
+    "ZoneConstraint",
+    "constrained_item",
+    "allowed_zones",
+    "validate_zoned_items",
+    "ConstrainedAnyFit",
+    "ConstrainedFirstFit",
+    "ConstrainedBestFit",
+    "ConstrainedWorstFit",
+    "FIRST_ALLOWED",
+    "LEAST_OPEN_BINS",
+    "MOST_OPEN_BINS",
+    "RegionTopology",
+    "generate_constrained_trace",
+]

@@ -1,0 +1,117 @@
+"""Zone-constrained packing algorithms.
+
+A :class:`ConstrainedAnyFit` filters the open bins to the item's allowed
+zones, applies an Any-Fit-style selection rule over those, and — when
+nothing fits — opens a new bin in an allowed zone chosen by a pluggable
+zone policy.  Within each zone the behaviour is exactly the unconstrained
+algorithm, so with a single zone these reduce to FF/BF/WF (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algorithms.base import Arrival, OPEN_NEW, PackingAlgorithm
+from ..core.bin import Bin
+from .model import allowed_zones
+
+__all__ = [
+    "ZonePolicy",
+    "FIRST_ALLOWED",
+    "LEAST_OPEN_BINS",
+    "MOST_OPEN_BINS",
+    "ConstrainedAnyFit",
+    "ConstrainedFirstFit",
+    "ConstrainedBestFit",
+    "ConstrainedWorstFit",
+]
+
+
+# Zone policies: how to choose the zone for a newly opened bin.
+FIRST_ALLOWED = "first-allowed"
+LEAST_OPEN_BINS = "least-open-bins"
+MOST_OPEN_BINS = "most-open-bins"
+
+ZonePolicy = str
+_POLICIES = (FIRST_ALLOWED, LEAST_OPEN_BINS, MOST_OPEN_BINS)
+
+
+class ConstrainedAnyFit(PackingAlgorithm):
+    """Any Fit restricted to an item's allowed zones.
+
+    Subclasses override :meth:`select`; the Any Fit family property holds
+    *within the allowed set*: a new bin is opened only when no allowed open
+    bin fits.
+    """
+
+    name = "constrained-any-fit"
+
+    def __init__(self, zone_policy: ZonePolicy = FIRST_ALLOWED) -> None:
+        if zone_policy not in _POLICIES:
+            raise ValueError(f"unknown zone policy {zone_policy!r}; options: {_POLICIES}")
+        self.zone_policy = zone_policy
+        self._pending_zone: str | None = None
+
+    def choose_bin(self, item: Arrival, open_bins: Sequence[Bin]):
+        zones = allowed_zones(item)
+        fitting = [b for b in open_bins if b.label in zones and b.fits(item)]
+        if fitting:
+            return self.select(item, fitting)
+        self._pending_zone = self._pick_zone(zones, open_bins)
+        return OPEN_NEW
+
+    def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
+        """First Fit by default; subclasses override."""
+        return fitting_bins[0]
+
+    def _pick_zone(self, zones: frozenset[str], open_bins: Sequence[Bin]) -> str:
+        ordered = sorted(zones)
+        if self.zone_policy == FIRST_ALLOWED:
+            return ordered[0]
+        counts = {z: 0 for z in ordered}
+        for b in open_bins:
+            if b.label in counts:
+                counts[b.label] += 1
+        if self.zone_policy == LEAST_OPEN_BINS:
+            return min(ordered, key=lambda z: (counts[z], z))
+        return max(ordered, key=lambda z: (counts[z], z))
+
+    def on_bin_opened(self, bin: Bin, item: Arrival) -> None:
+        assert self._pending_zone is not None, "zone must be chosen before opening"
+        bin.label = self._pending_zone
+        self._pending_zone = None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(zone_policy={self.zone_policy!r})"
+
+
+class ConstrainedFirstFit(ConstrainedAnyFit):
+    """Earliest-opened allowed bin that fits."""
+
+    name = "constrained-first-fit"
+
+
+class ConstrainedBestFit(ConstrainedAnyFit):
+    """Fullest allowed bin that fits."""
+
+    name = "constrained-best-fit"
+
+    def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
+        best = fitting_bins[0]
+        for candidate in fitting_bins[1:]:
+            if candidate.residual < best.residual:
+                best = candidate
+        return best
+
+
+class ConstrainedWorstFit(ConstrainedAnyFit):
+    """Emptiest allowed bin that fits."""
+
+    name = "constrained-worst-fit"
+
+    def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
+        best = fitting_bins[0]
+        for candidate in fitting_bins[1:]:
+            if candidate.residual > best.residual:
+                best = candidate
+        return best

@@ -1,0 +1,69 @@
+"""Core MinTotal DBP model: items, bins, events, simulator, metrics, costs."""
+
+from .bin import Bin, BinAssignment, BinClosedError, CapacityExceededError
+from .config_notation import BinConfiguration, ConfigGroup, parse_configuration
+from .cost import ContinuousCost, CostModel, QuantizedCost
+from .events import Event, EventKind, compile_events, event_times
+from .interval import (
+    Interval,
+    interval_difference,
+    intervals_overlap,
+    merge_intervals,
+    span,
+    union_length,
+)
+from .item import Item, make_items, validate_items
+from .metrics import (
+    TraceStats,
+    interval_ratio,
+    max_interval_length,
+    min_interval_length,
+    total_demand,
+    trace_span,
+    trace_stats,
+    utilization,
+)
+from .result import BinRecord, PackingResult
+from .simulator import SimulationError, Simulator, simulate
+from .telemetry import SimulationObserver, TelemetryCollector
+
+__all__ = [
+    "Item",
+    "make_items",
+    "validate_items",
+    "Interval",
+    "merge_intervals",
+    "union_length",
+    "span",
+    "intervals_overlap",
+    "interval_difference",
+    "Bin",
+    "BinAssignment",
+    "BinClosedError",
+    "CapacityExceededError",
+    "BinConfiguration",
+    "ConfigGroup",
+    "parse_configuration",
+    "Event",
+    "EventKind",
+    "compile_events",
+    "event_times",
+    "CostModel",
+    "ContinuousCost",
+    "QuantizedCost",
+    "BinRecord",
+    "PackingResult",
+    "Simulator",
+    "simulate",
+    "SimulationError",
+    "SimulationObserver",
+    "TelemetryCollector",
+    "TraceStats",
+    "trace_stats",
+    "trace_span",
+    "total_demand",
+    "interval_ratio",
+    "min_interval_length",
+    "max_interval_length",
+    "utilization",
+]

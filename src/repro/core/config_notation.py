@@ -1,0 +1,133 @@
+"""The paper's bin-configuration notation ``<x1|_y1, ..., xk|_yk>``.
+
+Table 1 of the paper denotes by ``x|_y`` a total size ``x`` composed of
+items of size ``y`` each; a bin configuration is a sequence of such groups,
+e.g. ``<1/2|_1/2, 2/5|_1/10>`` is a bin at level 9/10 holding one item of
+size 1/2 and four items of size 1/10.
+
+This module makes the notation executable: configurations can be built,
+parsed from strings, expanded into concrete :class:`~repro.core.item.Item`
+sizes, and compared against live bins.  The adversarial constructions use it
+to assert that a packing reached exactly the bin states drawn in Figures 2
+and 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import numbers
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+
+__all__ = ["ConfigGroup", "BinConfiguration", "parse_configuration"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigGroup:
+    """One ``x|_y`` group: total size ``x`` made of items of size ``y``."""
+
+    total: numbers.Real
+    item_size: numbers.Real
+
+    def __post_init__(self) -> None:
+        if self.item_size <= 0:
+            raise ValueError(f"item size must be positive, got {self.item_size}")
+        if self.total < 0:
+            raise ValueError(f"group total must be non-negative, got {self.total}")
+        count = self.total / self.item_size
+        if abs(count - round(count)) > 1e-9:
+            raise ValueError(
+                f"group total {self.total} is not an integer multiple of item size "
+                f"{self.item_size}"
+            )
+
+    @property
+    def count(self) -> int:
+        """Number of items in the group (``x / y``)."""
+        return round(self.total / self.item_size)
+
+    def sizes(self) -> list[numbers.Real]:
+        return [self.item_size] * self.count
+
+    def __str__(self) -> str:
+        return f"{self.total}|_{self.item_size}"
+
+
+@dataclass(frozen=True)
+class BinConfiguration:
+    """A bin configuration ``<x1|_y1, ..., xk|_yk>``."""
+
+    groups: tuple[ConfigGroup, ...]
+
+    @classmethod
+    def of(cls, *pairs: tuple[numbers.Real, numbers.Real]) -> "BinConfiguration":
+        """Build from ``(total, item_size)`` pairs."""
+        return cls(groups=tuple(ConfigGroup(total=t, item_size=y) for t, y in pairs))
+
+    @property
+    def level(self) -> numbers.Real:
+        """Total size of the configuration (the bin's level)."""
+        total: numbers.Real = 0
+        for g in self.groups:
+            total = total + g.total
+        return total
+
+    @property
+    def num_items(self) -> int:
+        return sum(g.count for g in self.groups)
+
+    def sizes(self) -> list[numbers.Real]:
+        """Concrete item sizes, group by group."""
+        out: list[numbers.Real] = []
+        for g in self.groups:
+            out.extend(g.sizes())
+        return out
+
+    def as_multiset(self) -> dict[numbers.Real, int]:
+        """``{item_size: count}`` ignoring group boundaries."""
+        counts: dict[numbers.Real, int] = {}
+        for g in self.groups:
+            counts[g.item_size] = counts.get(g.item_size, 0) + g.count
+        return counts
+
+    def matches(self, observed: dict[numbers.Real, int]) -> bool:
+        """Whether an observed ``{size: count}`` map equals this configuration."""
+        return self.as_multiset() == dict(observed)
+
+    def __str__(self) -> str:
+        return "<" + ", ".join(str(g) for g in self.groups) + ">"
+
+
+_GROUP_RE = re.compile(r"^\s*(?P<total>[^|]+?)\s*\|_?\s*(?P<size>.+?)\s*$")
+
+
+def _parse_number(text: str) -> numbers.Real:
+    text = text.strip()
+    if "/" in text:
+        return Fraction(text)
+    if re.fullmatch(r"[+-]?\d+", text):
+        return int(text)
+    return float(text)
+
+
+def parse_configuration(text: str) -> BinConfiguration:
+    """Parse a configuration string such as ``"<1/2|_1/2, 2/5|_1/10>"``.
+
+    Accepts fractions (``1/3``), integers and decimals; the ``_`` after the
+    bar is optional, so ``"1/2|1/2"`` also parses.
+    """
+    body = text.strip()
+    if body.startswith("<") and body.endswith(">"):
+        body = body[1:-1]
+    body = body.strip()
+    if not body:
+        return BinConfiguration(groups=())
+    groups: list[ConfigGroup] = []
+    for part in body.split(","):
+        m = _GROUP_RE.match(part)
+        if not m:
+            raise ValueError(f"malformed configuration group: {part!r}")
+        groups.append(
+            ConfigGroup(total=_parse_number(m.group("total")), item_size=_parse_number(m.group("size")))
+        )
+    return BinConfiguration(groups=tuple(groups))

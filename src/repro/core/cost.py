@@ -1,0 +1,68 @@
+"""Bin cost models.
+
+The paper charges each bin ``C`` per unit time while open (continuous
+billing).  Public clouds of the paper's era billed by the hour (Amazon EC2),
+so the cloud substrate also offers quantised billing: a bin's usage is
+rounded up to a whole number of billing quanta.  The theory's objective is
+the continuous model; the quantised model is used by experiment E10 to show
+the same algorithm ranking survives realistic pricing.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "ContinuousCost", "QuantizedCost"]
+
+
+class CostModel(ABC):
+    """Maps a bin usage duration to money."""
+
+    @abstractmethod
+    def bin_cost(self, duration: numbers.Real) -> numbers.Real:
+        """Cost of keeping one bin open for ``duration`` time units."""
+
+
+@dataclass(frozen=True, slots=True)
+class ContinuousCost(CostModel):
+    """The paper's model: ``cost = rate × duration``."""
+
+    rate: numbers.Real = 1
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"cost rate must be positive, got {self.rate}")
+
+    def bin_cost(self, duration: numbers.Real) -> numbers.Real:
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        return self.rate * duration
+
+
+@dataclass(frozen=True, slots=True)
+class QuantizedCost(CostModel):
+    """EC2-style billing: usage rounded up to whole quanta.
+
+    ``cost = rate × quantum × ceil(duration / quantum)``; a bin open for
+    61 minutes under hourly billing (quantum=60) pays for 120 minutes.
+    A zero-duration bin still pays for one quantum (instances are billed
+    from launch).
+    """
+
+    rate: numbers.Real = 1
+    quantum: numbers.Real = 1
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"cost rate must be positive, got {self.rate}")
+        if self.quantum <= 0:
+            raise ValueError(f"billing quantum must be positive, got {self.quantum}")
+
+    def bin_cost(self, duration: numbers.Real) -> numbers.Real:
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        quanta = max(1, math.ceil(duration / self.quantum))
+        return self.rate * self.quantum * quanta

@@ -1,0 +1,133 @@
+"""Items of the MinTotal Dynamic Bin Packing problem.
+
+An item ``r`` is the paper's 3-tuple ``(a(r), d(r), s(r))``: arrival time,
+departure time and size.  In the cloud-gaming interpretation an item is a
+playing request whose size is the GPU demand of the game instance and whose
+interval is the play session.
+
+All time and size values may be any real ``numbers.Real`` — ``int``,
+``float`` or :class:`fractions.Fraction`.  Exact ``Fraction`` arithmetic is
+used by the adversarial lower-bound constructions so that measured costs
+match the paper's closed-form expressions exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import numbers
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable
+
+__all__ = ["Item", "make_items", "validate_items"]
+
+_id_counter = itertools.count()
+
+
+def _fresh_id() -> str:
+    return f"item-{next(_id_counter)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Item:
+    """A single DBP item ``r = (a(r), d(r), s(r))``.
+
+    Parameters
+    ----------
+    arrival:
+        Arrival time ``a(r)``.
+    departure:
+        Departure time ``d(r)``; must satisfy ``d(r) > a(r)``.
+    size:
+        Item size ``s(r)``; must be strictly positive.
+    item_id:
+        Stable identifier, auto-generated when omitted.
+    tag:
+        Free-form annotation (e.g. the game title in cloud-gaming traces,
+        or the adversary phase that emitted the item).
+    """
+
+    arrival: numbers.Real
+    departure: numbers.Real
+    size: numbers.Real
+    item_id: str = field(default_factory=_fresh_id)
+    tag: Any = None
+
+    def __post_init__(self) -> None:
+        for name in ("arrival", "departure", "size"):
+            value = getattr(self, name)
+            if not isinstance(value, numbers.Real):
+                raise TypeError(f"Item.{name} must be a real number, got {value!r}")
+            if value != value:  # NaN
+                raise ValueError(f"Item.{name} must not be NaN")
+        if not self.departure > self.arrival:
+            raise ValueError(
+                f"Item departure must be strictly after arrival "
+                f"(got a(r)={self.arrival}, d(r)={self.departure})"
+            )
+        if not self.size > 0:
+            raise ValueError(f"Item size must be positive, got {self.size}")
+
+    @property
+    def interval(self) -> tuple[numbers.Real, numbers.Real]:
+        """The active interval ``I(r) = [a(r), d(r)]``."""
+        return (self.arrival, self.departure)
+
+    @property
+    def length(self) -> numbers.Real:
+        """Interval length ``len(I(r)) = d(r) - a(r)``."""
+        return self.departure - self.arrival
+
+    @property
+    def demand(self) -> numbers.Real:
+        """Resource demand ``u(r) = s(r) * len(I(r))``."""
+        return self.size * self.length
+
+    def active_at(self, t: numbers.Real) -> bool:
+        """Whether the item is active at time ``t``.
+
+        Following the paper, the active interval is closed on the left and
+        open on the right for occupancy purposes: an item departing at ``t``
+        no longer occupies capacity at ``t`` (the adversarial constructions
+        rely on departures freeing capacity for same-instant arrivals).
+        """
+        return self.arrival <= t < self.departure
+
+    def with_departure(self, departure: numbers.Real) -> "Item":
+        """A copy of this item with a new departure time."""
+        return replace(self, departure=departure)
+
+
+def make_items(
+    triples: Iterable[tuple[numbers.Real, numbers.Real, numbers.Real]],
+    *,
+    prefix: str = "item",
+) -> list[Item]:
+    """Build items from ``(arrival, departure, size)`` triples.
+
+    Convenience constructor for tests, examples and docs.  Item ids are
+    ``f"{prefix}-{index}"``.
+    """
+    return [
+        Item(arrival=a, departure=d, size=s, item_id=f"{prefix}-{i}")
+        for i, (a, d, s) in enumerate(triples)
+    ]
+
+
+def validate_items(items: Iterable[Item], *, capacity: numbers.Real | None = None) -> list[Item]:
+    """Validate a list of items, returning it as a concrete list.
+
+    Checks for duplicate ids and, when ``capacity`` is given, that every
+    single item fits in a bin on its own (a necessary feasibility condition
+    for any packing).
+    """
+    out = list(items)
+    seen: set[str] = set()
+    for item in out:
+        if item.item_id in seen:
+            raise ValueError(f"duplicate item id: {item.item_id!r}")
+        seen.add(item.item_id)
+        if capacity is not None and item.size > capacity:
+            raise ValueError(
+                f"item {item.item_id!r} has size {item.size} exceeding bin capacity {capacity}"
+            )
+    return out

@@ -1,0 +1,117 @@
+"""Trace and packing metrics from Table 1 of the paper.
+
+Everything the competitive analysis is phrased in: interval lengths, the
+max/min interval length ratio ``μ``, span, total resource demand ``u(R)``,
+plus derived quantities such as average utilisation of a packing.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from typing import Iterable
+
+from .interval import Interval, union_length
+from .item import Item
+from .result import PackingResult
+
+__all__ = [
+    "min_interval_length",
+    "max_interval_length",
+    "interval_ratio",
+    "trace_span",
+    "total_demand",
+    "TraceStats",
+    "trace_stats",
+    "utilization",
+]
+
+
+def _as_list(items: Iterable[Item]) -> list[Item]:
+    out = list(items)
+    if not out:
+        raise ValueError("metric undefined for an empty item list")
+    return out
+
+
+def min_interval_length(items: Iterable[Item]) -> numbers.Real:
+    """``Δ = min_r len(I(r))``: the minimum item interval length."""
+    return min(it.length for it in _as_list(items))
+
+
+def max_interval_length(items: Iterable[Item]) -> numbers.Real:
+    """``μΔ = max_r len(I(r))``: the maximum item interval length."""
+    return max(it.length for it in _as_list(items))
+
+
+def interval_ratio(items: Iterable[Item]) -> numbers.Real:
+    """``μ``: the max/min item interval length ratio (≥ 1)."""
+    items = _as_list(items)
+    return max_interval_length(items) / min_interval_length(items)
+
+
+def trace_span(items: Iterable[Item]) -> numbers.Real:
+    """``span(R)``: length of time at least one item is active (Figure 1)."""
+    return union_length([Interval(it.arrival, it.departure) for it in _as_list(items)])
+
+
+def total_demand(items: Iterable[Item]) -> numbers.Real:
+    """``u(R) = Σ_r s(r)·len(I(r))``: the total resource demand."""
+    total: numbers.Real = 0
+    for it in _as_list(items):
+        total = total + it.demand
+    return total
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStats:
+    """Summary statistics of an item list."""
+
+    num_items: int
+    span: numbers.Real
+    total_demand: numbers.Real
+    min_interval: numbers.Real
+    max_interval: numbers.Real
+    mu: numbers.Real
+    min_size: numbers.Real
+    max_size: numbers.Real
+    first_arrival: numbers.Real
+    last_departure: numbers.Real
+
+    @property
+    def packing_period(self) -> numbers.Real:
+        """Length of ``[min_r a(r), max_r d(r)]``."""
+        return self.last_departure - self.first_arrival
+
+
+def trace_stats(items: Iterable[Item]) -> TraceStats:
+    """Compute :class:`TraceStats` in a single pass over the trace."""
+    items = _as_list(items)
+    lengths = [it.length for it in items]
+    lo, hi = min(lengths), max(lengths)
+    return TraceStats(
+        num_items=len(items),
+        span=trace_span(items),
+        total_demand=total_demand(items),
+        min_interval=lo,
+        max_interval=hi,
+        mu=hi / lo,
+        min_size=min(it.size for it in items),
+        max_size=max(it.size for it in items),
+        first_arrival=min(it.arrival for it in items),
+        last_departure=max(it.departure for it in items),
+    )
+
+
+def utilization(result: PackingResult) -> float:
+    """Average bin utilisation of a packing.
+
+    ``u(R) / Σ_i W_i·len(I_i)`` — the fraction of paid-for bin capacity
+    that was actually used (per-bin capacities for heterogeneous fleets).
+    Equals 1 only for a perfectly tight packing; bound (b.1) says no
+    algorithm can exceed 1.
+    """
+    paid = result.total_capacity_time
+    if paid == 0:
+        raise ValueError("packing has zero total bin time")
+    return float(total_demand(result.items) / paid)

@@ -1,0 +1,318 @@
+"""The discrete-event MinTotal DBP simulator.
+
+Two driving styles share one engine:
+
+* :func:`simulate` replays a complete item list (a trace) against an
+  algorithm — the common case for workloads and experiments.
+* :class:`Simulator` is the incremental engine itself, which *adaptive
+  adversaries* drive step by step: they submit arrivals, observe the
+  resulting bin states, and only then decide departure times.  The paper's
+  lower-bound constructions (Theorems 1 and 2) are adaptive in exactly this
+  sense.
+
+The engine is exact: bin costs are accumulated per usage period with no time
+discretisation, simultaneous events are ordered departures-first (see
+:mod:`repro.core.events`), and online-ness is enforced structurally — the
+algorithm only ever sees :class:`~repro.algorithms.base.Arrival` views,
+which carry no departure time.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..algorithms.base import OPEN_NEW, Arrival, PackingAlgorithm
+from .bin import Bin
+from .events import EventKind, compile_events
+from .item import Item, validate_items
+from .result import BinRecord, PackingResult
+
+if False:  # pragma: no cover - import cycle guard for type checkers
+    from .telemetry import SimulationObserver
+
+__all__ = ["Simulator", "simulate", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol violations (bad algorithm choice, time travel...)."""
+
+
+@dataclass
+class _ActiveItem:
+    view: Arrival
+    bin: Bin
+
+
+class Simulator:
+    """Incremental DBP engine.
+
+    Parameters
+    ----------
+    algorithm:
+        The online packing algorithm under test.
+    capacity:
+        Bin capacity ``W`` (default 1, as in the paper's proofs).
+    cost_rate:
+        Bin cost rate ``C`` (default 1).
+    strict:
+        When true (default), validate every algorithm decision: the chosen
+        bin must be open and must fit the item.
+    """
+
+    def __init__(
+        self,
+        algorithm: PackingAlgorithm,
+        *,
+        capacity: numbers.Real = 1,
+        cost_rate: numbers.Real = 1,
+        strict: bool = True,
+        observers: Sequence["SimulationObserver"] = (),
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if cost_rate <= 0:
+            raise ValueError(f"cost rate must be positive, got {cost_rate}")
+        self.algorithm = algorithm
+        self.capacity = capacity
+        self.cost_rate = cost_rate
+        self.strict = strict
+        self.observers = list(observers)
+        self._open_bins: list[Bin] = []
+        self._all_bins: list[Bin] = []
+        self._active: dict[str, _ActiveItem] = {}
+        self._finalized: list[Item] = []
+        self._assignment: dict[str, int] = {}
+        self._now: numbers.Real | None = None
+        self._auto_id = 0
+        algorithm.reset(capacity)
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def now(self) -> numbers.Real | None:
+        """Time of the last processed event (``None`` before the first)."""
+        return self._now
+
+    @property
+    def open_bins(self) -> list[Bin]:
+        """Currently open bins in opening order (adversaries may inspect)."""
+        return list(self._open_bins)
+
+    @property
+    def num_open_bins(self) -> int:
+        return len(self._open_bins)
+
+    @property
+    def active_item_ids(self) -> list[str]:
+        return list(self._active)
+
+    def bin_of(self, item_id: str) -> Bin:
+        """The bin currently holding an active item."""
+        try:
+            return self._active[item_id].bin
+        except KeyError:
+            raise KeyError(f"item {item_id!r} is not active") from None
+
+    # ------------------------------------------------------------ transitions
+
+    def _advance(self, time: numbers.Real) -> None:
+        if self._now is not None and time < self._now:
+            raise SimulationError(
+                f"event at time {time} precedes current time {self._now}"
+            )
+        self._now = time
+
+    def arrive(
+        self,
+        time: numbers.Real,
+        size: numbers.Real,
+        item_id: str | None = None,
+        tag: Any = None,
+    ) -> Bin:
+        """Submit an arrival; returns the bin the algorithm placed it in."""
+        self._advance(time)
+        if size <= 0:
+            raise ValueError(f"item size must be positive, got {size}")
+        # Note: oversize vs the *default* capacity is checked at open time —
+        # a flavour-aware algorithm may open a larger bin for this item.
+        if item_id is None:
+            item_id = f"r{self._auto_id}"
+            self._auto_id += 1
+        if item_id in self._active or item_id in self._assignment:
+            raise SimulationError(f"duplicate item id {item_id!r}")
+
+        view = Arrival(item_id=item_id, size=size, arrival=time, tag=tag)
+        choice = self.algorithm.choose_bin(view, self._open_bins)
+        if choice is OPEN_NEW or choice is None:
+            new_capacity = self.algorithm.new_bin_capacity(view)
+            if new_capacity is None:
+                new_capacity = self.capacity
+            if size > new_capacity:
+                raise SimulationError(
+                    f"item {item_id!r} of size {size} cannot fit the new bin of "
+                    f"capacity {new_capacity} the algorithm requested"
+                )
+            target = Bin(index=len(self._all_bins), capacity=new_capacity)
+            opened = True
+        else:
+            target = choice  # type: ignore[assignment]
+            opened = False
+            if self.strict:
+                if not isinstance(target, Bin) or not target.is_open or target not in self._open_bins:
+                    raise SimulationError(
+                        f"algorithm {self.algorithm.name!r} returned an invalid bin for "
+                        f"{item_id!r}: {choice!r}"
+                    )
+                if not target.fits(view):
+                    raise SimulationError(
+                        f"algorithm {self.algorithm.name!r} chose bin {target.index} "
+                        f"(residual {target.residual}) for item of size {size}"
+                    )
+        target.add(view, time)
+        if opened:
+            self._open_bins.append(target)
+            self._all_bins.append(target)
+            self.algorithm.on_bin_opened(target, view)
+        self._active[item_id] = _ActiveItem(view=view, bin=target)
+        self._assignment[item_id] = target.index
+        for observer in self.observers:
+            observer.on_arrival(time, view, target, opened)
+        return target
+
+    def depart(self, item_id: str, time: numbers.Real) -> Bin:
+        """Remove an active item at ``time``; returns its (possibly closed) bin."""
+        self._advance(time)
+        try:
+            record = self._active.pop(item_id)
+        except KeyError:
+            raise SimulationError(f"cannot depart unknown/inactive item {item_id!r}") from None
+        view, target = record.view, record.bin
+        if time <= view.arrival:
+            raise SimulationError(
+                f"item {item_id!r} would depart at {time}, not after its arrival {view.arrival}"
+            )
+        target.remove(item_id, time)
+        if target.is_closed:
+            self._open_bins.remove(target)
+        self.algorithm.on_item_departed(item_id, target)
+        for observer in self.observers:
+            observer.on_departure(time, item_id, target, target.is_closed)
+        self._finalized.append(
+            Item(
+                arrival=view.arrival,
+                departure=time,
+                size=view.size,
+                item_id=item_id,
+                tag=view.tag,
+            )
+        )
+        return target
+
+    # ----------------------------------------------------------------- finish
+
+    def finish(self) -> PackingResult:
+        """Finalize the simulation and return the packing result.
+
+        All items must have departed (every bin closed); an adaptive
+        adversary is responsible for scheduling every departure.
+
+        ``result.items`` preserves *arrival issue order*, so replaying them
+        through :func:`simulate` reproduces this packing exactly for any
+        deterministic algorithm (same-instant arrivals keep their order) —
+        the round-trip property the adversarial experiments rely on.
+        """
+        if self._active:
+            leftover = sorted(self._active)[:5]
+            raise SimulationError(
+                f"{len(self._active)} items never departed (e.g. {leftover}); "
+                "schedule departures for all items before finish()"
+            )
+        records = tuple(
+            BinRecord(
+                index=b.index,
+                label=b.label,
+                opened_at=b.opened_at,
+                closed_at=b.closed_at,
+                assignments=tuple((a.time, a.item.item_id) for a in b.assignments),
+                capacity=b.capacity,
+            )
+            for b in self._all_bins
+        )
+        # _assignment's insertion order is arrival issue order.
+        issue_order = {item_id: i for i, item_id in enumerate(self._assignment)}
+        finalized = sorted(self._finalized, key=lambda it: issue_order[it.item_id])
+        return PackingResult(
+            algorithm_name=self.algorithm.name,
+            capacity=self.capacity,
+            cost_rate=self.cost_rate,
+            items=tuple(finalized),
+            assignment=dict(self._assignment),
+            bins=records,
+        )
+
+
+def simulate(
+    items: Iterable[Item],
+    algorithm: PackingAlgorithm,
+    *,
+    capacity: numbers.Real = 1,
+    cost_rate: numbers.Real = 1,
+    strict: bool = True,
+    check: bool = False,
+    observers: Sequence["SimulationObserver"] = (),
+    max_bin_capacity: numbers.Real | None = None,
+) -> PackingResult:
+    """Replay a complete item list against an online packing algorithm.
+
+    Events are ordered by time with departures before arrivals at equal
+    times, and arrivals in trace order (see :mod:`repro.core.events`).
+
+    Parameters
+    ----------
+    check:
+        When true, run :meth:`PackingResult.check_invariants` on the result
+        before returning (useful in tests; costs an extra pass).
+    max_bin_capacity:
+        For flavour-aware algorithms that open bins larger than the default
+        ``capacity`` (see :meth:`PackingAlgorithm.new_bin_capacity`): the
+        largest capacity the algorithm may request, used to validate item
+        sizes up front.
+
+    Returns
+    -------
+    PackingResult
+
+    Examples
+    --------
+    >>> from repro import FirstFit, make_items, simulate
+    >>> items = make_items([(0, 10, 0.5), (0, 2, 0.5), (1, 3, 0.5)])
+    >>> result = simulate(items, FirstFit())
+    >>> result.num_bins_used
+    2
+    """
+    trace = validate_items(
+        items, capacity=capacity if max_bin_capacity is None else max_bin_capacity
+    )
+    sim = Simulator(
+        algorithm,
+        capacity=capacity,
+        cost_rate=cost_rate,
+        strict=strict,
+        observers=observers,
+    )
+    for event in compile_events(trace):
+        if event.kind is EventKind.ARRIVAL:
+            sim.arrive(
+                event.item.arrival,
+                event.item.size,
+                item_id=event.item.item_id,
+                tag=event.item.tag,
+            )
+        else:
+            sim.depart(event.item.item_id, event.item.departure)
+    result = sim.finish()
+    if check:
+        result.check_invariants()
+    return result

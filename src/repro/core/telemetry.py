@@ -1,0 +1,94 @@
+"""Observer hooks and live telemetry for the simulator.
+
+Production dispatchers want running statistics without post-processing a
+finished :class:`~repro.core.result.PackingResult`.  An observer receives a
+callback at every placement, departure, bin opening and bin closing; the
+bundled :class:`TelemetryCollector` maintains the open-bin/active-item time
+series, running cost, and peak statistics incrementally, and is verified
+against the post-hoc result in the tests.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..algorithms.base import Arrival
+    from .bin import Bin
+
+__all__ = ["SimulationObserver", "TelemetryCollector"]
+
+
+class SimulationObserver:
+    """Base observer: override any subset of the hooks."""
+
+    def on_arrival(self, time: numbers.Real, item: "Arrival", bin: "Bin", opened: bool) -> None:
+        """Item placed into ``bin``; ``opened`` if the bin is brand new."""
+
+    def on_departure(self, time: numbers.Real, item_id: str, bin: "Bin", closed: bool) -> None:
+        """Item left ``bin``; ``closed`` if the bin emptied and closed."""
+
+
+@dataclass
+class TelemetryCollector(SimulationObserver):
+    """Running statistics maintained event by event.
+
+    ``accrued_cost(now)`` is exact at any instant: closed bins contribute
+    their full usage, open bins their usage so far.
+    """
+
+    cost_rate: numbers.Real = 1
+
+    num_arrivals: int = 0
+    num_departures: int = 0
+    bins_opened: int = 0
+    bins_closed: int = 0
+    open_bins: int = 0
+    active_items: int = 0
+    peak_open_bins: int = 0
+    peak_active_items: int = 0
+    #: (time, open-bin count) breakpoints, appended when the count changes.
+    open_bins_series: list[tuple[numbers.Real, int]] = field(default_factory=list)
+    _closed_bin_time: numbers.Real = 0
+    _open_since: dict[int, numbers.Real] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ hooks
+
+    def on_arrival(self, time, item, bin, opened) -> None:
+        self.num_arrivals += 1
+        self.active_items += 1
+        self.peak_active_items = max(self.peak_active_items, self.active_items)
+        if opened:
+            self.bins_opened += 1
+            self.open_bins += 1
+            self.peak_open_bins = max(self.peak_open_bins, self.open_bins)
+            self._open_since[bin.index] = time
+            self._record(time)
+
+    def on_departure(self, time, item_id, bin, closed) -> None:
+        self.num_departures += 1
+        self.active_items -= 1
+        if closed:
+            self.bins_closed += 1
+            self.open_bins -= 1
+            opened_at = self._open_since.pop(bin.index)
+            self._closed_bin_time = self._closed_bin_time + (time - opened_at)
+            self._record(time)
+
+    def _record(self, time: numbers.Real) -> None:
+        self.open_bins_series.append((time, self.open_bins))
+
+    # ---------------------------------------------------------------- queries
+
+    def accrued_cost(self, now: numbers.Real) -> numbers.Real:
+        """Exact cost accrued up to ``now`` (open bins billed to ``now``)."""
+        running: numbers.Real = 0
+        for opened_at in self._open_since.values():
+            running = running + (now - opened_at)
+        return (self._closed_bin_time + running) * self.cost_rate
+
+    @property
+    def completed_sessions(self) -> int:
+        return self.num_departures

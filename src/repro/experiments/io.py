@@ -1,0 +1,71 @@
+"""Experiment-result persistence.
+
+Experiments are deterministic, but regenerating EXPERIMENTS.md, diffing
+runs across machines, and archiving claim checks wants a stable on-disk
+format.  :func:`result_to_dict` flattens an
+:class:`~repro.experiments.registry.ExperimentResult` into JSON-safe data
+(Fractions become ``{"fraction": "a/b", "value": float}``), and the CLI's
+``run --out`` writes a document per invocation.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any
+
+from .registry import ExperimentResult
+
+__all__ = ["result_to_dict", "results_to_json", "load_results_json"]
+
+FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, Fraction):
+        return {"fraction": f"{value.numerator}/{value.denominator}", "value": float(value)}
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Flatten one experiment result into JSON-safe primitives."""
+    return {
+        "name": result.name,
+        "title": result.title,
+        "headers": list(result.table.headers),
+        "rows": [[_jsonable(v) for v in row] for row in result.table.rows],
+        "checks": [
+            {"claim": c.claim, "holds": c.holds, "detail": c.detail}
+            for c in result.checks
+        ],
+        "notes": list(result.notes),
+        "all_claims_hold": result.all_claims_hold,
+    }
+
+
+def results_to_json(results: list[ExperimentResult], *, indent: int | None = 2) -> str:
+    """Serialise a batch of experiment results."""
+    return json.dumps(
+        {
+            "format_version": FORMAT_VERSION,
+            "experiments": [result_to_dict(r) for r in results],
+        },
+        indent=indent,
+    )
+
+
+def load_results_json(document: str) -> list[dict[str, Any]]:
+    """Load a previously saved batch; returns the raw experiment dicts.
+
+    Raises ``ValueError`` on a format-version mismatch so downstream
+    tooling fails fast rather than misreading columns.
+    """
+    data = json.loads(document)
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format version {version!r}; expected {FORMAT_VERSION}"
+        )
+    return data["experiments"]

@@ -1,0 +1,141 @@
+"""Experiment E8 — Section 4.4: Modified First Fit.
+
+Compares FF, MFF(k=8) (μ unknown) and MFF(k=μ+7) (μ known) on size-bimodal
+workloads — the mix MFF was designed for — and checks each algorithm
+against its proved bound:
+
+* FF ≤ 2μ + 13 (Theorem 5);
+* MFF(k=8) ≤ (8/7)μ + 55/7;
+* MFF(k=μ+7) ≤ μ + 8.
+
+Also sweeps MFF's k to expose the paper's trade-off ``max{k, (μ+6)/(1−1/k)}``
+(the ablation DESIGN.md calls out): too small a k misclassifies mid-size
+items, too large a k starves the large-item pool.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algorithms import FirstFit, ModifiedFirstFit
+from ..analysis.bounds import (
+    mff_bound_known_mu,
+    mff_bound_unknown_mu,
+    mff_generic_bound,
+    theorem5_bound,
+)
+from ..analysis.sweep import SweepResult
+from ..core.metrics import trace_stats
+from ..core.simulator import simulate
+from ..opt.lower_bounds import opt_total_lower_bound
+from ..workloads.distributions import Choice, Clipped, Exponential
+from ..workloads.generators import generate_trace
+from .registry import ClaimCheck, ExperimentResult, register_experiment
+
+
+def _bimodal_trace(seed: int, mu_cap: float, rate: float):
+    """Sizes split around W/8: many small, some large (the MFF regime)."""
+    return generate_trace(
+        arrival_rate=rate,
+        horizon=150.0,
+        duration=Clipped(Exponential(3.0), 1.0, mu_cap),
+        size=Choice.of([0.04, 0.06, 0.10, 0.30, 0.45, 0.60], [4, 4, 4, 1, 1, 1]),
+        seed=seed,
+        name=f"bimodal-{seed}",
+    )
+
+
+@register_experiment(
+    "mff",
+    display="Section 4.4 (Modified First Fit)",
+    description="MFF vs FF with the (8/7)μ+55/7 and μ+8 bounds, plus a k-ablation",
+)
+def run(
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    mu_cap: float = 8.0,
+    rate: float = 6.0,
+    k_ablation: Sequence[float] = (2, 4, 8, 15, 30),
+) -> ExperimentResult:
+    table = SweepResult(
+        headers=["seed", "mu", "algorithm", "cost", "ratio", "bound"]
+    )
+    checks_ok = {"ff": True, "mff8": True, "mff_mu": True}
+    mff_not_worse_always = True
+    for seed in seeds:
+        trace = _bimodal_trace(seed, mu_cap, rate)
+        stats = trace_stats(trace.items)
+        mu = float(stats.mu)
+        opt_lb = opt_total_lower_bound(trace.items, capacity=1.0)
+        runs = [
+            ("first-fit", FirstFit(), theorem5_bound(mu), "ff"),
+            ("mff(k=8)", ModifiedFirstFit(), mff_bound_unknown_mu(mu), "mff8"),
+            ("mff(k=mu+7)", ModifiedFirstFit.with_known_mu(mu), mff_bound_known_mu(mu), "mff_mu"),
+        ]
+        costs = {}
+        for label, algo, bound, key in runs:
+            result = simulate(trace.items, algo, capacity=1.0)
+            ratio = float(result.total_cost() / opt_lb)
+            costs[label] = float(result.total_cost())
+            checks_ok[key] = checks_ok[key] and ratio <= float(bound) * (1 + 1e-9)
+            table.add(
+                {
+                    "seed": seed,
+                    "mu": mu,
+                    "algorithm": label,
+                    "cost": float(result.total_cost()),
+                    "ratio": ratio,
+                    "bound": float(bound),
+                }
+            )
+        # MFF's guarantee is about the worst case, not every instance; track
+        # whether the *bound ordering* (μ+8 < (8/7)μ+55/7 < 2μ+13 for μ > 1)
+        # is reflected here, without asserting per-instance dominance.
+        mff_not_worse_always = mff_not_worse_always and (
+            costs["mff(k=mu+7)"] <= 2.0 * costs["first-fit"]
+        )
+
+    # k ablation on one trace.
+    ablation = SweepResult(headers=["seed", "mu", "algorithm", "cost", "ratio", "bound"])
+    trace = _bimodal_trace(seeds[0], mu_cap, rate)
+    mu = float(trace_stats(trace.items).mu)
+    opt_lb = opt_total_lower_bound(trace.items, capacity=1.0)
+    for k in k_ablation:
+        result = simulate(trace.items, ModifiedFirstFit(k=k), capacity=1.0)
+        table.add(
+            {
+                "seed": seeds[0],
+                "mu": mu,
+                "algorithm": f"mff(k={k})",
+                "cost": float(result.total_cost()),
+                "ratio": float(result.total_cost() / opt_lb),
+                "bound": float(mff_generic_bound(mu, k)),
+            }
+        )
+
+    checks = [
+        ClaimCheck(claim="FF ratio ≤ 2μ + 13 on every bimodal trace", holds=checks_ok["ff"]),
+        ClaimCheck(
+            claim="MFF(k=8) ratio ≤ (8/7)μ + 55/7 on every bimodal trace",
+            holds=checks_ok["mff8"],
+        ),
+        ClaimCheck(
+            claim="MFF(k=μ+7) ratio ≤ μ + 8 on every bimodal trace",
+            holds=checks_ok["mff_mu"],
+        ),
+        ClaimCheck(
+            claim="MFF stays within 2× of FF cost (guarantees are worst-case, "
+            "average behaviour comparable)",
+            holds=mff_not_worse_always,
+        ),
+    ]
+    _ = ablation  # ablation rows are folded into the main table above
+    return ExperimentResult(
+        name="mff",
+        title="Modified First Fit vs First Fit (bimodal sizes) + k ablation",
+        table=table,
+        checks=checks,
+        notes=[
+            "rows with algorithm mff(k=…) other than 8/μ+7 form the k-ablation "
+            "on the first seed; their 'bound' column is max{k,(μ+6)/(1−1/k)}+1."
+        ],
+    )

@@ -1,0 +1,96 @@
+"""Experiment E20 (extension) — packing with noisy predictions.
+
+The algorithms-with-predictions question for MinTotal DBP: how fast does
+the clairvoyance gain (E13) decay when the departure oracle lies?  Sweeps
+the multiplicative log-normal error σ from perfect (0) to near-useless (3)
+on heavy-tailed-session traces.
+
+Expected shape (checked): σ=0 reproduces perfect clairvoyance exactly;
+the mean gain decays as σ grows; and even badly-wrong predictions degrade
+gracefully — the prediction-guided policy stays within a few percent of
+blind First Fit instead of collapsing (it is still an Any Fit member, so
+every worst-case guarantee that covers the family still applies).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algorithms import FirstFit
+from ..analysis.sweep import SweepResult
+from ..clairvoyant.algorithms import MinExpandFit, simulate_clairvoyant
+from ..clairvoyant.predictions import simulate_with_predictions
+from ..core.simulator import simulate
+from ..workloads.distributions import BoundedPareto, Uniform
+from ..workloads.generators import generate_trace
+from .registry import ClaimCheck, ExperimentResult, register_experiment
+
+
+@register_experiment(
+    "prediction-noise",
+    display="Extension: algorithms with predictions",
+    description="Clairvoyance gain vs departure-prediction error σ",
+)
+def run(
+    sigmas: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 3.0),
+    seeds: Sequence[int] = (0, 1, 2),
+    arrival_rate: float = 5.0,
+    horizon: float = 150.0,
+    mu: float = 30.0,
+) -> ExperimentResult:
+    table = SweepResult(headers=["sigma", "seed", "cost", "vs_blind_ff", "vs_perfect"])
+    exact_at_zero = True
+    mean_ratio: dict[float, float] = {}
+    for sigma in sigmas:
+        ratios = []
+        for seed in seeds:
+            trace = generate_trace(
+                arrival_rate=arrival_rate,
+                horizon=horizon,
+                duration=BoundedPareto(1.0, mu, alpha=1.2),
+                size=Uniform(0.05, 0.6),
+                seed=seed,
+            )
+            blind = float(simulate(trace.items, FirstFit()).total_cost())
+            perfect = float(
+                simulate_clairvoyant(trace.items, MinExpandFit()).total_cost()
+            )
+            noisy = float(
+                simulate_with_predictions(
+                    trace.items, MinExpandFit(), noise_sigma=sigma, seed=seed + 100
+                ).total_cost()
+            )
+            if sigma == 0.0:
+                exact_at_zero = exact_at_zero and noisy == perfect
+            ratios.append(noisy / blind)
+            table.add(
+                {
+                    "sigma": sigma,
+                    "seed": seed,
+                    "cost": noisy,
+                    "vs_blind_ff": noisy / blind,
+                    "vs_perfect": noisy / perfect,
+                }
+            )
+        mean_ratio[sigma] = sum(ratios) / len(ratios)
+    return ExperimentResult(
+        name="prediction-noise",
+        title="Departure predictions under noise (MinExpand vs blind FF)",
+        table=table,
+        checks=[
+            ClaimCheck(
+                claim="σ = 0 reproduces perfect clairvoyance exactly",
+                holds=exact_at_zero,
+            ),
+            ClaimCheck(
+                claim="the mean advantage decays from σ=0 to the largest σ",
+                holds=mean_ratio[sigmas[0]] <= mean_ratio[sigmas[-1]],
+                detail=", ".join(f"σ={s}: {r:.4f}×FF" for s, r in mean_ratio.items()),
+            ),
+            ClaimCheck(
+                claim="even the noisiest predictions stay within 5% of blind FF "
+                "(graceful degradation — the policy is still Any Fit)",
+                holds=all(r <= 1.05 for r in mean_ratio.values()),
+            ),
+        ],
+    )

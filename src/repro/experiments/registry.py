@@ -1,0 +1,131 @@
+"""Experiment registry: every paper display (table/figure/theorem) is one
+named, parameterised, reproducible experiment.
+
+Experiments return an :class:`ExperimentResult` — a titled table of rows
+plus a list of claim checks — and are runnable from the CLI
+(``python -m repro run thm1-anyfit``) and from the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..analysis.sweep import SweepResult
+
+__all__ = [
+    "ClaimCheck",
+    "ExperimentResult",
+    "register_experiment",
+    "get_experiment",
+    "available_experiments",
+    "experiment_info",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ClaimCheck:
+    """One paper claim evaluated on measured data."""
+
+    claim: str
+    holds: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.holds else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{status}] {self.claim}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run."""
+
+    name: str
+    title: str
+    table: SweepResult
+    checks: list[ClaimCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(c.holds for c in self.checks)
+
+    def render(self, *, precision: int = 4) -> str:
+        parts = [self.table.to_table(title=self.title, precision=precision)]
+        if self.checks:
+            parts.append("")
+            parts.extend(str(c) for c in self.checks)
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class _Entry:
+    fn: Callable[..., ExperimentResult]
+    display: str  # which paper display it reproduces
+    description: str
+
+
+_REGISTRY: dict[str, _Entry] = {}
+
+
+def register_experiment(
+    name: str, *, display: str, description: str
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
+    """Decorator registering an experiment ``run`` function."""
+
+    def deco(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} already registered")
+        _REGISTRY[name] = _Entry(fn=fn, display=display, description=description)
+        return fn
+
+    return deco
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment runner by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name].fn
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+
+
+def available_experiments() -> list[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def experiment_info(name: str) -> dict[str, Any]:
+    _ensure_loaded()
+    entry = _REGISTRY[name]
+    return {"name": name, "display": entry.display, "description": entry.description}
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module so registration side effects run."""
+    from . import (  # noqa: F401
+        anomalies_experiment,
+        bounds_sandwich,
+        capacity_cap,
+        clairvoyance_gap,
+        classic_dbp,
+        constrained_dbp,
+        flash_crowd,
+        fleet_mix,
+        mff_experiment,
+        migration_gap,
+        offline_gaps,
+        prediction_noise,
+        synthetic_eval,
+        thm1_anyfit,
+        thm2_bestfit,
+        thm3_large_items,
+        thm4_small_items,
+        thm5_general_ff,
+    )

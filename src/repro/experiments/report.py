@@ -1,0 +1,71 @@
+"""Markdown report generation: EXPERIMENTS.md-style output from live runs.
+
+``python -m repro report --out report.md`` reruns (a subset of) the
+experiment catalogue and renders a self-contained markdown document with
+every table and claim check — the mechanism behind keeping the committed
+EXPERIMENTS.md honest.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.tables import format_value
+from .registry import (
+    ExperimentResult,
+    available_experiments,
+    experiment_info,
+    get_experiment,
+)
+
+__all__ = ["render_markdown", "generate_report"]
+
+
+def _markdown_table(result: ExperimentResult, *, precision: int) -> str:
+    headers = result.table.headers
+    lines = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    for row in result.table.rows:
+        cells = [format_value(v, precision=precision) for v in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown(results: Sequence[ExperimentResult], *, precision: int = 4) -> str:
+    """Render finished experiment results as one markdown document."""
+    total_claims = sum(len(r.checks) for r in results)
+    passed = sum(1 for r in results for c in r.checks if c.holds)
+    parts = [
+        "# Experiment report",
+        "",
+        f"{len(results)} experiments, {passed}/{total_claims} claims hold.",
+        "",
+    ]
+    for result in results:
+        info = experiment_info(result.name)
+        parts.append(f"## {result.name} — {info['display']}")
+        parts.append("")
+        parts.append(info["description"] + ".")
+        parts.append("")
+        parts.append(_markdown_table(result, precision=precision))
+        parts.append("")
+        for check in result.checks:
+            mark = "✅" if check.holds else "❌"
+            detail = f" — {check.detail}" if check.detail else ""
+            parts.append(f"- {mark} {check.claim}{detail}")
+        for note in result.notes:
+            parts.append(f"- *note: {note}*")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def generate_report(
+    names: Sequence[str] | None = None, *, precision: int = 4
+) -> tuple[str, bool]:
+    """Run experiments (all by default) and render the report.
+
+    Returns ``(markdown, all_claims_hold)``.
+    """
+    names = list(names) if names is not None else available_experiments()
+    results = [get_experiment(name)() for name in names]
+    ok = all(r.all_claims_hold for r in results)
+    return render_markdown(results, precision=precision), ok

@@ -1,0 +1,88 @@
+"""Fluid (heavy-traffic) estimates for capacity planning.
+
+For Poisson(λ) arrivals with i.i.d. durations S and sizes Z, the system is
+an M/G/∞ in items: the stationary *offered load* is
+
+    ρ = λ·E[S]·E[Z]           (capacity-time demand per time unit)
+
+so any packing needs at least ``ρ/W`` bins on long-run average (bound b.1
+per unit time), and the expected number of concurrently active items is
+``λ·E[S]`` (Little's law).  These closed forms give instant sanity checks
+and provisioning estimates; the tests validate them against simulated
+traces, and they calibrate the experiments' arrival rates.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+
+from ..workloads.distributions import Distribution
+
+__all__ = [
+    "offered_load",
+    "min_average_bins",
+    "expected_active_items",
+    "peak_bins_estimate",
+]
+
+
+def offered_load(
+    arrival_rate: float, duration: Distribution, size: Distribution
+) -> float:
+    """``ρ = λ·E[S]·E[Z]``: long-run capacity-time demand per time unit."""
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+    return arrival_rate * duration.mean() * size.mean()
+
+
+def min_average_bins(
+    arrival_rate: float,
+    duration: Distribution,
+    size: Distribution,
+    *,
+    capacity: numbers.Real = 1,
+) -> float:
+    """``ρ/W``: the b.1 floor on the long-run average open-bin count."""
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    return offered_load(arrival_rate, duration, size) / float(capacity)
+
+
+def expected_active_items(arrival_rate: float, duration: Distribution) -> float:
+    """Little's law: ``λ·E[S]`` concurrently active sessions."""
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+    return arrival_rate * duration.mean()
+
+
+def peak_bins_estimate(
+    arrival_rate: float,
+    duration: Distribution,
+    size: Distribution,
+    *,
+    capacity: numbers.Real = 1,
+    quantile_z: float = 3.0,
+) -> float:
+    """A provisioning estimate for the *peak* open-bin count.
+
+    The active-item count is Poisson(λE[S]); treating per-item capacity use
+    as its mean, load ≈ Normal(ρ, σ²) with σ² ≈ λ·E[S]·E[Z²] (compound
+    Poisson variance, E[Z²] estimated from the distribution's support
+    midpoint when unavailable — this is an *estimate*, not a bound).  The
+    returned value is ``(ρ + z·σ)/W``.
+
+    Tested only for shape (simulated peaks fall below the z = 3 estimate on
+    calibrated workloads); use :func:`repro.opt.load.max_load` for the true
+    realized peak.
+    """
+    if quantile_z < 0:
+        raise ValueError(f"z must be non-negative, got {quantile_z}")
+    rho = offered_load(arrival_rate, duration, size)
+    # Second moment of Z: sample it (distributions expose mean + sampling).
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    z2 = float((size.sample(rng, 20000) ** 2).mean())
+    var = arrival_rate * duration.mean() * z2
+    return (rho + quantile_z * math.sqrt(var)) / float(capacity)

@@ -1,0 +1,160 @@
+"""Exact *no-migration* offline optimum for small instances.
+
+The paper's ``OPT_total`` allows repacking at every instant (the integral
+of per-snapshot optima).  A second natural benchmark keeps the paper's
+no-migration rule but grants full knowledge of the future: choose one bin
+per item, fixed forever, to minimise total bin-time.  Between the two sits
+every real system:
+
+    pointwise LB ≤ OPT_total (repacking) ≤ OPT_nomig ≤ best online ≤ FF
+
+Cost model: a bin is open while it holds items, so a fixed assignment's
+cost is ``Σ_groups span(group)`` — a group with a gap in coverage closes
+and reopens, which costs the same as two bins.  The problem is therefore:
+partition the items into groups that never exceed capacity at any instant,
+minimising the summed group spans.  NP-hard; solved here by depth-first
+branch and bound over items in arrival order, feasible for the ≤ ~20-item
+instances the experiments use.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Sequence
+
+from ..core.interval import Interval, union_length
+from ..core.item import Item
+from .lower_bounds import pointwise_lower_bound
+from .snapshot import SearchLimitReached
+
+__all__ = ["no_migration_opt_total", "NoMigrationPlan"]
+
+
+class NoMigrationPlan:
+    """Result of the exact no-migration search."""
+
+    def __init__(self, cost: numbers.Real, groups: list[list[Item]]):
+        self.cost = cost
+        self.groups = groups
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.groups)
+
+    def assignment(self) -> dict[str, int]:
+        return {it.item_id: g for g, group in enumerate(self.groups) for it in group}
+
+
+def _fits(group: list[Item], item: Item, capacity: numbers.Real) -> bool:
+    """Whether ``item`` can join ``group`` without exceeding capacity.
+
+    The load within ``I(item)`` is piecewise constant with breakpoints at
+    member arrivals; checking item's own arrival plus member arrivals
+    inside the interval suffices.
+    """
+    overlapping = [
+        x
+        for x in group
+        if x.arrival < item.departure and item.arrival < x.departure
+    ]
+    if not overlapping:
+        return True
+    checkpoints = {item.arrival}
+    for x in overlapping:
+        if item.arrival <= x.arrival < item.departure:
+            checkpoints.add(x.arrival)
+    for t in checkpoints:
+        load = item.size
+        for x in overlapping:
+            if x.arrival <= t < x.departure:
+                load = load + x.size
+        if load > capacity:
+            return False
+    return True
+
+
+def no_migration_opt_total(
+    items: Sequence[Item],
+    *,
+    capacity: numbers.Real = 1,
+    cost_rate: numbers.Real = 1,
+    node_limit: int = 5_000_000,
+    return_plan: bool = False,
+):
+    """Exact minimum total cost over fixed (no-migration) assignments.
+
+    Branch and bound over items in (arrival, id) order: each item joins a
+    feasible existing group or opens a new one (one new-group branch —
+    groups are interchangeable).  Pruning: summed group spans never shrink
+    as items are added, so any partial assignment whose spans already meet
+    the incumbent is dead; the repacking lower bound seeds the incumbent
+    check.
+
+    Raises :class:`~repro.opt.snapshot.SearchLimitReached` past
+    ``node_limit`` nodes — this is an exponential search meant for small
+    experiment instances.
+    """
+    order = sorted(items, key=lambda it: (it.arrival, it.item_id))
+    if not order:
+        return (0, NoMigrationPlan(0, [])) if return_plan else 0
+    for it in order:
+        if it.size > capacity:
+            raise ValueError(f"item {it.item_id!r} exceeds capacity")
+
+    # Incumbent: First Fit's cost (always a valid fixed assignment).
+    from ..algorithms.first_fit import FirstFit
+    from ..core.simulator import simulate
+
+    ff = simulate(order, FirstFit(), capacity=capacity)
+    best_cost = ff.total_cost() / ff.cost_rate
+    best_groups: list[list[Item]] = [
+        [ff.item_by_id(i) for i in rec.item_ids] for rec in ff.bins
+    ]
+    floor = pointwise_lower_bound(order, capacity=capacity)
+
+    groups: list[list[Item]] = []
+    spans: list[numbers.Real] = []
+    nodes = 0
+
+    def dfs(i: int, current: numbers.Real) -> None:
+        nonlocal nodes, best_cost, best_groups
+        nodes += 1
+        if nodes > node_limit:
+            raise SearchLimitReached(
+                f"no-migration search exceeded {node_limit} nodes on {len(order)} items"
+            )
+        if current >= best_cost:
+            return
+        if i == len(order):
+            best_cost = current
+            best_groups = [list(g) for g in groups]
+            return
+        item = order[i]
+        iv = Interval(item.arrival, item.departure)
+        for g in range(len(groups)):
+            if not _fits(groups[g], item, capacity):
+                continue
+            old_span = spans[g]
+            new_span = union_length(
+                [Interval(x.arrival, x.departure) for x in groups[g]] + [iv]
+            )
+            groups[g].append(item)
+            spans[g] = new_span
+            dfs(i + 1, current - old_span + new_span)
+            groups[g].pop()
+            spans[g] = old_span
+        # One canonical new-group branch.
+        groups.append([item])
+        spans.append(iv.length)
+        dfs(i + 1, current + iv.length)
+        groups.pop()
+        spans.pop()
+
+    dfs(0, 0)
+    assert best_cost >= floor - (0 if isinstance(best_cost, int) else 1e-9), (
+        "no-migration optimum fell below the repacking lower bound — bug"
+    )
+    cost = best_cost * cost_rate
+    if return_plan:
+        return cost, NoMigrationPlan(cost, best_groups)
+    return cost

@@ -1,0 +1,80 @@
+"""Canonical instances from the paper, as named constructors.
+
+Small, exactly-analysable item lists used across docs, tests and examples:
+each returns items whose packing behaviour is derived by hand from the
+paper's definitions, so they double as executable documentation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .core.item import Item, make_items
+
+__all__ = [
+    "figure1_span_example",
+    "theorem1_static_instance",
+    "first_fit_vs_best_fit_separator",
+    "pinned_bin_example",
+]
+
+
+def figure1_span_example() -> list[Item]:
+    """The Figure 1 shape: overlapping items plus a detached one.
+
+    ``span = 8`` (union [0,6] ∪ [9,11]) while the packing period is 11 and
+    the summed lengths are 10 — the three quantities Figure 1 separates.
+    """
+    return make_items([(0, 4, Fraction(1, 4)), (2, 6, Fraction(1, 4)), (9, 11, Fraction(1, 4))],
+                      prefix="fig1")
+
+
+def theorem1_static_instance(k: int, mu: int) -> list[Item]:
+    """A *static* Theorem 1 instance (tailored to sequential-filling AFs).
+
+    ``k²`` items of size 1/k arrive at t=0.  Any Fit algorithms fill bins
+    sequentially here (every bin reaches level exactly 1 before the next
+    opens), so items ``0..k-1`` share bin 0, ``k..2k-1`` bin 1, etc.  The
+    first item of each block survives to μΔ; the rest leave at Δ = 1.
+
+    For the adaptive construction that traps *any* placement pattern, use
+    :func:`repro.adversaries.run_theorem1_adversary`.
+    """
+    if k < 2 or mu < 1:
+        raise ValueError("need k ≥ 2 and μ ≥ 1")
+    items = []
+    for i in range(k * k):
+        lifetime = mu if i % k == 0 else 1
+        items.append(
+            Item(arrival=0, departure=lifetime, size=Fraction(1, k), item_id=f"t1s-{i}")
+        )
+    return items
+
+
+def first_fit_vs_best_fit_separator() -> list[Item]:
+    """A four-item instance where FF and BF choose different bins.
+
+    After ``probe`` arrives (t=2), bin 0 sits at level 0.3 and bin 1 at
+    0.6; First Fit sends the probe to bin 0 (earliest), Best Fit to bin 1
+    (fullest).  Used to pin the selection-rule semantics.
+    """
+    return make_items(
+        [
+            (0, 10, Fraction(3, 10)),
+            (0, 2, Fraction(6, 10)),
+            (1, 10, Fraction(6, 10)),
+            (2, 10, Fraction(35, 100)),
+        ],
+        prefix="sep",
+    )
+
+
+def pinned_bin_example() -> list[Item]:
+    """The clairvoyance motif: a long item pins a soon-to-close bin open.
+
+    Blind First Fit places the ``t=1`` item into bin 0 (earliest), keeping
+    it open until 12 for a total cost of 24; a departure-aware policy
+    routes it to bin 1 and pays 14.
+    """
+    return make_items([(0, 2, Fraction(6, 10)), (0, 12, Fraction(6, 10)), (1, 12, Fraction(3, 10))],
+                      prefix="pin")

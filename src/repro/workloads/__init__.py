@@ -1,0 +1,71 @@
+"""Synthetic workloads: distributions, generators, the cloud-gaming model."""
+
+from .cloud_gaming import (
+    DiurnalPattern,
+    Game,
+    GameCatalog,
+    default_catalog,
+    generate_gaming_trace,
+)
+from .empirical import TraceProfile, profile_trace, synthesize_trace
+from .distributions import (
+    BoundedPareto,
+    Choice,
+    Clipped,
+    Deterministic,
+    Distribution,
+    Exponential,
+    LogNormal,
+    Uniform,
+)
+from .generators import (
+    generate_burst_trace,
+    generate_mmpp_trace,
+    generate_trace,
+    mmpp_arrivals,
+    poisson_arrivals,
+    thinned_arrivals,
+)
+from .trace import Trace
+from .transforms import (
+    concatenate,
+    filter_by_tag,
+    jitter_arrivals,
+    scale_sizes,
+    scale_time,
+    shift_time,
+    subsample,
+)
+
+__all__ = [
+    "Trace",
+    "Distribution",
+    "Deterministic",
+    "Uniform",
+    "Exponential",
+    "LogNormal",
+    "BoundedPareto",
+    "Clipped",
+    "Choice",
+    "poisson_arrivals",
+    "thinned_arrivals",
+    "mmpp_arrivals",
+    "generate_trace",
+    "generate_burst_trace",
+    "generate_mmpp_trace",
+    "Game",
+    "GameCatalog",
+    "default_catalog",
+    "DiurnalPattern",
+    "generate_gaming_trace",
+    "scale_time",
+    "scale_sizes",
+    "shift_time",
+    "jitter_arrivals",
+    "filter_by_tag",
+    "subsample",
+    "concatenate",
+    "TraceProfile",
+    "profile_trace",
+    "synthesize_trace",
+]

@@ -1,0 +1,167 @@
+"""Cloud-gaming workload model (the paper's Section 1 motivation).
+
+A game catalogue with per-title GPU demands and Zipf popularity, diurnal
+arrival intensity, and log-normal play-session lengths clipped to a finite
+range (finite μ).  This substitutes for the real player traces the paper's
+scenario implies: it exercises exactly the item interface — (arrival,
+departure, GPU size) — the dispatcher consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+import numpy as np
+
+from ..core.item import Item
+from .generators import thinned_arrivals
+from .trace import Trace
+
+__all__ = [
+    "Game",
+    "GameCatalog",
+    "default_catalog",
+    "DiurnalPattern",
+    "generate_gaming_trace",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Game:
+    """One title: its GPU demand (fraction of a game server) and session model."""
+
+    name: str
+    gpu_demand: float
+    mean_session: float  # mean play-session length (minutes)
+    session_sigma: float = 0.6  # log-space spread of the session length
+
+    def __post_init__(self) -> None:
+        if not 0 < self.gpu_demand <= 1:
+            raise ValueError(f"{self.name}: gpu_demand must be in (0, 1], got {self.gpu_demand}")
+        if self.mean_session <= 0:
+            raise ValueError(f"{self.name}: mean session must be positive")
+
+
+@dataclass(frozen=True)
+class GameCatalog:
+    """A set of games with Zipf-distributed popularity.
+
+    Game ``rank`` r (0-based, catalogue order) has weight ``1/(r+1)^s``.
+    """
+
+    games: tuple[Game, ...]
+    zipf_exponent: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not self.games:
+            raise ValueError("catalogue must contain at least one game")
+        if self.zipf_exponent < 0:
+            raise ValueError(f"zipf exponent must be ≥ 0, got {self.zipf_exponent}")
+
+    def popularity(self) -> np.ndarray:
+        """Normalised popularity of each game."""
+        ranks = np.arange(1, len(self.games) + 1, dtype=float)
+        weights = ranks ** (-self.zipf_exponent)
+        return weights / weights.sum()
+
+    def sample_games(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Indices of ``n`` sampled games."""
+        return rng.choice(len(self.games), size=n, p=self.popularity())
+
+
+def default_catalog() -> GameCatalog:
+    """A representative 2014-era catalogue.
+
+    GPU demands are fractions of one GPU server's rendering capacity; a
+    heavy AAA title takes ~60% of a server while casual titles take ~10%,
+    matching the paper's premise that several game instances share a
+    server.  Session means are in minutes.
+    """
+    return GameCatalog(
+        games=(
+            Game("battlefield-4", gpu_demand=0.60, mean_session=55.0),
+            Game("crysis-3", gpu_demand=0.55, mean_session=50.0),
+            Game("witcher-2", gpu_demand=0.45, mean_session=70.0),
+            Game("skyrim", gpu_demand=0.40, mean_session=80.0),
+            Game("borderlands-2", gpu_demand=0.35, mean_session=60.0),
+            Game("dota-2", gpu_demand=0.30, mean_session=45.0),
+            Game("starcraft-2", gpu_demand=0.25, mean_session=40.0),
+            Game("minecraft", gpu_demand=0.15, mean_session=65.0),
+            Game("terraria", gpu_demand=0.10, mean_session=50.0),
+            Game("fez", gpu_demand=0.10, mean_session=30.0),
+        )
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalPattern:
+    """Sinusoidal daily intensity: ``base + amplitude·(1+sin)/2``.
+
+    ``peak_time`` is the time (same units as the horizon, typically
+    minutes) of maximum intensity within each ``period``.
+    """
+
+    base_rate: float
+    amplitude: float
+    period: float = 24 * 60.0
+    peak_time: float = 20 * 60.0  # 8 pm
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0 or self.amplitude < 0:
+            raise ValueError("rates must be non-negative")
+        if self.base_rate + self.amplitude <= 0:
+            raise ValueError("pattern must have positive peak intensity")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        phase = 2 * math.pi * (np.asarray(t, dtype=float) - self.peak_time) / self.period
+        return self.base_rate + self.amplitude * (1 + np.cos(phase)) / 2
+
+    @property
+    def max_rate(self) -> float:
+        return self.base_rate + self.amplitude
+
+
+def generate_gaming_trace(
+    *,
+    catalog: GameCatalog | None = None,
+    pattern: DiurnalPattern | None = None,
+    horizon: float = 24 * 60.0,
+    min_session: float = 5.0,
+    max_session: float = 240.0,
+    seed: int = 0,
+    name: str = "cloud-gaming",
+) -> Trace:
+    """Generate a day of cloud-gaming playing requests.
+
+    Each request: a diurnal-Poisson arrival, a Zipf-sampled game, the
+    game's GPU demand as its size, and a log-normal session length clipped
+    to ``[min_session, max_session]`` (so μ ≤ max/min exactly).  Items are
+    tagged with the game name.
+    """
+    if not 0 < min_session <= max_session:
+        raise ValueError(f"need 0 < min ≤ max session, got [{min_session}, {max_session}]")
+    catalog = catalog or default_catalog()
+    pattern = pattern or DiurnalPattern(base_rate=0.2, amplitude=1.0)
+    rng = np.random.default_rng(seed)
+    times = thinned_arrivals(pattern.rate, pattern.max_rate, horizon, rng)
+    n = times.size
+    game_idx = catalog.sample_games(rng, n)
+    items = []
+    for i in range(n):
+        game = catalog.games[int(game_idx[i])]
+        # Log-normal with the game's mean: mu_log = ln(mean) − sigma²/2.
+        mu_log = math.log(game.mean_session) - game.session_sigma**2 / 2
+        session = float(rng.lognormal(mu_log, game.session_sigma))
+        session = min(max(session, min_session), max_session)
+        items.append(
+            Item(
+                arrival=float(times[i]),
+                departure=float(times[i] + session),
+                size=game.gpu_demand,
+                item_id=f"{name}-{i}",
+                tag=game.name,
+            )
+        )
+    return Trace.from_items(items, name=name)

@@ -1,0 +1,237 @@
+"""Sampling distributions for synthetic workloads.
+
+Thin, validated wrappers over :class:`numpy.random.Generator` with a common
+``sample(rng, n)`` interface, so trace generators are configured with
+declarative objects instead of callables.  The bounded distributions
+(Uniform, BoundedPareto, Clipped) matter specially here: the paper's
+competitive ratios are functions of μ, the max/min interval length ratio,
+so workload session lengths must have controlled support.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Deterministic",
+    "Uniform",
+    "Exponential",
+    "LogNormal",
+    "BoundedPareto",
+    "Clipped",
+    "Choice",
+]
+
+
+class Distribution(ABC):
+    """A positive-valued sampling distribution."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` samples as a float array."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """The distribution mean (used for load calculations in docs/tests)."""
+
+    @property
+    def support(self) -> tuple[float, float]:
+        """(lower, upper) bounds of the support; ``inf`` when unbounded."""
+        return (0.0, float("inf"))
+
+
+@dataclass(frozen=True, slots=True)
+class Deterministic(Distribution):
+    """Always ``value``."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError(f"value must be positive, got {self.value}")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.value, self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low <= self.high:
+            raise ValueError(f"need 0 < low ≤ high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+
+@dataclass(frozen=True, slots=True)
+class Exponential(Distribution):
+    """Exponential with the given mean (unbounded: clip to control μ)."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError(f"mean must be positive, got {self.mean_value}")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean_value, size=n)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True, slots=True)
+class LogNormal(Distribution):
+    """Log-normal with log-space parameters ``mu_log``, ``sigma_log``.
+
+    The classic heavy-ish-tailed model for session durations.
+    """
+
+    mu_log: float
+    sigma_log: float
+
+    def __post_init__(self) -> None:
+        if self.sigma_log < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma_log}")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self.mu_log, self.sigma_log, size=n)
+
+    def mean(self) -> float:
+        return float(np.exp(self.mu_log + self.sigma_log**2 / 2))
+
+
+@dataclass(frozen=True, slots=True)
+class BoundedPareto(Distribution):
+    """Pareto truncated to ``[low, high]`` via inverse-CDF sampling.
+
+    Heavy-tailed but with finite support, giving an exact
+    ``μ = high/low`` when used for interval lengths.
+    """
+
+    low: float
+    high: float
+    alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low < self.high:
+            raise ValueError(f"need 0 < low < high, got [{self.low}, {self.high}]")
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.uniform(size=n)
+        la, ha, a = self.low**self.alpha, self.high**self.alpha, self.alpha
+        # Inverse CDF of the truncated Pareto.
+        return (-(u * ha - u * la - ha) / (ha * la)) ** (-1 / a)
+
+    def mean(self) -> float:
+        la, ha, a = self.low, self.high, self.alpha
+        if a == 1:
+            return float(la * ha / (ha - la) * np.log(ha / la))
+        num = la**a / (1 - (la / ha) ** a) * a / (a - 1) * (1 / la ** (a - 1) - 1 / ha ** (a - 1))
+        return float(num)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+
+@dataclass(frozen=True, slots=True)
+class Clipped(Distribution):
+    """Another distribution clipped to ``[low, high]``.
+
+    The standard way to impose a finite μ on an unbounded duration model
+    (e.g. exponential sessions clipped to [5 min, 8 h]).
+    """
+
+    inner: Distribution
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low <= self.high:
+            raise ValueError(f"need 0 < low ≤ high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.clip(self.inner.sample(rng, n), self.low, self.high)
+
+    def mean(self) -> float:
+        # Estimate; exact clipped means are not needed anywhere critical.
+        rng = np.random.default_rng(0)
+        return float(self.sample(rng, 20000).mean())
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.low, self.high)
+
+
+@dataclass(frozen=True)
+class Choice(Distribution):
+    """Discrete distribution over fixed values with optional weights.
+
+    Models item-size catalogues (each game's GPU demand is one of a few
+    values) — the adversarial and MFF experiments rely on discrete sizes.
+    """
+
+    values: tuple[float, ...]
+    weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("need at least one value")
+        if any(v <= 0 for v in self.values):
+            raise ValueError(f"values must be positive, got {self.values}")
+        if self.weights is not None:
+            if len(self.weights) != len(self.values):
+                raise ValueError("weights and values must have equal length")
+            if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+                raise ValueError(f"invalid weights: {self.weights}")
+
+    @classmethod
+    def of(cls, values: Sequence[float], weights: Sequence[float] | None = None) -> "Choice":
+        return cls(values=tuple(values), weights=tuple(weights) if weights else None)
+
+    def _probs(self) -> np.ndarray | None:
+        if self.weights is None:
+            return None
+        w = np.asarray(self.weights, dtype=float)
+        return w / w.sum()
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(np.asarray(self.values), size=n, p=self._probs())
+
+    def mean(self) -> float:
+        p = self._probs()
+        if p is None:
+            return float(np.mean(self.values))
+        return float(np.dot(self.values, p))
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (min(self.values), max(self.values))

@@ -1,0 +1,117 @@
+"""Empirical trace profiling and synthesis (trace bootstrapping).
+
+Given an observed request trace (e.g. a production log imported through
+:meth:`Trace.from_csv`), fit a compact statistical profile — arrival rate,
+log-normal session model, empirical size mix — and synthesise arbitrarily
+many statistically-similar traces from it.  This is how a deployment would
+use the paper's machinery without shipping raw logs around: profile once,
+regenerate forever.
+
+Fitting choices: arrivals are modelled homogeneous-Poisson at the observed
+mean rate; durations are log-normal by log-moment matching (the standard
+session-length model), clipped to the observed support so the synthetic μ
+never exceeds the observed μ; sizes reuse the observed discrete mix when
+small (game catalogues are discrete) and quantile bins otherwise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distributions import Choice, Clipped, LogNormal
+from .generators import generate_trace
+from .trace import Trace
+
+__all__ = ["TraceProfile", "profile_trace", "synthesize_trace"]
+
+#: Size mixes with at most this many distinct values are kept verbatim.
+MAX_DISCRETE_SIZES = 50
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """A fitted statistical summary of an observed trace."""
+
+    arrival_rate: float
+    horizon: float
+    duration_mu_log: float
+    duration_sigma_log: float
+    duration_min: float
+    duration_max: float
+    sizes: Choice
+    num_items: int
+
+    @property
+    def duration_model(self) -> Clipped:
+        return Clipped(
+            LogNormal(self.duration_mu_log, self.duration_sigma_log),
+            self.duration_min,
+            self.duration_max,
+        )
+
+    @property
+    def mu_bound(self) -> float:
+        """The profile's max/min interval ratio (synthetic μ never exceeds it)."""
+        return self.duration_max / self.duration_min
+
+
+def profile_trace(trace: Trace) -> TraceProfile:
+    """Fit a :class:`TraceProfile` from an observed trace."""
+    if len(trace) < 2:
+        raise ValueError(f"need at least 2 items to profile, got {len(trace)}")
+    arrivals = np.array([float(it.arrival) for it in trace.items])
+    durations = np.array([float(it.length) for it in trace.items])
+    sizes = [float(it.size) for it in trace.items]
+
+    horizon = float(arrivals.max() - arrivals.min())
+    if horizon <= 0:
+        # All simultaneous: treat as one burst over a nominal unit window.
+        horizon = 1.0
+    rate = len(trace) / horizon
+
+    logs = np.log(durations)
+    sigma = float(logs.std(ddof=1)) if len(trace) > 2 else 0.0
+
+    counts = Counter(sizes)
+    if len(counts) <= MAX_DISCRETE_SIZES:
+        values = sorted(counts)
+        weights = [counts[v] for v in values]
+    else:
+        # Quantile binning: 20 representative sizes, equal weight.
+        values = [float(q) for q in np.quantile(sizes, np.linspace(0.025, 0.975, 20))]
+        values = sorted(set(values))
+        weights = [1.0] * len(values)
+
+    return TraceProfile(
+        arrival_rate=rate,
+        horizon=horizon,
+        duration_mu_log=float(logs.mean()),
+        duration_sigma_log=sigma,
+        duration_min=float(durations.min()),
+        duration_max=float(durations.max()),
+        sizes=Choice.of(values, weights),
+        num_items=len(trace),
+    )
+
+
+def synthesize_trace(
+    profile: TraceProfile,
+    *,
+    seed: int = 0,
+    horizon: float | None = None,
+    name: str = "synthesized",
+    capacity: float = 1.0,
+) -> Trace:
+    """Generate a fresh trace statistically similar to the profiled one."""
+    return generate_trace(
+        arrival_rate=profile.arrival_rate,
+        horizon=horizon if horizon is not None else profile.horizon,
+        duration=profile.duration_model,
+        size=profile.sizes,
+        seed=seed,
+        name=name,
+        capacity=capacity,
+    )

@@ -1,0 +1,202 @@
+"""Synthetic trace generators.
+
+All generators are deterministic given a seed, use NumPy vectorised
+sampling, and return :class:`~repro.workloads.trace.Trace` objects.  The
+duration distribution controls the trace's μ: bounded duration support
+``[lo, hi]`` yields ``μ ≤ hi/lo`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.item import Item
+from .distributions import Distribution
+from .trace import Trace
+
+__all__ = [
+    "poisson_arrivals",
+    "thinned_arrivals",
+    "mmpp_arrivals",
+    "generate_trace",
+    "generate_burst_trace",
+    "generate_mmpp_trace",
+]
+
+
+def poisson_arrivals(
+    rate: float, horizon: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Arrival times of a homogeneous Poisson process on ``[0, horizon)``."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    n = rng.poisson(rate * horizon)
+    return np.sort(rng.uniform(0, horizon, size=n))
+
+
+def thinned_arrivals(
+    rate_fn: Callable[[np.ndarray], np.ndarray],
+    rate_max: float,
+    horizon: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Non-homogeneous Poisson arrivals by thinning.
+
+    ``rate_fn`` is a vectorised intensity function bounded by ``rate_max``.
+    Used for diurnal cloud-gaming load patterns.
+    """
+    if rate_max <= 0:
+        raise ValueError(f"rate_max must be positive, got {rate_max}")
+    candidates = poisson_arrivals(rate_max, horizon, rng)
+    if candidates.size == 0:
+        return candidates
+    intensities = np.asarray(rate_fn(candidates), dtype=float)
+    if np.any(intensities < 0) or np.any(intensities > rate_max * (1 + 1e-9)):
+        raise ValueError("rate_fn must stay within [0, rate_max]")
+    keep = rng.uniform(0, rate_max, size=candidates.size) < intensities
+    return candidates[keep]
+
+
+def mmpp_arrivals(
+    rates: "Sequence[float]",
+    mean_dwell: float,
+    horizon: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Markov-modulated Poisson arrivals (flash crowds).
+
+    The modulating chain cycles through ``rates`` round-robin with
+    exponential dwell times of mean ``mean_dwell``; within a state arrivals
+    are homogeneous Poisson at that state's rate.  A two-state
+    ``rates=(low, high)`` chain is the classic burst model; game launches
+    and evening surges motivate it for cloud gaming.
+    """
+    if not rates or any(r < 0 for r in rates):
+        raise ValueError(f"rates must be non-negative and non-empty, got {rates}")
+    if max(rates) <= 0:
+        raise ValueError("at least one state must have a positive rate")
+    if mean_dwell <= 0:
+        raise ValueError(f"mean dwell must be positive, got {mean_dwell}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    times: list[np.ndarray] = []
+    t = 0.0
+    state = 0
+    while t < horizon:
+        dwell = float(rng.exponential(mean_dwell))
+        end = min(t + dwell, horizon)
+        rate = rates[state]
+        if rate > 0 and end > t:
+            n = rng.poisson(rate * (end - t))
+            times.append(rng.uniform(t, end, size=n))
+        t = end
+        state = (state + 1) % len(rates)
+    if not times:
+        return np.empty(0)
+    return np.sort(np.concatenate(times))
+
+
+def generate_trace(
+    *,
+    arrival_rate: float,
+    horizon: float,
+    duration: Distribution,
+    size: Distribution,
+    seed: int = 0,
+    name: str = "synthetic",
+    capacity: float = 1.0,
+) -> Trace:
+    """Poisson arrivals with i.i.d. durations and sizes.
+
+    Sizes above ``capacity`` are resampled from the distribution's support
+    upper end clipped to capacity (a size > W item could never be packed).
+    """
+    rng = np.random.default_rng(seed)
+    times = poisson_arrivals(arrival_rate, horizon, rng)
+    n = times.size
+    durations = duration.sample(rng, n)
+    sizes = np.minimum(size.sample(rng, n), capacity)
+    items = [
+        Item(
+            arrival=float(times[i]),
+            departure=float(times[i] + durations[i]),
+            size=float(sizes[i]),
+            item_id=f"{name}-{i}",
+        )
+        for i in range(n)
+    ]
+    return Trace.from_items(items, name=name)
+
+
+def generate_burst_trace(
+    *,
+    num_bursts: int,
+    burst_size: int,
+    burst_spacing: float,
+    duration: Distribution,
+    size: Distribution,
+    seed: int = 0,
+    name: str = "bursts",
+    capacity: float = 1.0,
+) -> Trace:
+    """Batched arrivals: ``burst_size`` simultaneous items every
+    ``burst_spacing`` time units.
+
+    Stresses the algorithms the way the paper's adversaries do — large
+    same-instant groups — while staying stochastic in durations/sizes.
+    """
+    if num_bursts < 1 or burst_size < 1:
+        raise ValueError("need at least one burst of at least one item")
+    if burst_spacing <= 0:
+        raise ValueError(f"burst spacing must be positive, got {burst_spacing}")
+    rng = np.random.default_rng(seed)
+    items = []
+    idx = 0
+    for b in range(num_bursts):
+        t = b * burst_spacing
+        durations = duration.sample(rng, burst_size)
+        sizes = np.minimum(size.sample(rng, burst_size), capacity)
+        for i in range(burst_size):
+            items.append(
+                Item(
+                    arrival=float(t),
+                    departure=float(t + durations[i]),
+                    size=float(sizes[i]),
+                    item_id=f"{name}-{idx}",
+                )
+            )
+            idx += 1
+    return Trace.from_items(items, name=name)
+
+
+def generate_mmpp_trace(
+    *,
+    rates: Sequence[float],
+    mean_dwell: float,
+    horizon: float,
+    duration: Distribution,
+    size: Distribution,
+    seed: int = 0,
+    name: str = "mmpp",
+    capacity: float = 1.0,
+) -> Trace:
+    """A flash-crowd trace: MMPP arrivals with i.i.d. durations and sizes."""
+    rng = np.random.default_rng(seed)
+    times = mmpp_arrivals(rates, mean_dwell, horizon, rng)
+    n = times.size
+    durations = duration.sample(rng, n)
+    sizes = np.minimum(size.sample(rng, n), capacity)
+    items = [
+        Item(
+            arrival=float(times[i]),
+            departure=float(times[i] + durations[i]),
+            size=float(sizes[i]),
+            item_id=f"{name}-{i}",
+        )
+        for i in range(n)
+    ]
+    return Trace.from_items(items, name=name)

@@ -1,0 +1,88 @@
+"""Tests for ratio measurement, sweeps and table rendering."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import BestFit, FirstFit, make_items, simulate
+from repro.analysis.ratio import compare_algorithms, measure_ratio
+from repro.analysis.sweep import SweepResult, grid, run_sweep
+from repro.analysis.tables import format_value, render_table, rows_to_csv
+
+
+class TestMeasureRatio:
+    def test_bracketed(self):
+        items = make_items([(0, 4, 0.6), (1, 3, 0.6), (2, 6, 0.6)])
+        result = simulate(items, FirstFit())
+        m = measure_ratio(result)
+        assert m.ratio_lower <= m.ratio_upper
+        assert m.ratio == m.ratio_upper
+        assert m.algorithm_name == "first-fit"
+
+    def test_exact_mode(self):
+        items = make_items([(0, 4, 0.6), (0, 4, 0.6)])
+        result = simulate(items, FirstFit())
+        m = measure_ratio(result, exact=True)
+        # OPT is exactly 2 bins × 4: ratio exactly 1.
+        assert m.ratio_upper == m.ratio_lower == 1.0
+
+    def test_compare_algorithms_shares_bracket(self):
+        items = make_items([(0, 4, 0.6), (1, 5, 0.6), (2, 8, 0.3)])
+        ms = compare_algorithms(items, [FirstFit(), BestFit()])
+        assert len(ms) == 2
+        assert ms[0].opt == ms[1].opt
+        assert {m.algorithm_name for m in ms} == {"first-fit", "best-fit"}
+
+
+class TestGridAndSweep:
+    def test_grid_product(self):
+        pts = grid(a=[1, 2], b=["x"])
+        assert pts == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_run_sweep_collects_rows(self):
+        res = run_sweep(lambda a, b: {"a": a, "b": b, "sum": a + b}, grid(a=[1, 2], b=[10]))
+        assert res.headers == ["a", "b", "sum"]
+        assert res.column("sum") == [11, 12]
+
+    def test_run_sweep_empty_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(lambda: {}, [])
+
+    def test_sweep_result_table(self):
+        res = SweepResult(headers=["x", "y"])
+        res.add({"x": 1, "y": 2.5})
+        text = res.to_table(title="T")
+        assert "T" in text and "2.5" in text
+
+
+class TestTables:
+    def test_format_fraction(self):
+        assert format_value(Fraction(1, 2)) == "1/2 (0.5)"
+        assert format_value(Fraction(4, 2)) == "2"
+
+    def test_format_float_precision(self):
+        assert format_value(3.14159, precision=3) == "3.14"
+
+    def test_format_none_bool(self):
+        assert format_value(None) == "None"
+        assert format_value(True) == "True"
+
+    def test_render_alignment(self):
+        text = render_table(["algo", "cost"], [["ff", 1.0], ["best-fit", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("algo")
+        assert len(lines) == 4
+        # Columns align: each row starts at the same offset for column 2.
+        assert lines[2].index("1") == lines[3].index("22.5")
+
+    def test_render_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_render_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_csv(self):
+        assert rows_to_csv(["a", "b"], [[1, 2]]) == "a,b\n1,2"

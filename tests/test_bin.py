@@ -1,0 +1,110 @@
+"""Unit tests for repro.core.bin."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms.base import Arrival
+from repro.core.bin import Bin, BinClosedError, CapacityExceededError
+
+
+def view(item_id, size, arrival=0):
+    return Arrival(item_id=item_id, size=size, arrival=arrival)
+
+
+class TestLifecycle:
+    def test_opens_on_first_add(self):
+        b = Bin(index=0, capacity=1)
+        assert not b.is_open and not b.is_closed
+        b.add(view("a", 0.5), time=3)
+        assert b.is_open
+        assert b.opened_at == 3
+
+    def test_closes_when_emptied(self):
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", 0.5), time=0)
+        b.add(view("b", 0.25), time=1)
+        b.remove("a", time=2)
+        assert b.is_open
+        b.remove("b", time=5)
+        assert b.is_closed
+        assert b.closed_at == 5
+        assert b.usage_length == 5
+
+    def test_closed_bin_rejects_operations(self):
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", 0.5), time=0)
+        b.remove("a", time=1)
+        with pytest.raises(BinClosedError):
+            b.add(view("b", 0.5), time=2)
+        with pytest.raises(BinClosedError):
+            b.remove("a", time=2)
+
+    def test_usage_interval_before_close_fails(self):
+        b = Bin(index=0, capacity=1)
+        with pytest.raises(BinClosedError):
+            _ = b.usage_length
+
+
+class TestCapacity:
+    def test_level_and_residual(self):
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", Fraction(1, 3)), time=0)
+        b.add(view("b", Fraction(1, 3)), time=0)
+        assert b.level == Fraction(2, 3)
+        assert b.residual == Fraction(1, 3)
+
+    def test_fits_exact_boundary(self):
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", Fraction(2, 3)), time=0)
+        assert b.fits(view("b", Fraction(1, 3)))
+        assert not b.fits(view("c", Fraction(1, 3) + Fraction(1, 100)))
+
+    def test_overfull_rejected(self):
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", 0.75), time=0)
+        with pytest.raises(CapacityExceededError):
+            b.add(view("b", 0.5), time=1)
+
+    def test_duplicate_item_rejected(self):
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", 0.25), time=0)
+        with pytest.raises(ValueError, match="already"):
+            b.add(view("a", 0.25), time=1)
+
+    def test_remove_unknown_item(self):
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", 0.25), time=0)
+        with pytest.raises(KeyError):
+            b.remove("ghost", time=1)
+
+    def test_level_reset_exactly_on_empty(self):
+        # Float residue must not linger once the bin empties.
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", 0.1), time=0)
+        b.add(view("b", 0.2), time=0)
+        b.remove("a", time=1)
+        b.remove("b", time=1)
+        assert b.level == 0
+
+
+class TestReporting:
+    def test_assignment_log(self):
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", 0.5), time=0)
+        b.add(view("b", 0.25), time=2)
+        assert [(x.time, x.item.item_id) for x in b.assignments] == [(0, "a"), (2, "b")]
+        assert [it.item_id for it in b.assigned_items()] == ["a", "b"]
+
+    def test_configuration_multiset(self):
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", Fraction(1, 2)), time=0)
+        b.add(view("b", Fraction(1, 10)), time=0)
+        b.add(view("c", Fraction(1, 10)), time=0)
+        assert b.configuration() == {Fraction(1, 2): 1, Fraction(1, 10): 2}
+
+    def test_num_items_and_contains(self):
+        b = Bin(index=0, capacity=1)
+        b.add(view("a", 0.5), time=0)
+        assert b.num_items == 1
+        assert b.contains("a") and not b.contains("b")

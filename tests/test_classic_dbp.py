@@ -1,0 +1,88 @@
+"""Tests for the classic MaxBins objective module."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro import BestFit, FirstFit, make_items, simulate
+from repro.analysis.classic_dbp import (
+    max_bins_exact,
+    max_bins_lower_bound,
+    max_bins_ratio,
+)
+from tests.conftest import exact_items
+
+
+class TestLowerBound:
+    def test_simple_peak(self):
+        items = make_items([(0, 4, 0.6), (1, 3, 0.6), (2, 5, 0.6)])
+        # Peak load 1.8 at t in [2,3): needs 2 bins.
+        assert max_bins_lower_bound(items) == 2
+
+    def test_empty(self):
+        assert max_bins_lower_bound([]) == 0
+
+    def test_capacity(self):
+        items = make_items([(0, 1, 3.0), (0, 1, 3.0)])
+        assert max_bins_lower_bound(items, capacity=4) == 2
+        assert max_bins_lower_bound(items, capacity=6) == 1
+
+
+class TestExact:
+    def test_exact_can_beat_load_bound(self):
+        # Three 0.6 items overlap: load bound ceil(1.8)=2 but sizes > 1/2
+        # cannot share, so the exact optimum is 3.
+        items = make_items([(0, 4, 0.6), (0, 4, 0.6), (0, 4, 0.6)])
+        assert max_bins_lower_bound(items) == 2
+        assert max_bins_exact(items) == 3
+
+    def test_matches_on_simple(self):
+        items = make_items([(0, 2, Fraction(1, 2)), (1, 3, Fraction(1, 2))])
+        assert max_bins_exact(items) == 1
+
+
+class TestRatio:
+    def test_ratio_one_when_optimal(self):
+        items = make_items([(0, 2, 0.5), (0, 2, 0.5)])
+        result = simulate(items, FirstFit())
+        assert max_bins_ratio(result) == 1.0
+        assert max_bins_ratio(result, exact=True) == 1.0
+
+    def test_empty_rejected(self):
+        result = simulate([], FirstFit())
+        with pytest.raises(ValueError):
+            max_bins_ratio(result)
+
+
+@given(exact_items())
+@settings(max_examples=50, deadline=None)
+def test_maxbins_sandwich(items):
+    """load LB ≤ exact max bins ≤ any algorithm's max_bins_used."""
+    lb = max_bins_lower_bound(items)
+    exact = max_bins_exact(items)
+    assert lb <= exact
+    for algo in (FirstFit(), BestFit()):
+        result = simulate(items, algo)
+        assert result.max_bins_used >= exact
+        assert max_bins_ratio(result, exact=True) >= 1.0
+
+
+class TestL2Method:
+    def test_l2_beats_load_on_big_items(self):
+        items = make_items([(0, 4, 0.6), (0, 4, 0.6), (0, 4, 0.6)])
+        assert max_bins_lower_bound(items) == 2
+        assert max_bins_lower_bound(items, method="l2") == 3
+        assert max_bins_lower_bound(items, method="l2") == max_bins_exact(items)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            max_bins_lower_bound([], method="psychic")
+
+
+@given(exact_items(max_items=12))
+@settings(max_examples=40, deadline=None)
+def test_l2_maxbins_sandwich(items):
+    load_lb = max_bins_lower_bound(items)
+    l2_lb = max_bins_lower_bound(items, method="l2")
+    assert load_lb <= l2_lb <= max_bins_exact(items)

@@ -1,0 +1,40 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "thm1-anyfit", "--precision", "6", "--strict"])
+        assert args.experiment == "thm1-anyfit"
+        assert args.precision == 6
+        assert args.strict
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "thm1-anyfit" in out
+        assert "cloud-gaming" in out
+
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "first-fit" in out and "modified-first-fit" in out
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "bounds-sandwich"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "OPT_total" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "definitely-not-real"])

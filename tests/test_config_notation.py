@@ -1,0 +1,73 @@
+"""Unit tests for the <x|_y> bin-configuration notation (Table 1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import BinConfiguration, parse_configuration
+from repro.core.config_notation import ConfigGroup
+
+
+class TestConfigGroup:
+    def test_count(self):
+        g = ConfigGroup(total=Fraction(2, 5), item_size=Fraction(1, 10))
+        assert g.count == 4
+        assert g.sizes() == [Fraction(1, 10)] * 4
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ValueError, match="integer multiple"):
+            ConfigGroup(total=0.5, item_size=0.3)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigGroup(total=1, item_size=0)
+
+    def test_str(self):
+        assert str(ConfigGroup(total=1, item_size=Fraction(1, 3))) == "1|_1/3"
+
+
+class TestBinConfiguration:
+    def test_paper_example(self):
+        # <1/2|_1/2, 2/5|_1/10>: level 9/10, one 1/2-item and four 1/10-items.
+        cfg = BinConfiguration.of(
+            (Fraction(1, 2), Fraction(1, 2)), (Fraction(2, 5), Fraction(1, 10))
+        )
+        assert cfg.level == Fraction(9, 10)
+        assert cfg.num_items == 5
+        assert cfg.as_multiset() == {Fraction(1, 2): 1, Fraction(1, 10): 4}
+
+    def test_matches_observed(self):
+        cfg = BinConfiguration.of((Fraction(1, 2), Fraction(1, 4)))
+        assert cfg.matches({Fraction(1, 4): 2})
+        assert not cfg.matches({Fraction(1, 4): 3})
+
+    def test_empty(self):
+        cfg = BinConfiguration(groups=())
+        assert cfg.level == 0 and cfg.num_items == 0
+
+
+class TestParsing:
+    def test_parse_paper_example(self):
+        cfg = parse_configuration("<1/2|_1/2, 2/5|_1/10>")
+        assert cfg.level == Fraction(9, 10)
+        assert cfg.num_items == 5
+
+    def test_parse_without_underscore(self):
+        cfg = parse_configuration("1/2|1/2")
+        assert cfg.num_items == 1
+
+    def test_parse_decimals_and_ints(self):
+        cfg = parse_configuration("<0.5|_0.25, 1|_1>")
+        assert cfg.groups[0].count == 2
+        assert cfg.groups[1].count == 1
+
+    def test_roundtrip_str(self):
+        cfg = BinConfiguration.of((Fraction(1, 2), Fraction(1, 2)))
+        assert parse_configuration(str(cfg)) == cfg
+
+    def test_parse_empty(self):
+        assert parse_configuration("<>").num_items == 0
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_configuration("<1/2>")

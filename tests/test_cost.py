@@ -1,0 +1,57 @@
+"""Unit tests for cost models."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import ContinuousCost, QuantizedCost
+
+
+class TestContinuous:
+    def test_linear(self):
+        assert ContinuousCost(rate=2).bin_cost(3) == 6
+
+    def test_zero_duration(self):
+        assert ContinuousCost().bin_cost(0) == 0
+
+    def test_fraction_exact(self):
+        assert ContinuousCost(rate=Fraction(1, 3)).bin_cost(Fraction(3, 2)) == Fraction(1, 2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ContinuousCost(rate=0)
+        with pytest.raises(ValueError):
+            ContinuousCost().bin_cost(-1)
+
+
+class TestQuantized:
+    def test_rounds_up(self):
+        hourly = QuantizedCost(rate=1, quantum=60)
+        assert hourly.bin_cost(61) == 120
+        assert hourly.bin_cost(60) == 60
+        assert hourly.bin_cost(1) == 60
+
+    def test_minimum_one_quantum(self):
+        assert QuantizedCost(rate=2, quantum=10).bin_cost(0) == 20
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            QuantizedCost(quantum=0)
+        with pytest.raises(ValueError):
+            QuantizedCost().bin_cost(-0.5)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e5),
+    st.floats(min_value=0.01, max_value=1e3),
+    st.floats(min_value=0.01, max_value=100.0),
+)
+def test_quantized_dominates_continuous(duration, quantum, rate):
+    """Hourly billing never undercuts continuous billing."""
+    q = QuantizedCost(rate=rate, quantum=quantum).bin_cost(duration)
+    c = ContinuousCost(rate=rate).bin_cost(duration)
+    assert q >= c * (1 - 1e-12)
+    # ...and overcharges by at most one quantum.
+    assert q <= c + rate * quantum * (1 + 1e-9)

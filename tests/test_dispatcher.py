@@ -1,0 +1,93 @@
+"""Tests for the cloud dispatch substrate."""
+
+import pytest
+
+from repro import FirstFit, NewBinPerItem, SimulationError
+from repro.cloud import CloudGamingDispatcher, ServerType, dispatch_trace
+from repro.workloads import generate_gaming_trace
+
+
+class TestServerType:
+    def test_models(self):
+        st = ServerType(rate=2.0, billing_quantum=60.0)
+        assert st.continuous_model().bin_cost(30) == 60
+        assert st.billed_model().bin_cost(61) == 2 * 120
+
+    def test_no_quantum_falls_back_to_continuous(self):
+        st = ServerType(billing_quantum=None)
+        assert st.billed_model().bin_cost(31.5) == 31.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerType(gpu_capacity=0)
+        with pytest.raises(ValueError):
+            ServerType(rate=0)
+        with pytest.raises(ValueError):
+            ServerType(billing_quantum=0)
+
+
+class TestDispatcherLifecycle:
+    def test_sessions_share_server(self):
+        d = CloudGamingDispatcher(FirstFit())
+        s1 = d.start_session(0.0, gpu_demand=0.5, request_id="alice")
+        s2 = d.start_session(1.0, gpu_demand=0.5, request_id="bob")
+        assert s1 == s2 == 0
+        assert d.active_sessions == 2
+        assert d.servers_in_use == 1
+        d.end_session("alice", 10.0)
+        d.end_session("bob", 12.0)
+        report = d.shutdown()
+        assert report.num_servers_rented == 1
+        assert report.continuous_cost == 12.0
+        assert report.num_sessions == 2
+
+    def test_overflow_opens_server(self):
+        d = CloudGamingDispatcher(FirstFit())
+        d.start_session(0.0, gpu_demand=0.7, request_id="a")
+        assert d.start_session(0.0, gpu_demand=0.7, request_id="b") == 1
+        d.end_session("a", 1.0)
+        d.end_session("b", 1.0)
+        rep = d.shutdown()
+        assert rep.peak_concurrent_servers == 2
+
+    def test_shutdown_with_live_sessions_rejected(self):
+        d = CloudGamingDispatcher(FirstFit())
+        d.start_session(0.0, gpu_demand=0.5, request_id="a")
+        with pytest.raises(SimulationError):
+            d.shutdown()
+
+
+class TestDispatchTrace:
+    def test_report_fields(self, gaming_trace):
+        rep = dispatch_trace(gaming_trace, FirstFit())
+        assert rep.algorithm_name == "first-fit"
+        assert rep.num_sessions == len(gaming_trace)
+        assert rep.billed_cost >= rep.continuous_cost
+        assert 0 < rep.utilization <= 1
+        assert rep.cost_per_session > 0
+        row = rep.summary_row()
+        assert set(row) == {
+            "algorithm",
+            "servers",
+            "peak",
+            "server-time",
+            "cost(cont)",
+            "cost(billed)",
+            "util",
+        }
+
+    def test_first_fit_beats_naive(self, gaming_trace):
+        ff = dispatch_trace(gaming_trace, FirstFit())
+        naive = dispatch_trace(gaming_trace, NewBinPerItem())
+        assert ff.continuous_cost < naive.continuous_cost
+        assert ff.num_servers_rented < naive.num_servers_rented
+
+    def test_custom_server_type_scales_costs(self, gaming_trace):
+        cheap = dispatch_trace(gaming_trace, FirstFit(), server_type=ServerType(rate=1.0))
+        pricey = dispatch_trace(gaming_trace, FirstFit(), server_type=ServerType(rate=3.0))
+        assert pricey.continuous_cost == pytest.approx(3 * cheap.continuous_cost)
+
+    def test_bigger_servers_cut_server_count(self, gaming_trace):
+        small = dispatch_trace(gaming_trace, FirstFit(), server_type=ServerType(gpu_capacity=1.0))
+        big = dispatch_trace(gaming_trace, FirstFit(), server_type=ServerType(gpu_capacity=2.0))
+        assert big.peak_concurrent_servers <= small.peak_concurrent_servers

@@ -1,0 +1,106 @@
+"""Statistical validation of the samplers against closed-form CDFs.
+
+Kolmogorov-Smirnov tests at generous thresholds: these catch wrong
+inverse-CDF algebra or parameter mix-ups, not RNG noise (fixed seeds keep
+them deterministic).
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.workloads.distributions import (
+    BoundedPareto,
+    Exponential,
+    LogNormal,
+    Uniform,
+)
+
+
+N = 20_000
+SEED = 20140623  # SPAA'14 opening day
+
+
+def ks_pvalue(samples, cdf):
+    return stats.kstest(samples, cdf).pvalue
+
+
+class TestAgainstClosedForms:
+    def test_uniform(self):
+        d = Uniform(2.0, 5.0)
+        xs = d.sample(np.random.default_rng(SEED), N)
+        p = ks_pvalue(xs, stats.uniform(loc=2.0, scale=3.0).cdf)
+        assert p > 0.01
+
+    def test_exponential(self):
+        d = Exponential(4.0)
+        xs = d.sample(np.random.default_rng(SEED), N)
+        p = ks_pvalue(xs, stats.expon(scale=4.0).cdf)
+        assert p > 0.01
+
+    def test_lognormal(self):
+        d = LogNormal(mu_log=0.5, sigma_log=0.8)
+        xs = d.sample(np.random.default_rng(SEED), N)
+        p = ks_pvalue(xs, stats.lognorm(s=0.8, scale=np.exp(0.5)).cdf)
+        assert p > 0.01
+
+    def test_bounded_pareto_cdf(self):
+        """Truncated-Pareto inverse CDF vs the analytic CDF.
+
+        F(x) = (1 − (L/x)^α) / (1 − (L/H)^α) on [L, H].
+        """
+        L, H, a = 1.0, 20.0, 1.5
+        d = BoundedPareto(L, H, alpha=a)
+        xs = d.sample(np.random.default_rng(SEED), N)
+
+        def cdf(x):
+            x = np.clip(x, L, H)
+            return (1 - (L / x) ** a) / (1 - (L / H) ** a)
+
+        assert ks_pvalue(xs, cdf) > 0.01
+
+    def test_bounded_pareto_alpha_one(self):
+        L, H = 2.0, 50.0
+        d = BoundedPareto(L, H, alpha=1.0)
+        xs = d.sample(np.random.default_rng(SEED), N)
+
+        def cdf(x):
+            x = np.clip(x, L, H)
+            return (1 - L / x) / (1 - L / H)
+
+        assert ks_pvalue(xs, cdf) > 0.01
+        # The α=1 analytic mean has its own branch; check it too.
+        assert abs(xs.mean() - d.mean()) / d.mean() < 0.05
+
+
+class TestPoissonProcesses:
+    def test_homogeneous_interarrivals_exponential(self):
+        from repro.workloads import poisson_arrivals
+
+        rng = np.random.default_rng(SEED)
+        xs = poisson_arrivals(2.0, 20000.0, rng)
+        gaps = np.diff(xs)
+        p = ks_pvalue(gaps, stats.expon(scale=0.5).cdf)
+        assert p > 0.01
+
+    def test_thinned_matches_target_intensity(self):
+        from repro.workloads import thinned_arrivals
+
+        rng = np.random.default_rng(SEED)
+        # Piecewise rate: 4 on the first half, 1 on the second.
+        rate = lambda t: np.where(np.asarray(t) < 500, 4.0, 1.0)
+        xs = thinned_arrivals(rate, 4.0, 1000.0, rng)
+        first = (xs < 500).sum() / 500.0
+        second = (xs >= 500).sum() / 500.0
+        assert first == pytest.approx(4.0, rel=0.1)
+        assert second == pytest.approx(1.0, rel=0.2)
+
+    def test_zipf_catalog_frequencies(self):
+        from repro.workloads import default_catalog
+
+        catalog = default_catalog()
+        rng = np.random.default_rng(SEED)
+        idx = catalog.sample_games(rng, 50_000)
+        observed = np.bincount(idx, minlength=len(catalog.games)) / idx.size
+        expected = catalog.popularity()
+        assert np.abs(observed - expected).max() < 0.01

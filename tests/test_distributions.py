@@ -1,0 +1,133 @@
+"""Tests for the workload distribution library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import (
+    BoundedPareto,
+    Choice,
+    Clipped,
+    Deterministic,
+    Exponential,
+    LogNormal,
+    Uniform,
+)
+
+
+RNG = lambda: np.random.default_rng(123)
+
+
+class TestDeterministic:
+    def test_constant(self):
+        assert (Deterministic(2.5).sample(RNG(), 5) == 2.5).all()
+        assert Deterministic(2.5).mean() == 2.5
+        assert Deterministic(2.5).support == (2.5, 2.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Deterministic(0)
+
+
+class TestUniform:
+    def test_support_respected(self):
+        xs = Uniform(1, 3).sample(RNG(), 500)
+        assert xs.min() >= 1 and xs.max() <= 3
+        assert abs(xs.mean() - 2) < 0.1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Uniform(3, 1)
+        with pytest.raises(ValueError):
+            Uniform(0, 1)
+
+
+class TestExponential:
+    def test_mean(self):
+        xs = Exponential(4.0).sample(RNG(), 4000)
+        assert abs(xs.mean() - 4.0) < 0.3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Exponential(0)
+
+
+class TestLogNormal:
+    def test_mean_formula(self):
+        d = LogNormal(mu_log=0.0, sigma_log=0.5)
+        xs = d.sample(RNG(), 8000)
+        assert abs(xs.mean() - d.mean()) < 0.1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LogNormal(0, -1)
+
+
+class TestBoundedPareto:
+    def test_support(self):
+        d = BoundedPareto(1, 10, alpha=1.5)
+        xs = d.sample(RNG(), 2000)
+        assert xs.min() >= 1 and xs.max() <= 10
+
+    def test_heavy_tail_shape(self):
+        # Lower alpha -> heavier tail -> larger mean.
+        m_light = BoundedPareto(1, 100, alpha=3.0).sample(RNG(), 20000).mean()
+        m_heavy = BoundedPareto(1, 100, alpha=1.1).sample(RNG(), 20000).mean()
+        assert m_heavy > m_light
+
+    def test_mean_close_to_empirical(self):
+        d = BoundedPareto(1, 50, alpha=2.0)
+        xs = d.sample(np.random.default_rng(7), 50000)
+        assert abs(xs.mean() - d.mean()) / d.mean() < 0.05
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(2, 1)
+        with pytest.raises(ValueError):
+            BoundedPareto(1, 2, alpha=0)
+
+
+class TestClipped:
+    def test_clipping(self):
+        d = Clipped(Exponential(5.0), 1.0, 3.0)
+        xs = d.sample(RNG(), 1000)
+        assert xs.min() >= 1.0 and xs.max() <= 3.0
+        assert d.support == (1.0, 3.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Clipped(Exponential(1), 3, 1)
+
+
+class TestChoice:
+    def test_values_only(self):
+        d = Choice.of([0.25, 0.5])
+        xs = d.sample(RNG(), 200)
+        assert set(np.unique(xs)) <= {0.25, 0.5}
+        assert d.mean() == 0.375
+
+    def test_weights(self):
+        d = Choice.of([1.0, 2.0], weights=[3, 1])
+        assert d.mean() == pytest.approx(1.25)
+        xs = d.sample(RNG(), 4000)
+        assert abs((xs == 1.0).mean() - 0.75) < 0.05
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Choice.of([])
+        with pytest.raises(ValueError):
+            Choice.of([1.0], weights=[1, 2])
+        with pytest.raises(ValueError):
+            Choice.of([1.0, 2.0], weights=[0, 0])
+        with pytest.raises(ValueError):
+            Choice.of([-1.0])
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_sampling_is_deterministic_given_seed(seed):
+    d = BoundedPareto(1, 10)
+    a = d.sample(np.random.default_rng(seed), 20)
+    b = d.sample(np.random.default_rng(seed), 20)
+    assert (a == b).all()

@@ -1,0 +1,28 @@
+"""Run the doctests embedded in module and function docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.algorithms.base
+import repro.analysis.sweep
+import repro.analysis.tables
+import repro.cloud.dispatcher
+import repro.core.simulator
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.algorithms.base,
+        repro.analysis.sweep,
+        repro.analysis.tables,
+        repro.cloud.dispatcher,
+        repro.core.simulator,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"
+    assert result.failed == 0

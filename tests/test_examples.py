@@ -1,0 +1,33 @@
+"""End-to-end smoke tests: every bundled example must run clean.
+
+Each example is executed as a real subprocess (the way a user runs it) and
+must exit 0 with non-trivial output.  These catch API drift between the
+library and its documentation-by-example.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr[-2000:]}"
+    assert len(proc.stdout) > 100, f"{script.name} produced almost no output"
+
+
+def test_all_examples_covered():
+    """The suite tracks every example file (new ones get tested for free)."""
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 7

@@ -1,0 +1,65 @@
+"""Tests for experiment-result persistence."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.sweep import SweepResult
+from repro.experiments.io import load_results_json, result_to_dict, results_to_json
+from repro.experiments.registry import ClaimCheck, ExperimentResult
+
+
+def _result():
+    table = SweepResult(headers=["k", "ratio"])
+    table.add({"k": 3, "ratio": Fraction(5, 2)})
+    table.add({"k": 4, "ratio": 1.75})
+    return ExperimentResult(
+        name="demo",
+        title="Demo result",
+        table=table,
+        checks=[ClaimCheck(claim="holds", holds=True, detail="why")],
+        notes=["a note"],
+    )
+
+
+class TestSerialisation:
+    def test_dict_shape(self):
+        d = result_to_dict(_result())
+        assert d["name"] == "demo"
+        assert d["headers"] == ["k", "ratio"]
+        assert d["rows"][0][0] == 3
+        assert d["rows"][0][1] == {"fraction": "5/2", "value": 2.5}
+        assert d["rows"][1][1] == 1.75
+        assert d["checks"][0] == {"claim": "holds", "holds": True, "detail": "why"}
+        assert d["all_claims_hold"] is True
+
+    def test_roundtrip(self):
+        doc = results_to_json([_result()])
+        loaded = load_results_json(doc)
+        assert len(loaded) == 1
+        assert loaded[0]["title"] == "Demo result"
+        assert loaded[0]["notes"] == ["a note"]
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="format version"):
+            load_results_json('{"format_version": 99, "experiments": []}')
+
+    def test_non_jsonable_values_stringified(self):
+        table = SweepResult(headers=["x"])
+        table.add({"x": complex(1, 2)})
+        d = result_to_dict(
+            ExperimentResult(name="n", title="t", table=table, checks=[], notes=[])
+        )
+        assert d["rows"][0][0] == "(1+2j)"
+
+
+class TestCliOut:
+    def test_run_with_out(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "results.json"
+        assert main(["run", "bounds-sandwich", "--out", str(out)]) == 0
+        loaded = load_results_json(out.read_text())
+        assert loaded[0]["name"] == "bounds-sandwich"
+        assert loaded[0]["all_claims_hold"] is True
+        assert "results written" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""Tests for the finite-fleet admission-control engine."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import BestFit, FirstFit, make_items, simulate
+from repro.cloud import ServerType, serve_with_fleet_limit
+from repro.cloud.finite_fleet import FiniteFleetDispatcher
+from tests.conftest import exact_items
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FiniteFleetDispatcher(FirstFit(), fleet_limit=0)
+        with pytest.raises(ValueError):
+            FiniteFleetDispatcher(FirstFit(), fleet_limit=2, policy="teleport")
+
+
+class TestQueueing:
+    def test_no_contention_no_waits(self):
+        items = make_items([(0, 2, 0.5), (3, 5, 0.5)])
+        rep = serve_with_fleet_limit(items, FirstFit(), fleet_limit=1)
+        assert rep.num_served == 2
+        assert rep.mean_wait == 0
+        assert rep.queue_rate == 0
+
+    def test_contention_queues_fifo(self):
+        # One server; three simultaneous full-size sessions of length 2:
+        # they serialise at 0, 2, 4.
+        items = make_items([(0, 2, 1.0), (0, 2, 1.0), (0, 2, 1.0)], prefix="h")
+        rep = serve_with_fleet_limit(items, FirstFit(), fleet_limit=1)
+        assert rep.num_served == 3
+        assert sorted(float(w) for w in rep.waits) == [0.0, 2.0, 4.0]
+        assert rep.max_wait == 4.0
+        assert rep.queue_rate == pytest.approx(2 / 3)
+
+    def test_queued_session_keeps_full_duration(self):
+        # Second session admits at t=2 and must still run 5 time units.
+        items = make_items([(0, 2, 1.0), (0, 5, 1.0)], prefix="h")
+        rep = serve_with_fleet_limit(items, FirstFit(), fleet_limit=1)
+        # Server busy [0,2] then [2,7]: one bin record? Bin closes at 2 and
+        # the queued item opens a new bin instant later: total cost 2+5.
+        assert float(rep.total_cost) == pytest.approx(7.0)
+
+    def test_head_of_line_blocking(self):
+        # Queue head (size 1.0) cannot fit beside the long 0.6 resident;
+        # the small 0.2 behind it must NOT jump the queue.
+        items = make_items(
+            [(0, 10, 0.6), (1, 2, 0.5), (1, 3, 1.0), (1, 1.5, 0.2)], prefix="h"
+        )
+        rep = serve_with_fleet_limit(items, FirstFit(), fleet_limit=1)
+        assert rep.num_served == 4
+        # h-3 (0.2) waited for h-2 (1.0) to be admitted first, i.e. until
+        # after the 0.6 resident departs at 10 and then h-2 plays 3.
+        waits = {w for w in rep.waits}
+        assert max(float(w) for w in waits) > 9  # somebody waited past t=10
+
+    def test_unlimited_fleet_matches_simulator_cost(self, gaming_trace):
+        rep = serve_with_fleet_limit(
+            gaming_trace.items, FirstFit(), fleet_limit=10_000
+        )
+        unlimited = simulate(gaming_trace.items, FirstFit())
+        assert rep.mean_wait == 0
+        assert float(rep.total_cost) == pytest.approx(float(unlimited.total_cost()))
+        assert rep.peak_servers == unlimited.max_bins_used
+
+
+class TestDropping:
+    def test_drop_policy_counts(self):
+        items = make_items([(0, 2, 1.0), (0, 2, 1.0), (0, 2, 1.0)], prefix="h")
+        rep = serve_with_fleet_limit(items, FirstFit(), fleet_limit=1, policy="drop")
+        assert rep.num_served == 1
+        assert rep.num_dropped == 2
+        assert rep.drop_rate == pytest.approx(2 / 3)
+
+    def test_drop_rate_decreases_with_fleet(self, gaming_trace):
+        rates = [
+            serve_with_fleet_limit(
+                gaming_trace.items, FirstFit(), fleet_limit=lim, policy="drop"
+            ).drop_rate
+            for lim in (3, 10, 100)
+        ]
+        assert rates[0] > rates[1] > rates[2] == 0.0
+
+
+class TestReport:
+    def test_billed_at_least_continuous(self, gaming_trace):
+        rep = serve_with_fleet_limit(
+            gaming_trace.items,
+            BestFit(),
+            fleet_limit=12,
+            server_type=ServerType(billing_quantum=60.0),
+        )
+        assert rep.billed_cost >= rep.total_cost
+        assert rep.fleet_limit == 12
+        assert rep.peak_servers <= 12
+
+
+@given(exact_items(max_items=15))
+@settings(max_examples=40, deadline=None)
+def test_fleet_cap_is_never_violated(items):
+    for limit in (1, 2, 3):
+        rep = serve_with_fleet_limit(items, FirstFit(), fleet_limit=limit)
+        assert rep.peak_servers <= limit
+        assert rep.num_served == len(items)
+        assert all(w >= 0 for w in rep.waits)
+
+
+@given(exact_items(max_items=15))
+@settings(max_examples=30, deadline=None)
+def test_looser_fleet_never_serves_fewer(items):
+    tight = serve_with_fleet_limit(items, FirstFit(), fleet_limit=1, policy="drop")
+    loose = serve_with_fleet_limit(items, FirstFit(), fleet_limit=5, policy="drop")
+    assert loose.num_served >= tight.num_served

@@ -1,0 +1,88 @@
+"""Tests for the fluid/heavy-traffic estimates, validated by simulation."""
+
+import pytest
+
+from repro import FirstFit, simulate
+from repro.opt import (
+    expected_active_items,
+    min_average_bins,
+    offered_load,
+    opt_total_lower_bound,
+    peak_bins_estimate,
+)
+from repro.opt.load import active_profile, max_load
+from repro.workloads import Deterministic, Uniform, generate_trace
+
+
+DURATION = Uniform(2.0, 6.0)  # mean 4
+SIZE = Uniform(0.2, 0.4)  # mean 0.3
+
+
+class TestClosedForms:
+    def test_offered_load(self):
+        assert offered_load(5.0, DURATION, SIZE) == pytest.approx(5 * 4 * 0.3)
+
+    def test_min_average_bins(self):
+        assert min_average_bins(5.0, DURATION, SIZE, capacity=2) == pytest.approx(3.0)
+
+    def test_expected_active(self):
+        assert expected_active_items(5.0, DURATION) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            offered_load(0, DURATION, SIZE)
+        with pytest.raises(ValueError):
+            min_average_bins(1, DURATION, SIZE, capacity=0)
+        with pytest.raises(ValueError):
+            expected_active_items(-1, DURATION)
+        with pytest.raises(ValueError):
+            peak_bins_estimate(1, DURATION, SIZE, quantile_z=-1)
+
+
+class TestAgainstSimulation:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(
+            arrival_rate=5.0, horizon=2000.0, duration=DURATION, size=SIZE, seed=0
+        )
+
+    def test_mean_active_items(self, trace):
+        times, counts = active_profile(trace.items)
+        total = sum(
+            counts[i] * (times[i + 1] - times[i]) for i in range(len(times) - 1)
+        )
+        mean_active = total / (times[-1] - times[0])
+        assert mean_active == pytest.approx(expected_active_items(5.0, DURATION), rel=0.1)
+
+    def test_opt_lb_rate_approaches_fluid_floor(self, trace):
+        horizon = 2000.0
+        lb_rate = float(opt_total_lower_bound(trace.items)) / horizon
+        floor = min_average_bins(5.0, DURATION, SIZE)
+        # ⌈·⌉ and edge effects keep the LB above the fluid floor, nearby.
+        assert floor * 0.95 < lb_rate < floor * 1.6
+
+    def test_ff_average_bins_above_floor(self, trace):
+        result = simulate(trace.items, FirstFit())
+        horizon = 2000.0
+        avg_bins = float(result.total_bin_time) / horizon
+        assert avg_bins >= min_average_bins(5.0, DURATION, SIZE) * 0.95
+
+    def test_peak_estimate_covers_realized_peak(self, trace):
+        est = peak_bins_estimate(5.0, DURATION, SIZE, quantile_z=4.0)
+        realized_load_peak = float(max_load(trace.items))
+        assert realized_load_peak <= est * 1.2  # estimate, not a bound
+
+    def test_deterministic_duration_exact(self):
+        trace = generate_trace(
+            arrival_rate=3.0,
+            horizon=3000.0,
+            duration=Deterministic(5.0),
+            size=Deterministic(0.5),
+            seed=1,
+        )
+        times, counts = active_profile(trace.items)
+        total = sum(
+            counts[i] * (times[i + 1] - times[i]) for i in range(len(times) - 1)
+        )
+        mean_active = total / (times[-1] - times[0])
+        assert mean_active == pytest.approx(15.0, rel=0.08)

@@ -1,0 +1,157 @@
+"""Tests for trace generators and the cloud-gaming workload model."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    Deterministic,
+    DiurnalPattern,
+    GameCatalog,
+    Game,
+    Uniform,
+    default_catalog,
+    generate_burst_trace,
+    generate_gaming_trace,
+    generate_trace,
+    poisson_arrivals,
+    thinned_arrivals,
+)
+
+
+class TestPoisson:
+    def test_count_scales_with_rate(self):
+        rng = np.random.default_rng(0)
+        xs = poisson_arrivals(5.0, 100.0, rng)
+        assert 400 < xs.size < 600
+        assert (np.diff(xs) >= 0).all()
+        assert xs.min() >= 0 and xs.max() < 100
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 1, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1, 0, rng)
+
+
+class TestThinning:
+    def test_respects_intensity(self):
+        rng = np.random.default_rng(1)
+        # Zero intensity in the second half -> no arrivals there.
+        rate = lambda t: np.where(np.asarray(t) < 50, 2.0, 0.0)
+        xs = thinned_arrivals(rate, 2.0, 100.0, rng)
+        assert xs.size > 0
+        assert (xs < 50).all()
+
+    def test_rejects_overshooting_rate_fn(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError, match="within"):
+            thinned_arrivals(lambda t: np.full(np.shape(t), 5.0), 2.0, 100.0, rng)
+
+
+class TestGenerateTrace:
+    def test_deterministic_given_seed(self):
+        kw = dict(
+            arrival_rate=2.0,
+            horizon=30.0,
+            duration=Uniform(1, 4),
+            size=Uniform(0.1, 0.5),
+            seed=5,
+        )
+        a, b = generate_trace(**kw), generate_trace(**kw)
+        assert [it.item_id for it in a] == [it.item_id for it in b]
+        assert [it.arrival for it in a] == [it.arrival for it in b]
+
+    def test_mu_bounded_by_duration_support(self):
+        tr = generate_trace(
+            arrival_rate=3.0,
+            horizon=50.0,
+            duration=Uniform(2, 6),
+            size=Uniform(0.1, 0.5),
+            seed=0,
+        )
+        assert float(tr.mu) <= 3.0 + 1e-9
+
+    def test_sizes_clipped_to_capacity(self):
+        tr = generate_trace(
+            arrival_rate=3.0,
+            horizon=20.0,
+            duration=Deterministic(1.0),
+            size=Uniform(0.5, 2.0),
+            seed=0,
+            capacity=1.0,
+        )
+        assert all(it.size <= 1.0 for it in tr)
+
+
+class TestBurstTrace:
+    def test_structure(self):
+        tr = generate_burst_trace(
+            num_bursts=3,
+            burst_size=4,
+            burst_spacing=10.0,
+            duration=Deterministic(2.0),
+            size=Deterministic(0.25),
+            seed=0,
+        )
+        assert len(tr) == 12
+        arrivals = sorted({it.arrival for it in tr})
+        assert arrivals == [0.0, 10.0, 20.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_burst_trace(
+                num_bursts=0,
+                burst_size=1,
+                burst_spacing=1,
+                duration=Deterministic(1),
+                size=Deterministic(0.1),
+            )
+
+
+class TestDiurnal:
+    def test_peak_at_peak_time(self):
+        p = DiurnalPattern(base_rate=1.0, amplitude=2.0, period=24.0, peak_time=20.0)
+        assert p.rate(np.array([20.0]))[0] == pytest.approx(3.0)
+        assert p.rate(np.array([8.0]))[0] == pytest.approx(1.0)  # anti-peak
+        assert p.max_rate == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalPattern(base_rate=-1, amplitude=1)
+        with pytest.raises(ValueError):
+            DiurnalPattern(base_rate=0, amplitude=0)
+
+
+class TestGamingTrace:
+    def test_basic_shape(self, gaming_trace):
+        assert len(gaming_trace) > 20
+        games = {g.name for g in default_catalog().games}
+        assert all(it.tag in games for it in gaming_trace)
+        assert all(0 < it.size <= 1 for it in gaming_trace)
+
+    def test_session_clipping_controls_mu(self):
+        tr = generate_gaming_trace(seed=3, horizon=8 * 60, min_session=10, max_session=100)
+        assert float(tr.mu) <= 10.0 + 1e-9
+
+    def test_zipf_popularity_orders_counts(self):
+        tr = generate_gaming_trace(seed=9, horizon=48 * 60)
+        counts = {}
+        for it in tr:
+            counts[it.tag] = counts.get(it.tag, 0) + 1
+        games = default_catalog().games
+        # First (most popular) game should be played more than the last.
+        assert counts.get(games[0].name, 0) > counts.get(games[-1].name, 0)
+
+    def test_catalog_validation(self):
+        with pytest.raises(ValueError):
+            GameCatalog(games=())
+        with pytest.raises(ValueError):
+            Game("x", gpu_demand=0, mean_session=5)
+        with pytest.raises(ValueError):
+            Game("x", gpu_demand=1.5, mean_session=5)
+
+    def test_popularity_normalised(self):
+        pop = default_catalog().popularity()
+        assert pop.sum() == pytest.approx(1.0)
+        assert (np.diff(pop) <= 0).all()  # rank order

@@ -1,0 +1,101 @@
+"""Unit tests for repro.core.item."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Item, make_items, validate_items
+
+
+class TestItemConstruction:
+    def test_basic_fields(self):
+        it = Item(arrival=1.0, departure=3.0, size=0.5, item_id="a", tag="game")
+        assert it.arrival == 1.0
+        assert it.departure == 3.0
+        assert it.size == 0.5
+        assert it.item_id == "a"
+        assert it.tag == "game"
+
+    def test_auto_id_unique(self):
+        a = Item(arrival=0, departure=1, size=0.5)
+        b = Item(arrival=0, departure=1, size=0.5)
+        assert a.item_id != b.item_id
+
+    def test_fraction_values(self):
+        it = Item(arrival=Fraction(1, 3), departure=Fraction(2, 3), size=Fraction(1, 7))
+        assert it.length == Fraction(1, 3)
+        assert it.demand == Fraction(1, 3) * Fraction(1, 7)
+
+    def test_departure_must_follow_arrival(self):
+        with pytest.raises(ValueError, match="strictly after"):
+            Item(arrival=2, departure=2, size=0.5)
+        with pytest.raises(ValueError, match="strictly after"):
+            Item(arrival=2, departure=1, size=0.5)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            Item(arrival=0, departure=1, size=0)
+        with pytest.raises(ValueError, match="positive"):
+            Item(arrival=0, departure=1, size=-0.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Item(arrival=float("nan"), departure=1, size=0.5)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError):
+            Item(arrival="0", departure=1, size=0.5)
+
+    def test_frozen(self):
+        it = Item(arrival=0, departure=1, size=0.5)
+        with pytest.raises(AttributeError):
+            it.size = 0.7
+
+
+class TestItemDerived:
+    def test_interval_and_length(self):
+        it = Item(arrival=2, departure=7, size=0.3)
+        assert it.interval == (2, 7)
+        assert it.length == 5
+
+    def test_demand(self):
+        it = Item(arrival=0, departure=4, size=0.25)
+        assert it.demand == 1.0
+
+    def test_active_at_half_open(self):
+        it = Item(arrival=1, departure=3, size=0.5)
+        assert it.active_at(1)
+        assert it.active_at(2)
+        assert not it.active_at(3)  # departure instant frees capacity
+        assert not it.active_at(0.5)
+
+    def test_with_departure(self):
+        it = Item(arrival=0, departure=5, size=0.5, item_id="x")
+        other = it.with_departure(9)
+        assert other.departure == 9
+        assert other.item_id == "x"
+        assert it.departure == 5  # original untouched
+
+
+class TestHelpers:
+    def test_make_items(self):
+        items = make_items([(0, 1, 0.5), (1, 2, 0.25)], prefix="t")
+        assert [it.item_id for it in items] == ["t-0", "t-1"]
+        assert items[1].size == 0.25
+
+    def test_validate_rejects_duplicates(self):
+        items = [
+            Item(arrival=0, departure=1, size=0.5, item_id="dup"),
+            Item(arrival=1, departure=2, size=0.5, item_id="dup"),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_items(items)
+
+    def test_validate_rejects_oversize(self):
+        items = [Item(arrival=0, departure=1, size=1.5, item_id="big")]
+        with pytest.raises(ValueError, match="capacity"):
+            validate_items(items, capacity=1.0)
+
+    def test_validate_passes_through(self):
+        items = make_items([(0, 1, 0.5)])
+        assert validate_items(items, capacity=1.0) == items

@@ -1,0 +1,91 @@
+"""Tests for the MMPP (flash-crowd) arrival generator."""
+
+import numpy as np
+import pytest
+
+from repro import FirstFit, NewBinPerItem, simulate
+from repro.workloads import Deterministic, Uniform, generate_mmpp_trace, mmpp_arrivals
+
+
+class TestMMPPArrivals:
+    def test_sorted_within_horizon(self):
+        rng = np.random.default_rng(0)
+        xs = mmpp_arrivals((1.0, 10.0), 10.0, 100.0, rng)
+        assert (np.diff(xs) >= 0).all()
+        assert xs.min() >= 0 and xs.max() < 100
+
+    def test_burstiness_exceeds_poisson(self):
+        """MMPP inter-arrival variance blows past the exponential's CV=1."""
+        rng = np.random.default_rng(1)
+        xs = mmpp_arrivals((0.1, 20.0), 25.0, 4000.0, rng)
+        gaps = np.diff(xs)
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 2.0  # squared coefficient of variation ≫ 1
+
+    def test_zero_rate_state_produces_gaps(self):
+        rng = np.random.default_rng(2)
+        xs = mmpp_arrivals((0.0, 50.0), 10.0, 400.0, rng)
+        assert xs.size > 0
+        assert np.diff(xs).max() > 5.0  # silent OFF periods
+
+    def test_mean_rate_between_states(self):
+        rng = np.random.default_rng(3)
+        lo, hi, horizon = 1.0, 9.0, 20000.0
+        xs = mmpp_arrivals((lo, hi), 50.0, horizon, rng)
+        mean_rate = xs.size / horizon
+        assert lo < mean_rate < hi
+        assert mean_rate == pytest.approx((lo + hi) / 2, rel=0.15)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mmpp_arrivals((), 1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            mmpp_arrivals((1.0, -1.0), 1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            mmpp_arrivals((0.0, 0.0), 1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            mmpp_arrivals((1.0,), 0.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            mmpp_arrivals((1.0,), 1.0, 0.0, rng)
+
+
+class TestMMPPTrace:
+    def test_deterministic_given_seed(self):
+        kw = dict(
+            rates=(0.5, 5.0),
+            mean_dwell=15.0,
+            horizon=120.0,
+            duration=Uniform(1, 4),
+            size=Uniform(0.1, 0.5),
+            seed=7,
+        )
+        a, b = generate_mmpp_trace(**kw), generate_mmpp_trace(**kw)
+        assert [it.arrival for it in a] == [it.arrival for it in b]
+
+    def test_packs_cleanly(self):
+        trace = generate_mmpp_trace(
+            rates=(0.2, 6.0),
+            mean_dwell=20.0,
+            horizon=150.0,
+            duration=Deterministic(3.0),
+            size=Uniform(0.1, 0.5),
+            seed=0,
+        )
+        result = simulate(trace.items, FirstFit(), check=True)
+        naive = simulate(trace.items, NewBinPerItem())
+        assert result.total_cost() < naive.total_cost()
+
+    def test_flash_crowds_raise_peaks(self):
+        """At equal mean arrival rate, the MMPP peak bin count beats the
+        smooth Poisson peak — the capacity-planning point of the model."""
+        from repro.workloads import generate_trace
+
+        common = dict(duration=Deterministic(4.0), size=Uniform(0.2, 0.5))
+        smooth = generate_trace(arrival_rate=3.0, horizon=400.0, seed=5, **common)
+        bursty = generate_mmpp_trace(
+            rates=(0.5, 5.5), mean_dwell=30.0, horizon=400.0, seed=5, **common
+        )
+        r_smooth = simulate(smooth.items, FirstFit())
+        r_bursty = simulate(bursty.items, FirstFit())
+        assert r_bursty.max_bins_used > r_smooth.max_bins_used * 1.1

@@ -1,0 +1,74 @@
+"""Tests for multi-region billing."""
+
+import pytest
+
+from repro import simulate
+from repro.cloud import RegionPricing, price_by_region
+from repro.constrained import ConstrainedFirstFit, constrained_item
+
+
+def _packing():
+    items = [
+        constrained_item(0, 10, 0.8, ["eu"], item_id="a"),
+        constrained_item(0, 4, 0.8, ["us"], item_id="b"),
+        constrained_item(5, 8, 0.5, ["us"], item_id="c"),
+    ]
+    return simulate(items, ConstrainedFirstFit())
+
+
+class TestRegionPricing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionPricing(rates={})
+        with pytest.raises(ValueError):
+            RegionPricing(rates={"eu": 0})
+        with pytest.raises(ValueError):
+            RegionPricing(rates={"eu": 1}, billing_quantum=0)
+        with pytest.raises(ValueError):
+            RegionPricing(rates={"eu": 1}, default_rate=-1)
+
+    def test_unknown_zone_without_default(self):
+        pricing = RegionPricing(rates={"eu": 1})
+        with pytest.raises(KeyError, match="no rate"):
+            pricing.model_for("mars")
+
+    def test_default_rate_fallback(self):
+        pricing = RegionPricing(rates={"eu": 1}, default_rate=2)
+        assert pricing.model_for("mars").bin_cost(3) == 6
+
+
+class TestBill:
+    def test_per_zone_decomposition(self):
+        result = _packing()
+        bill = price_by_region(result, RegionPricing(rates={"eu": 2.0, "us": 1.0}))
+        # eu: one bin [0,10] at rate 2 = 20; us: bins [0,4] and [5,8] at 1 = 7.
+        assert bill.per_zone_cost["eu"] == 20
+        assert bill.per_zone_cost["us"] == 7
+        assert bill.per_zone_bins == {"eu": 1, "us": 2}
+        assert bill.per_zone_time["us"] == 7
+        assert bill.total == 27
+        assert bill.zones() == ["eu", "us"]
+
+    def test_quantised_billing(self):
+        result = _packing()
+        bill = price_by_region(
+            result, RegionPricing(rates={"eu": 1.0, "us": 1.0}, billing_quantum=6.0)
+        )
+        # eu 10h -> 12; us 4h -> 6 and 3h -> 6.
+        assert bill.per_zone_cost["eu"] == 12
+        assert bill.per_zone_cost["us"] == 12
+
+    def test_rate_asymmetry_shifts_total(self):
+        result = _packing()
+        cheap_eu = price_by_region(result, RegionPricing(rates={"eu": 0.5, "us": 1.0}))
+        pricey_eu = price_by_region(result, RegionPricing(rates={"eu": 3.0, "us": 1.0}))
+        assert cheap_eu.total < pricey_eu.total
+
+    def test_plain_algorithm_needs_default(self):
+        from repro import FirstFit, make_items
+
+        result = simulate(make_items([(0, 2, 0.5)]), FirstFit())
+        with pytest.raises(KeyError):
+            price_by_region(result, RegionPricing(rates={"eu": 1}))
+        bill = price_by_region(result, RegionPricing(rates={"eu": 1}, default_rate=1))
+        assert bill.total == 2

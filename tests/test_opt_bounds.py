@@ -1,0 +1,101 @@
+"""Unit and property tests for the OPT_total bounds and bracket."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro import BestFit, FirstFit, LastFit, WorstFit, make_items, simulate
+from repro.opt.lower_bounds import (
+    demand_lower_bound,
+    naive_upper_bound,
+    opt_bracket,
+    opt_total_lower_bound,
+    pointwise_lower_bound,
+    robust_ceil,
+    span_lower_bound,
+)
+from tests.conftest import exact_items, float_items
+
+
+class TestRobustCeil:
+    def test_exact_types(self):
+        assert robust_ceil(Fraction(7, 2)) == 4
+        assert robust_ceil(3) == 3
+        assert robust_ceil(Fraction(3)) == 3
+
+    def test_float_forgiveness(self):
+        assert robust_ceil(3.0000000001) == 3
+        assert robust_ceil(2.9999999999) == 3
+        assert robust_ceil(3.01) == 4
+
+    def test_plain_floats(self):
+        assert robust_ceil(0.5) == 1
+        assert robust_ceil(0.0) == 0
+
+
+class TestBoundsOnKnownInstance:
+    def setup_method(self):
+        # Two items both [0,4] of size 3/4 -> need 2 bins while both active.
+        self.items = make_items(
+            [(0, 4, Fraction(3, 4)), (0, 4, Fraction(3, 4)), (4, 6, Fraction(1, 2))]
+        )
+
+    def test_b1(self):
+        assert demand_lower_bound(self.items) == Fraction(3, 4) * 8 + Fraction(1, 2) * 2
+
+    def test_b2(self):
+        assert span_lower_bound(self.items) == 6
+
+    def test_pointwise_beats_both(self):
+        lb = pointwise_lower_bound(self.items)
+        assert lb == 2 * 4 + 1 * 2  # two bins for [0,4], one for [4,6]
+        assert lb >= demand_lower_bound(self.items)
+        assert lb >= span_lower_bound(self.items)
+
+    def test_b3(self):
+        assert naive_upper_bound(self.items) == 4 + 4 + 2
+
+    def test_bracket_tight_here(self):
+        bracket = opt_bracket(self.items)
+        assert bracket.lower == bracket.upper == 10
+        assert bracket.is_tight
+
+
+class TestValidation:
+    def test_capacity_scaling(self):
+        items = make_items([(0, 2, 4.0)])
+        assert demand_lower_bound(items, capacity=8) == 1
+        assert pointwise_lower_bound(items, capacity=8) == 2  # ceil(4/8)=1 bin × 2
+
+    def test_cost_rate_scaling(self):
+        items = make_items([(0, 2, 0.5)])
+        assert span_lower_bound(items, cost_rate=5) == 10
+
+
+# ---------------------------------------------------------------------------
+# Properties: the sandwich holds on arbitrary traces for every algorithm.
+
+
+@given(exact_items())
+@settings(max_examples=50, deadline=None)
+def test_sandwich_exact(items):
+    bracket = opt_bracket(items)
+    assert bracket.demand_lb <= bracket.pointwise_lb
+    assert bracket.span_lb <= bracket.pointwise_lb
+    assert bracket.pointwise_lb <= bracket.ffd_ub
+    b3 = naive_upper_bound(items)
+    for algo in (FirstFit(), BestFit(), WorstFit(), LastFit()):
+        cost = simulate(items, algo).total_cost()
+        assert bracket.pointwise_lb <= cost <= b3
+
+
+@given(float_items())
+@settings(max_examples=30, deadline=None)
+def test_sandwich_float(items):
+    bracket = opt_bracket(items)
+    tol = 1e-9 * max(1.0, float(bracket.ffd_ub))
+    assert bracket.pointwise_lb <= bracket.ffd_ub + tol
+    cost = simulate(items, FirstFit()).total_cost()
+    assert bracket.pointwise_lb <= cost + tol
+    assert opt_total_lower_bound(items) == bracket.pointwise_lb

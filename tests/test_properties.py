@@ -1,0 +1,168 @@
+"""Cross-module property tests: the paper's theorems as hypothesis
+properties over arbitrary traces.
+
+These are the strongest statements in the suite: for *any* generated trace,
+the measured cost (against the OPT lower bound, i.e. conservatively) must
+respect every applicable theorem bound, and structural algorithm properties
+(Any Fit never opening a bin while one fits, MFF pool discipline) must hold
+at every single placement.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    AnyFitAlgorithm,
+    BestFit,
+    FirstFit,
+    LastFit,
+    ModifiedFirstFit,
+    WorstFit,
+    simulate,
+)
+from repro.analysis.bounds import (
+    mff_bound_known_mu,
+    mff_bound_unknown_mu,
+    theorem3_bound,
+    theorem4_bound,
+    theorem5_bound,
+)
+from repro.core.metrics import trace_stats
+from repro.opt.lower_bounds import opt_total_lower_bound
+from tests.conftest import exact_items, float_items, small_exact_items
+
+
+def ratio_of(items, algorithm, capacity=1):
+    cost = simulate(items, algorithm, capacity=capacity).total_cost()
+    return float(cost / opt_total_lower_bound(items, capacity=capacity))
+
+
+# ---------------------------------------------------------------------------
+# Theorem compliance
+
+
+@given(exact_items())
+@settings(max_examples=80, deadline=None)
+def test_theorem5_ff_bound_exact(items):
+    mu = float(trace_stats(items).mu)
+    assert ratio_of(items, FirstFit()) <= theorem5_bound(mu) + 1e-9
+
+
+@given(float_items())
+@settings(max_examples=50, deadline=None)
+def test_theorem5_ff_bound_float(items):
+    mu = float(trace_stats(items).mu)
+    assert ratio_of(items, FirstFit()) <= theorem5_bound(mu) * (1 + 1e-9)
+
+
+@given(small_exact_items(size_cap_den=4))
+@settings(max_examples=60, deadline=None)
+def test_theorem4_small_items(items):
+    """All sizes < W/4 ⇒ FF ratio within the k=4 Theorem 4 bound."""
+    mu = float(trace_stats(items).mu)
+    assert ratio_of(items, FirstFit()) <= theorem4_bound(mu, 4) + 1e-9
+
+
+@given(exact_items(size_den=2))
+@settings(max_examples=60, deadline=None)
+def test_theorem3_large_items(items):
+    """size_den=2 ⇒ every size ≥ 1/2 = W/2 ⇒ any algorithm ≤ 2·OPT."""
+    k = theorem3_bound(2)
+    for algo in (FirstFit(), BestFit(), WorstFit()):
+        assert ratio_of(items, algo) <= k + 1e-9
+
+
+@given(exact_items())
+@settings(max_examples=60, deadline=None)
+def test_mff_bounds(items):
+    mu = float(trace_stats(items).mu)
+    assert ratio_of(items, ModifiedFirstFit()) <= float(mff_bound_unknown_mu(mu)) + 1e-9
+    assert ratio_of(items, ModifiedFirstFit.with_known_mu(mu)) <= mff_bound_known_mu(mu) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Structural algorithm properties, checked at every placement
+
+
+class _AnyFitAuditor(AnyFitAlgorithm):
+    """Wraps an Any Fit member; fails the test if the base-class family
+    guarantee ever routes around the wrapped selection rule."""
+
+    name = "audited"
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.new_bin_openings_with_fit_available = 0
+
+    def choose_bin(self, item, open_bins):
+        fitting = [b for b in open_bins if b.fits(item)]
+        choice = super().choose_bin(item, open_bins)
+        from repro.algorithms.base import OPEN_NEW
+
+        if choice is OPEN_NEW and fitting:
+            self.new_bin_openings_with_fit_available += 1
+        return choice
+
+    def select(self, item, fitting_bins):
+        return self.inner.select(item, fitting_bins)
+
+
+@pytest.mark.parametrize("inner_cls", [FirstFit, BestFit, WorstFit, LastFit])
+@given(items=exact_items())
+@settings(max_examples=25, deadline=None)
+def test_anyfit_never_opens_when_fit_exists(inner_cls, items):
+    auditor = _AnyFitAuditor(inner_cls())
+    simulate(items, auditor)
+    assert auditor.new_bin_openings_with_fit_available == 0
+
+
+@given(exact_items())
+@settings(max_examples=40, deadline=None)
+def test_first_fit_chooses_lowest_index(items):
+    """Replay FF and assert each placement hit the lowest-indexed open bin
+    that had room at that instant (reconstructed from the result)."""
+    result = simulate(items, FirstFit())
+    for target in result.bins:
+        for t, item_id in target.assignments:
+            item = result.item_by_id(item_id)
+            for other in result.bins:
+                if other.index >= target.index:
+                    break
+                if not (other.opened_at <= t < other.closed_at):
+                    continue
+                level = sum(
+                    it.size
+                    for it in result.items_in_bin(other.index)
+                    if it.arrival <= t < it.departure
+                )
+                assert level + item.size > result.capacity, (
+                    f"FF put {item_id} in bin {target.index} while bin "
+                    f"{other.index} had room at t={t}"
+                )
+
+
+@given(exact_items())
+@settings(max_examples=40, deadline=None)
+def test_mff_pool_discipline(items):
+    """No MFF bin ever mixes size classes (all items < W/k with a ≥ W/k)."""
+    algo = ModifiedFirstFit(k=8)
+    result = simulate(items, algo)
+    threshold = result.capacity / Fraction(8)
+    for b in result.bins:
+        classes = {
+            "large" if it.size >= threshold else "small"
+            for it in result.items_in_bin(b.index)
+        }
+        assert len(classes) == 1
+        assert b.label in classes
+
+
+@given(exact_items())
+@settings(max_examples=40, deadline=None)
+def test_deterministic_algorithms_are_reproducible(items):
+    for algo_cls in (FirstFit, BestFit, WorstFit, LastFit, ModifiedFirstFit):
+        a = simulate(items, algo_cls()).assignment
+        b = simulate(items, algo_cls()).assignment
+        assert a == b

@@ -1,0 +1,101 @@
+"""Cross-validation of the production simulator against an independent,
+deliberately naive reference implementation.
+
+The reference recomputes everything from scratch at every event with plain
+dictionaries and no shared code paths (it does not import the engine's
+Bin/Simulator classes), so an agreement bug would have to be present in two
+very different implementations simultaneously.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro import BestFit, FirstFit, WorstFit, simulate
+from tests.conftest import exact_items
+
+
+def reference_pack(items, rule, capacity=1):
+    """A from-scratch DBP replay.
+
+    ``rule(candidates)`` picks among fitting bins, where each candidate is
+    ``(opening_order, level)``; returns total cost, number of bins, and the
+    assignment map.
+    """
+    events = []
+    for seq, it in enumerate(items):
+        events.append((it.arrival, 1, seq, "arrive", it))
+        events.append((it.departure, 0, seq, "depart", it))
+    events.sort(key=lambda e: (e[0], e[1], e[2]))
+
+    bins = []  # dicts: {"items": {id: size}, "opened": t, "closed": t|None}
+    assignment = {}
+    for time, _, _, kind, it in events:
+        if kind == "depart":
+            b = bins[assignment[it.item_id]]
+            del b["items"][it.item_id]
+            if not b["items"]:
+                b["closed"] = time
+        else:
+            candidates = [
+                (i, sum(b["items"].values()))
+                for i, b in enumerate(bins)
+                if b["closed"] is None and sum(b["items"].values()) + it.size <= capacity
+            ]
+            if candidates:
+                chosen = rule(candidates)
+            else:
+                bins.append({"items": {}, "opened": time, "closed": None})
+                chosen = len(bins) - 1
+            bins[chosen]["items"][it.item_id] = it.size
+            assignment[it.item_id] = chosen
+    cost = sum(b["closed"] - b["opened"] for b in bins)
+    return cost, len(bins), assignment
+
+
+RULES = {
+    "first-fit": (FirstFit, lambda cands: cands[0][0]),
+    "best-fit": (BestFit, lambda cands: max(cands, key=lambda c: (c[1], -c[0]))[0]),
+    "worst-fit": (WorstFit, lambda cands: min(cands, key=lambda c: (c[1], c[0]))[0]),
+}
+
+
+@given(exact_items())
+@settings(max_examples=60, deadline=None)
+def test_engine_matches_reference_first_fit(items):
+    algo_cls, rule = RULES["first-fit"]
+    result = simulate(items, algo_cls())
+    cost, nbins, assignment = reference_pack(items, rule)
+    assert result.total_cost() == cost
+    assert result.num_bins_used == nbins
+    assert result.assignment == assignment
+
+
+@given(exact_items())
+@settings(max_examples=60, deadline=None)
+def test_engine_matches_reference_best_fit(items):
+    algo_cls, rule = RULES["best-fit"]
+    result = simulate(items, algo_cls())
+    cost, nbins, assignment = reference_pack(items, rule)
+    assert result.total_cost() == cost
+    assert result.assignment == assignment
+
+
+@given(exact_items())
+@settings(max_examples=60, deadline=None)
+def test_engine_matches_reference_worst_fit(items):
+    algo_cls, rule = RULES["worst-fit"]
+    result = simulate(items, algo_cls())
+    cost, nbins, assignment = reference_pack(items, rule)
+    assert result.total_cost() == cost
+    assert result.assignment == assignment
+
+
+def test_reference_on_known_instance():
+    """Sanity-pin the reference itself on a hand-computed case."""
+    from repro import make_items
+
+    items = make_items([(0, 10, Fraction(1, 2)), (0, 2, Fraction(1, 2)), (1, 3, Fraction(1, 2))])
+    cost, nbins, assignment = reference_pack(items, RULES["first-fit"][1])
+    assert cost == 12 and nbins == 2
+    assert assignment == {"item-0": 0, "item-1": 0, "item-2": 1}

@@ -1,0 +1,109 @@
+"""Golden regression tests: seeded end-to-end runs pinned to exact values.
+
+These catch unintended behaviour changes anywhere in the stack (event
+ordering, tie-breaks, generator sampling, cost integration).  If a change
+legitimately alters one of these values, update the golden number and say
+why in the commit.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import BestFit, FirstFit, ModifiedFirstFit, simulate
+from repro.adversaries import run_theorem1_adversary, run_theorem2_adversary
+from repro.opt.lower_bounds import opt_bracket
+from repro.workloads import generate_gaming_trace
+
+
+class TestAdversaryGoldens:
+    def test_theorem1_exact_values(self):
+        out = run_theorem1_adversary(FirstFit(), k=7, mu=5)
+        assert out.algorithm_cost == 35
+        assert Fraction(out.opt.upper) == 11
+        assert out.measured_ratio == Fraction(35, 11)
+
+    def test_theorem2_exact_cost(self):
+        out = run_theorem2_adversary(k=3, mu=2, n_iterations=2)
+        # Cost is an exact rational: pinned after first verified run.
+        assert out.algorithm_cost == Fraction(431, 24)
+        assert out.epsilon == Fraction(1, 54)
+
+
+class TestWorkloadGoldens:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_gaming_trace(seed=2024, horizon=10 * 60.0)
+
+    def test_trace_shape(self, trace):
+        assert len(trace) == 231
+        assert trace.items[0].item_id == "cloud-gaming-0"
+
+    def test_first_fit_cost(self, trace):
+        result = simulate(trace.items, FirstFit())
+        assert result.num_bins_used == 79
+        assert float(result.total_cost()) == pytest.approx(7836.718109861706, rel=1e-12)
+
+    def test_best_fit_cost(self, trace):
+        result = simulate(trace.items, BestFit())
+        assert float(result.total_cost()) == pytest.approx(7636.096776276034, rel=1e-12)
+
+    def test_mff_cost(self, trace):
+        result = simulate(trace.items, ModifiedFirstFit())
+        assert float(result.total_cost()) == pytest.approx(8117.278593310455, rel=1e-12)
+
+    def test_opt_bracket(self, trace):
+        bracket = opt_bracket(trace.items)
+        assert float(bracket.pointwise_lb) == pytest.approx(5763.958903148281, rel=1e-12)
+        assert float(bracket.ffd_ub) == pytest.approx(6375.441502878939, rel=1e-12)
+
+
+class TestExtensionGoldens:
+    """Seeded end-to-end pins for the extension subsystems."""
+
+    def test_constrained_dispatch(self):
+        from repro.constrained import (
+            ConstrainedBestFit,
+            RegionTopology,
+            generate_constrained_trace,
+        )
+
+        topo = RegionTopology.ring(4, 2)
+        trace = generate_constrained_trace(topology=topo, seed=77, horizon=6 * 60.0)
+        result = simulate(trace.items, ConstrainedBestFit())
+        assert len(trace) == 1474
+        assert result.num_bins_used == 308
+        assert float(result.total_cost()) == pytest.approx(46087.46971979084, rel=1e-12)
+
+    def test_finite_fleet(self):
+        from repro.cloud import serve_with_fleet_limit
+
+        trace = generate_gaming_trace(seed=77, horizon=6 * 60.0)
+        rep = serve_with_fleet_limit(trace.items, FirstFit(), fleet_limit=10)
+        assert len(trace) == 220
+        assert float(rep.total_cost) == pytest.approx(6250.354756064741, rel=1e-12)
+        assert rep.mean_wait == pytest.approx(98.34037827930618, rel=1e-12)
+        assert rep.peak_servers == 10
+
+    def test_clairvoyant(self):
+        from repro.clairvoyant import MinExpandFit, simulate_clairvoyant
+
+        trace = generate_gaming_trace(seed=77, horizon=6 * 60.0)
+        result = simulate_clairvoyant(trace.items, MinExpandFit())
+        assert float(result.total_cost()) == pytest.approx(6292.9496178042855, rel=1e-12)
+
+    def test_mmpp(self):
+        from repro.workloads import Deterministic, Uniform, generate_mmpp_trace
+
+        trace = generate_mmpp_trace(
+            rates=(0.3, 5.0),
+            mean_dwell=30.0,
+            horizon=300.0,
+            duration=Deterministic(4.0),
+            size=Uniform(0.2, 0.5),
+            seed=77,
+        )
+        result = simulate(trace.items, FirstFit())
+        assert len(trace) == 898
+        assert float(result.total_cost()) == pytest.approx(1704.6010368172758, rel=1e-12)
+        assert result.max_bins_used == 14

@@ -1,0 +1,55 @@
+"""The simulator's replay round-trip guarantee.
+
+``result.items`` preserves arrival issue order, so feeding them back into
+:func:`simulate` with the same deterministic algorithm must reproduce the
+identical packing — assignments, bins, costs.  This is what lets the
+adversarial constructions be replayed faithfully against other algorithms.
+"""
+
+from hypothesis import given, settings
+
+from repro import BestFit, FirstFit, ModifiedFirstFit, Simulator, WorstFit, simulate
+from repro.adversaries import run_theorem1_adversary, run_theorem2_adversary
+from tests.conftest import exact_items
+
+
+def _assert_same(a, b):
+    assert a.assignment == b.assignment
+    assert a.total_cost() == b.total_cost()
+    assert [(r.opened_at, r.closed_at, r.item_ids) for r in a.bins] == [
+        (r.opened_at, r.closed_at, r.item_ids) for r in b.bins
+    ]
+
+
+@given(exact_items())
+@settings(max_examples=40, deadline=None)
+def test_replay_of_replay_is_identity(items):
+    for algo_cls in (FirstFit, BestFit, WorstFit, ModifiedFirstFit):
+        first = simulate(items, algo_cls())
+        second = simulate(first.items, algo_cls())
+        _assert_same(first, second)
+
+
+def test_adaptive_theorem1_replays_exactly():
+    out = run_theorem1_adversary(BestFit(), k=5, mu=4)
+    replayed = simulate(out.result.items, BestFit(), capacity=1)
+    _assert_same(out.result, replayed)
+
+
+def test_adaptive_theorem2_replays_exactly():
+    out = run_theorem2_adversary(k=3, mu=2, n_iterations=2, compute_opt=False)
+    replayed = simulate(out.result.items, BestFit(), capacity=1)
+    _assert_same(out.result, replayed)
+
+
+def test_incremental_out_of_order_ids_still_roundtrip():
+    """Items issued at the same instant keep issue order through finish()."""
+    sim = Simulator(FirstFit())
+    for i in (3, 1, 2, 0):  # deliberately shuffled ids
+        sim.arrive(0, 0.3, item_id=f"z{i}")
+    for i in (0, 1, 2, 3):  # departures must advance in time
+        sim.depart(f"z{i}", 5 + i)
+    result = sim.finish()
+    assert [it.item_id for it in result.items] == ["z3", "z1", "z2", "z0"]
+    replayed = simulate(result.items, FirstFit())
+    _assert_same(result, replayed)

@@ -1,0 +1,63 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.sweep import SweepResult
+from repro.experiments.report import generate_report, render_markdown
+from repro.experiments.registry import ClaimCheck, ExperimentResult
+
+
+def _fake_result(name="bounds-sandwich", holds=True):
+    table = SweepResult(headers=["a", "b"])
+    table.add({"a": 1, "b": 2.5})
+    return ExperimentResult(
+        name=name,
+        title="T",
+        table=table,
+        checks=[ClaimCheck(claim="the claim", holds=holds, detail="d")],
+        notes=["n"],
+    )
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        md = render_markdown([_fake_result()])
+        assert md.startswith("# Experiment report")
+        assert "1 experiments, 1/1 claims hold." in md
+        assert "| a | b |" in md
+        assert "| 1 | 2.5 |" in md
+        assert "✅ the claim — d" in md
+        assert "*note: n*" in md
+
+    def test_failing_claim_marked(self):
+        md = render_markdown([_fake_result(holds=False)])
+        assert "❌" in md
+        assert "0/1 claims hold" in md
+
+
+class TestGenerateReport:
+    def test_runs_named_experiment(self):
+        md, ok = generate_report(["bounds-sandwich"])
+        assert ok
+        assert "## bounds-sandwich" in md
+        assert "✅" in md
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            generate_report(["not-an-experiment"])
+
+
+class TestCliReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "bounds-sandwich", "--out", str(out)]) == 0
+        assert out.read_text().startswith("# Experiment report")
+        assert "report written" in capsys.readouterr().out
+
+    def test_report_to_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "bounds-sandwich"]) == 0
+        assert "# Experiment report" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Unit tests for PackingResult: profiles, lookups, invariants."""
+
+import pytest
+
+from repro import ContinuousCost, FirstFit, QuantizedCost, make_items, simulate
+
+
+@pytest.fixture
+def result():
+    # bin0: [0,10] holds h-0; h-1 and h-2 (0.3 each) miss bin0 (level 0.8)
+    # and share bin1, whose usage period is [1,6].
+    items = make_items([(0, 10, 0.8), (1, 4, 0.3), (2, 6, 0.3)], prefix="h")
+    return simulate(items, FirstFit())
+
+
+class TestProfiles:
+    def test_bin_count_profile(self, result):
+        times, counts = result.bin_count_profile()
+        assert times == [0, 1, 6, 10]
+        assert counts == [1, 2, 1, 0]
+
+    def test_num_open_bins_lookup(self, result):
+        assert result.num_open_bins(-1) == 0
+        assert result.num_open_bins(0) == 1
+        assert result.num_open_bins(1) == 2
+        assert result.num_open_bins(5.9) == 2
+        assert result.num_open_bins(6) == 1
+        assert result.num_open_bins(10) == 0
+
+    def test_max_bins_used(self, result):
+        assert result.max_bins_used == 2
+
+    def test_profile_integral_matches_cost(self, result):
+        times, counts = result.bin_count_profile()
+        integral = sum(
+            c * (t2 - t1) for c, t1, t2 in zip(counts, times, times[1:])
+        )
+        assert integral == result.total_bin_time == 15
+
+
+class TestCosts:
+    def test_cost_models(self, result):
+        assert result.total_cost() == 15
+        assert result.total_cost(ContinuousCost(rate=2)) == 30
+        # Hourly-style quantum 4: bin0 10h -> 12, bin1 5h -> 8.
+        assert result.total_cost(QuantizedCost(rate=1, quantum=4)) == 20
+
+
+class TestLookups:
+    def test_item_by_id(self, result):
+        assert result.item_by_id("h-1").departure == 4
+
+    def test_bin_of(self, result):
+        assert result.bin_of("h-0").index == 0
+        assert result.bin_of("h-2").index == 1
+
+    def test_items_in_bin(self, result):
+        ids = [it.item_id for it in result.items_in_bin(1)]
+        assert ids == ["h-1", "h-2"]
+
+    def test_bin_record_fields(self, result):
+        rec = result.bins[1]
+        assert rec.opened_at == 1 and rec.closed_at == 6
+        assert rec.usage_length == 5
+        assert rec.item_ids == ("h-1", "h-2")
+
+
+class TestInvariantChecker:
+    def test_detects_corrupted_assignment(self, result):
+        bad = result.__class__(
+            algorithm_name=result.algorithm_name,
+            capacity=result.capacity,
+            cost_rate=result.cost_rate,
+            items=result.items[:-1],  # drop an item: assignment no longer matches
+            assignment=result.assignment,
+            bins=result.bins,
+        )
+        with pytest.raises(AssertionError):
+            bad.check_invariants()

@@ -1,0 +1,116 @@
+"""Final coverage sweep: small behaviours not pinned elsewhere."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FirstFit, make_items, simulate
+
+
+class TestSweepResult:
+    def test_unknown_column(self):
+        from repro.analysis.sweep import SweepResult
+
+        res = SweepResult(headers=["a"])
+        res.add({"a": 1})
+        with pytest.raises(ValueError):
+            res.column("missing")
+
+    def test_missing_keys_fill_none(self):
+        from repro.analysis.sweep import SweepResult
+
+        res = SweepResult(headers=["a", "b"])
+        res.add({"a": 1})
+        assert res.rows == [[1, None]]
+
+
+class TestCliPrecision:
+    def test_precision_changes_rendering(self, capsys):
+        from repro.cli import main
+
+        main(["run", "bounds-sandwich", "--precision", "2"])
+        narrow = capsys.readouterr().out
+        main(["run", "bounds-sandwich", "--precision", "8"])
+        wide = capsys.readouterr().out
+        assert len(wide) > len(narrow)
+
+
+class TestQueueingReportEdges:
+    def test_empty_report_rates(self):
+        from repro.cloud.finite_fleet import QueueingReport
+
+        rep = QueueingReport(
+            fleet_limit=1,
+            policy="queue",
+            num_requests=0,
+            num_served=0,
+            num_dropped=0,
+            total_cost=0,
+            billed_cost=0,
+            peak_servers=0,
+        )
+        assert rep.drop_rate == 0.0
+        assert rep.mean_wait == 0.0
+        assert rep.queue_rate == 0.0
+        assert rep.max_wait == 0
+
+
+class TestWasteEdges:
+    def test_worst_bins_n_exceeds_count(self):
+        from repro.analysis import waste_report
+
+        result = simulate(make_items([(0, 2, 0.5)]), FirstFit())
+        report = waste_report(result)
+        assert len(report.worst_bins(10)) == 1
+
+
+class TestTopologyProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=8),
+        reach=st.integers(min_value=1, max_value=8),
+        home=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_allowed_from_shape(self, n, reach, home):
+        from repro.constrained import RegionTopology
+
+        if reach > n:
+            with pytest.raises(ValueError):
+                RegionTopology.ring(n, reach)
+            return
+        topo = RegionTopology.ring(n, reach)
+        allowed = topo.allowed_from(home % n)
+        assert len(allowed) == reach
+        assert len(set(allowed)) == reach  # no wrap duplicates
+        assert set(allowed) <= set(topo.zones)
+
+
+class TestFlavorEdges:
+    def test_smallest_policy_prefers_small_when_both_fit(self):
+        from repro.cloud.flavors import Flavor, FlavorAwareFirstFit
+
+        small = Flavor("s", 1.0, 1.3)  # pricier per unit but smaller
+        large = Flavor("l", 2.0, 1.7)
+        algo = FlavorAwareFirstFit([small, large], open_policy="smallest")
+        result = simulate(make_items([(0, 2, 0.4)]), algo, max_bin_capacity=2.0)
+        assert result.bins[0].label == "s"
+
+
+class TestTraceProfileProperties:
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_profile_of_clone_is_stable(self, seed):
+        """Profiling a synthesised clone roughly reproduces the profile
+        (one bootstrap generation does not drift wildly)."""
+        from repro.workloads import generate_gaming_trace, profile_trace, synthesize_trace
+
+        base = generate_gaming_trace(seed=seed, horizon=8 * 60.0)
+        if len(base) < 30:
+            return
+        p1 = profile_trace(base)
+        clone = synthesize_trace(p1, seed=seed + 1)
+        if len(clone) < 30:
+            return
+        p2 = profile_trace(clone)
+        assert p2.arrival_rate == pytest.approx(p1.arrival_rate, rel=0.5)
+        assert p2.duration_max <= p1.duration_max + 1e-9

@@ -1,0 +1,116 @@
+"""Stateful property testing of the incremental simulator.
+
+Hypothesis drives random interleavings of arrivals, departures and time
+advances against a live :class:`Simulator`, checking structural invariants
+after every step — the strongest correctness statement about the engine's
+state machine (beyond replay equivalence, which fixes the whole trace up
+front).
+"""
+
+from fractions import Fraction
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import BestFit, FirstFit, Simulator, WorstFit
+
+
+class SimulatorMachine(RuleBasedStateMachine):
+    """Random arrive/advance/depart interleavings with live invariants."""
+
+    @initialize(algo=st.sampled_from([FirstFit, BestFit, WorstFit]))
+    def setup(self, algo):
+        self.sim = Simulator(algo())
+        self.clock = Fraction(0)
+        self.active: dict[str, Fraction] = {}  # id -> size
+        self.counter = 0
+        self.ever_opened = 0
+        self.known_open_indices: set[int] = set()
+
+    @rule(
+        size_num=st.integers(min_value=1, max_value=8),
+        advance=st.integers(min_value=0, max_value=3),
+    )
+    def arrive(self, size_num, advance):
+        self.clock += Fraction(advance, 2)
+        size = Fraction(size_num, 8)
+        item_id = f"m{self.counter}"
+        self.counter += 1
+        before = self.sim.num_open_bins
+        placed = self.sim.arrive(self.clock, size, item_id=item_id)
+        self.active[item_id] = size
+        # A bin was opened iff its index is new.
+        if placed.index not in self.known_open_indices:
+            self.ever_opened += 1
+            self.known_open_indices.add(placed.index)
+            assert self.sim.num_open_bins == before + 1
+        assert self.sim.bin_of(item_id) is placed
+
+    @precondition(lambda self: self.active)
+    @rule(
+        pick=st.integers(min_value=0, max_value=10**6),
+        advance=st.integers(min_value=1, max_value=4),
+    )
+    def depart(self, pick, advance):
+        item_id = sorted(self.active)[pick % len(self.active)]
+        self.clock += Fraction(advance, 2)
+        target = self.sim.bin_of(item_id)
+        self.sim.depart(item_id, self.clock)
+        del self.active[item_id]
+        if target.is_closed:
+            self.known_open_indices.discard(target.index)
+
+    # ------------------------------------------------------------ invariants
+
+    @invariant()
+    def levels_never_exceed_capacity(self):
+        if not hasattr(self, "sim"):
+            return
+        for b in self.sim.open_bins:
+            assert 0 < b.level <= b.capacity
+            assert not b.is_closed
+
+    @invariant()
+    def open_bins_hold_exactly_the_active_items(self):
+        if not hasattr(self, "sim"):
+            return
+        held = {
+            view.item_id: view.size
+            for b in self.sim.open_bins
+            for view in b.items()
+        }
+        assert held == self.active
+        assert set(self.sim.active_item_ids) == set(self.active)
+
+    @invariant()
+    def anyfit_no_two_mergeable_singleton_bins(self):
+        """Weak AF sanity live: if two open bins both fit each other's
+        *entire* content, the later one was opened when the earlier had
+        no room — so at least one placement since must explain it.  We
+        check the cheap corollary: a bin's level is positive and the
+        count of open bins never exceeds the number of active items."""
+        if not hasattr(self, "sim"):
+            return
+        assert self.sim.num_open_bins <= max(1, len(self.active))
+
+    def teardown(self):
+        if hasattr(self, "sim"):
+            for item_id in sorted(self.active):
+                self.clock += 1
+                self.sim.depart(item_id, self.clock)
+            result = self.sim.finish()
+            result.check_invariants()
+            assert result.num_bins_used == self.ever_opened
+
+
+TestSimulatorMachine = SimulatorMachine.TestCase
+TestSimulatorMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,103 @@
+"""Tests for simulator observers and the telemetry collector."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro import FirstFit, make_items, simulate
+from repro.core.telemetry import SimulationObserver, TelemetryCollector
+from tests.conftest import exact_items
+
+
+class RecordingObserver(SimulationObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_arrival(self, time, item, bin, opened):
+        self.events.append(("arrive", time, item.item_id, bin.index, opened))
+
+    def on_departure(self, time, item_id, bin, closed):
+        self.events.append(("depart", time, item_id, bin.index, closed))
+
+
+class TestObserverHooks:
+    def test_every_event_observed_in_order(self):
+        items = make_items([(0, 4, 0.6), (1, 3, 0.6), (2, 6, 0.3)], prefix="h")
+        obs = RecordingObserver()
+        simulate(items, FirstFit(), observers=[obs])
+        kinds = [(e[0], e[2]) for e in obs.events]
+        assert kinds == [
+            ("arrive", "h-0"),
+            ("arrive", "h-1"),
+            ("arrive", "h-2"),
+            ("depart", "h-1"),
+            ("depart", "h-0"),
+            ("depart", "h-2"),
+        ]
+        times = [e[1] for e in obs.events]
+        assert times == sorted(times)
+
+    def test_opened_closed_flags(self):
+        items = make_items([(0, 4, 0.6), (1, 3, 0.6)], prefix="h")
+        obs = RecordingObserver()
+        simulate(items, FirstFit(), observers=[obs])
+        arrive_flags = [e[4] for e in obs.events if e[0] == "arrive"]
+        depart_flags = [e[4] for e in obs.events if e[0] == "depart"]
+        assert arrive_flags == [True, True]  # both items opened bins
+        assert depart_flags == [True, True]  # both bins closed
+
+    def test_multiple_observers(self):
+        items = make_items([(0, 1, 0.5)])
+        a, b = RecordingObserver(), RecordingObserver()
+        simulate(items, FirstFit(), observers=[a, b])
+        assert a.events == b.events
+
+
+class TestTelemetryCollector:
+    def test_counters_match_result(self):
+        items = make_items([(0, 5, 0.5), (1, 3, 0.5), (2, 8, 0.6), (6, 9, 0.2)])
+        tel = TelemetryCollector()
+        result = simulate(items, FirstFit(), observers=[tel])
+        assert tel.num_arrivals == len(items)
+        assert tel.num_departures == len(items)
+        assert tel.bins_opened == result.num_bins_used
+        assert tel.bins_closed == result.num_bins_used
+        assert tel.open_bins == 0
+        assert tel.active_items == 0
+        assert tel.peak_open_bins == result.max_bins_used
+
+    def test_accrued_cost_final_matches_result(self):
+        items = make_items([(0, 5, 0.5), (1, 3, 0.5), (2, 8, 0.6)])
+        tel = TelemetryCollector(cost_rate=2)
+        result = simulate(items, FirstFit(), cost_rate=2, observers=[tel])
+        assert tel.accrued_cost(8) == result.total_cost()
+
+    def test_accrued_cost_mid_flight(self):
+        from repro import Simulator
+
+        tel = TelemetryCollector()
+        sim = Simulator(FirstFit(), observers=[tel])
+        sim.arrive(0, 0.6, item_id="a")
+        sim.arrive(1, 0.6, item_id="b")
+        assert tel.accrued_cost(3) == 3 + 2  # bin0 since 0, bin1 since 1
+        sim.depart("a", 4)
+        assert tel.accrued_cost(5) == 4 + 4
+        sim.depart("b", 6)
+        assert tel.accrued_cost(6) == 4 + 5
+
+    def test_series_breakpoints(self):
+        items = make_items([(0, 4, 0.6), (1, 3, 0.6)])
+        tel = TelemetryCollector()
+        simulate(items, FirstFit(), observers=[tel])
+        assert tel.open_bins_series == [(0, 1), (1, 2), (3, 1), (4, 0)]
+
+
+@given(exact_items())
+@settings(max_examples=40, deadline=None)
+def test_telemetry_consistent_on_random_traces(items):
+    tel = TelemetryCollector()
+    result = simulate(items, FirstFit(), observers=[tel])
+    assert tel.peak_open_bins == result.max_bins_used
+    assert tel.bins_opened == result.num_bins_used
+    end = max(it.departure for it in items)
+    assert tel.accrued_cost(end) == result.total_cost()

@@ -1,0 +1,119 @@
+"""Tests for trace transformations, including the exact scaling laws."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import BestFit, FirstFit, simulate
+from repro.workloads import (
+    Trace,
+    concatenate,
+    filter_by_tag,
+    jitter_arrivals,
+    scale_sizes,
+    scale_time,
+    shift_time,
+    subsample,
+)
+from repro.workloads.trace import Trace as TraceType
+from tests.conftest import exact_items
+
+
+def _as_trace(items):
+    return Trace.from_items(items)
+
+
+class TestBasics:
+    def test_scale_time_values(self, gaming_trace):
+        scaled = scale_time(gaming_trace, 2)
+        assert scaled[0].arrival == gaming_trace[0].arrival * 2
+        assert scaled[0].length == gaming_trace[0].length * 2
+        assert float(scaled.mu) == pytest.approx(float(gaming_trace.mu))
+
+    def test_shift_time(self, gaming_trace):
+        shifted = shift_time(gaming_trace, 100)
+        assert shifted[0].arrival == gaming_trace[0].arrival + 100
+        # float translation costs an ulp; durations are preserved to rounding
+        assert float(shifted[0].length) == pytest.approx(float(gaming_trace[0].length))
+
+    def test_scale_sizes(self, gaming_trace):
+        scaled = scale_sizes(gaming_trace, 0.5)
+        assert scaled[3].size == gaming_trace[3].size * 0.5
+
+    def test_validation(self, gaming_trace):
+        with pytest.raises(ValueError):
+            scale_time(gaming_trace, 0)
+        with pytest.raises(ValueError):
+            scale_sizes(gaming_trace, -1)
+        with pytest.raises(ValueError):
+            jitter_arrivals(gaming_trace, sigma=-1)
+        with pytest.raises(ValueError):
+            subsample(gaming_trace, 0)
+        with pytest.raises(ValueError):
+            concatenate(gaming_trace, gaming_trace, gap=-1)
+
+    def test_jitter_keeps_durations(self, gaming_trace):
+        jittered = jitter_arrivals(gaming_trace, sigma=5.0, seed=1)
+        assert len(jittered) == len(gaming_trace)
+        for a, b in zip(gaming_trace, jittered):
+            assert float(b.length) == pytest.approx(float(a.length))
+
+    def test_filter_by_tag(self, gaming_trace):
+        only = filter_by_tag(gaming_trace, lambda tag: tag == "minecraft")
+        assert len(only) > 0
+        assert all(it.tag == "minecraft" for it in only)
+
+    def test_subsample_fraction(self, gaming_trace):
+        thin = subsample(gaming_trace, 0.5, seed=3)
+        assert 0.3 * len(gaming_trace) < len(thin) < 0.7 * len(gaming_trace)
+
+    def test_concatenate_disjoint_in_time(self, gaming_trace):
+        double = concatenate(gaming_trace, gaming_trace, gap=10)
+        assert len(double) == 2 * len(gaming_trace)
+        first_end = max(it.departure for it in gaming_trace)
+        second_starts = [it.arrival for it in double.items[len(gaming_trace):]]
+        assert min(second_starts) >= first_end + 10 - 1e-9
+
+    def test_concatenate_with_empty(self, gaming_trace):
+        empty = TraceType(items=())
+        assert concatenate(empty, gaming_trace) is gaming_trace
+
+
+# ---------------------------------------------------------------------------
+# Scaling laws
+
+
+@given(exact_items())
+@settings(max_examples=40, deadline=None)
+def test_time_scaling_law(items):
+    """Scaling time by c keeps assignments and multiplies cost by c."""
+    trace = _as_trace(items)
+    scaled = scale_time(trace, 3)
+    for algo_cls in (FirstFit, BestFit):
+        base = simulate(trace.items, algo_cls())
+        big = simulate(scaled.items, algo_cls())
+        assert big.assignment == base.assignment
+        assert big.total_cost() == 3 * base.total_cost()
+
+
+@given(exact_items())
+@settings(max_examples=40, deadline=None)
+def test_size_capacity_scaling_law(items):
+    """Scaling sizes and capacity together changes nothing."""
+    trace = _as_trace(items)
+    scaled = scale_sizes(trace, 5)
+    base = simulate(trace.items, FirstFit(), capacity=1)
+    big = simulate(scaled.items, FirstFit(), capacity=5)
+    assert big.assignment == base.assignment
+    assert big.total_cost() == base.total_cost()
+
+
+@given(exact_items())
+@settings(max_examples=30, deadline=None)
+def test_shift_invariance(items):
+    """Packing is invariant under time translation."""
+    trace = _as_trace(items)
+    moved = shift_time(trace, 1000)
+    base = simulate(trace.items, FirstFit())
+    shifted = simulate(moved.items, FirstFit())
+    assert shifted.assignment == base.assignment
+    assert shifted.total_cost() == base.total_cost()

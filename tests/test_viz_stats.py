@@ -1,0 +1,88 @@
+"""Tests for visualisation and statistics helpers."""
+
+import pytest
+
+from repro import FirstFit, make_items, simulate
+from repro.analysis.stats import aggregate_by_key, paired_win_rate, summarize
+from repro.analysis.viz import render_load_sparkline, render_packing_timeline
+
+
+class TestTimeline:
+    def test_rows_per_bin(self):
+        items = make_items([(0, 10, 0.8), (1, 4, 0.3), (2, 6, 0.3)])
+        result = simulate(items, FirstFit())
+        text = render_packing_timeline(result, width=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("bin   0 |")
+        assert lines[1].startswith("bin   1 |")
+        assert "t in [0, 10]" in lines[-1]
+
+    def test_open_cells_are_shaded(self):
+        items = make_items([(0, 10, 1.0)])
+        result = simulate(items, FirstFit())
+        row = render_packing_timeline(result, width=10).splitlines()[0]
+        body = row.split("|")[1]
+        assert body == "█" * 10  # full bin the whole time
+
+    def test_gap_is_blank(self):
+        items = make_items([(0, 2, 0.5), (8, 10, 0.5)])
+        result = simulate(items, FirstFit())
+        rows = render_packing_timeline(result, width=10).splitlines()
+        assert " " in rows[0].split("|")[1]  # bin0 closed in the middle
+
+    def test_max_bins_truncation(self):
+        items = make_items([(i, i + 0.5, 0.9) for i in range(8)])
+        result = simulate(items, FirstFit())
+        text = render_packing_timeline(result, width=16, max_bins=3)
+        assert "more bins" in text
+
+    def test_empty_packing(self):
+        assert "empty" in render_packing_timeline(simulate([], FirstFit()))
+
+    def test_width_validation(self):
+        items = make_items([(0, 1, 0.5)])
+        with pytest.raises(ValueError):
+            render_packing_timeline(simulate(items, FirstFit()), width=2)
+
+
+class TestSparkline:
+    def test_peak_reported(self):
+        items = make_items([(0, 4, 0.5), (1, 3, 0.5)])
+        result = simulate(items, FirstFit())
+        line = render_load_sparkline(result, width=16)
+        assert line.startswith("load")
+        assert "peak 1" in line
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3 and s.mean == 2.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.ci95 > 0
+        assert "± " in str(s)
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.std == 0.0 and s.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_paired_win_rate(self):
+        assert paired_win_rate([1, 2], [3, 4]) == 1.0
+        assert paired_win_rate([1, 5], [2, 4]) == 0.5
+        assert paired_win_rate([1, 1], [1, 1]) == 0.5  # ties count half
+        with pytest.raises(ValueError):
+            paired_win_rate([1], [1, 2])
+
+    def test_aggregate_by_key(self):
+        rows = [
+            {"algo": "ff", "cost": 1.0},
+            {"algo": "ff", "cost": 3.0},
+            {"algo": "bf", "cost": 2.0},
+        ]
+        agg = aggregate_by_key(rows, key="algo", metric="cost")
+        assert agg["ff"].mean == 2.0
+        assert agg["bf"].n == 1

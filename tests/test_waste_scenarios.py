@@ -1,0 +1,95 @@
+"""Tests for waste accounting and the canonical scenario library."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import FirstFit, NewBinPerItem, NextFit, make_items, simulate, trace_span
+from repro.analysis.waste import waste_report
+from repro.clairvoyant import MinExpandFit, simulate_clairvoyant
+from repro.scenarios import (
+    figure1_span_example,
+    first_fit_vs_best_fit_separator,
+    pinned_bin_example,
+    theorem1_static_instance,
+)
+
+
+class TestWaste:
+    def test_accounting_adds_up(self):
+        items = make_items([(0, 4, 0.5), (1, 3, 0.25)])
+        result = simulate(items, FirstFit())
+        report = waste_report(result)
+        assert report.total_paid == 4  # one bin open [0,4] at W=1
+        assert report.total_used == 0.5 * 4 + 0.25 * 2
+        assert report.total_wasted == report.total_paid - report.total_used
+        assert report.utilization == pytest.approx(2.5 / 4)
+
+    def test_per_bin_sums_to_total(self):
+        items = make_items([(0, 4, 0.6), (1, 6, 0.6), (2, 3, 0.3)])
+        report = waste_report(simulate(items, FirstFit()))
+        assert sum(b.paid for b in report.bins) == report.total_paid
+        assert sum(b.used for b in report.bins) == report.total_used
+
+    def test_perfect_packing_has_zero_waste(self):
+        items = make_items([(0, 4, Fraction(1, 2)), (0, 4, Fraction(1, 2))])
+        report = waste_report(simulate(items, FirstFit()))
+        assert report.total_wasted == 0
+        assert report.waste_concentration() == 0.0
+
+    def test_worst_bins_ordering(self):
+        items = make_items([(0, 10, 0.1), (0, 1, 0.9), (1, 2, 0.95)])
+        report = waste_report(simulate(items, FirstFit()))
+        worst = report.worst_bins(1)[0]
+        assert worst.wasted == max(b.wasted for b in report.bins)
+
+    def test_concentration_bounds(self):
+        items = make_items([(i, i + 2, 0.4) for i in range(6)])
+        report = waste_report(simulate(items, NextFit()))
+        c = report.waste_concentration(0.5)
+        assert 0 <= c <= 1
+        with pytest.raises(ValueError):
+            report.waste_concentration(0)
+
+    def test_explains_next_fit_gap(self):
+        """Next Fit wastes more than FF on the same trace — the waste
+        report localises the loss."""
+        items = make_items([(i * 0.5, i * 0.5 + 4, 0.3) for i in range(30)])
+        ff = waste_report(simulate(items, FirstFit()))
+        naive = waste_report(simulate(items, NewBinPerItem()))
+        assert naive.total_wasted > ff.total_wasted
+        assert naive.utilization < ff.utilization
+
+
+class TestScenarios:
+    def test_figure1(self):
+        items = figure1_span_example()
+        assert trace_span(items) == 8
+        assert max(it.departure for it in items) == 11
+        assert sum(it.length for it in items) == 10
+
+    def test_theorem1_static_shape(self):
+        k, mu = 4, 6
+        items = theorem1_static_instance(k, mu)
+        assert len(items) == k * k
+        result = simulate(items, FirstFit())
+        assert result.num_bins_used == k
+        assert result.total_cost() == k * mu  # every bin pinned to μΔ
+        with pytest.raises(ValueError):
+            theorem1_static_instance(1, 2)
+
+    def test_separator(self):
+        from repro import BestFit
+
+        items = first_fit_vs_best_fit_separator()
+        ff = simulate(items, FirstFit())
+        bf = simulate(items, BestFit())
+        assert ff.bin_of("sep-3").index == 0
+        assert bf.bin_of("sep-3").index == 1
+
+    def test_pinned_bin(self):
+        items = pinned_bin_example()
+        blind = simulate(items, FirstFit())
+        aware = simulate_clairvoyant(items, MinExpandFit())
+        assert blind.total_cost() == 24
+        assert aware.total_cost() == 14
