@@ -1,0 +1,182 @@
+"""Engine throughput baseline: indexed streamed engine vs seed list scan.
+
+Measures items-per-second for First Fit and Best Fit at 10k / 100k / 1M
+items on a scan-heavy workload (long sessions, large items — thousands of
+simultaneously open bins), and records the result to ``BENCH_engine.json``
+so future PRs can track engine throughput:
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py --write
+
+* Sizes up to ``--scan-limit`` (default 100k) run on **both** engines —
+  the O(n log n) indexed path and the seed O(n²) list scan — on the same
+  materialized trace, yielding a direct speedup figure (the refactor's
+  acceptance bar is >= 10x for First Fit at 100k).
+* The largest size runs **streamed**: a generator trace through the lazy
+  heap-merge event stream with recording off, tracemalloc-audited to show
+  the full event list (and trace) is never materialized.
+
+Also runnable under pytest (tiny sizes) as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro import BestFit, FirstFit, simulate
+from repro.core.streaming import simulate_stream
+from repro.workloads import Clipped, Exponential, Uniform, stream_trace
+
+DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
+DEFAULT_SCAN_LIMIT = 100_000
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def workload(n_items: int, seed: int = 0):
+    """Scan-heavy stream: ~100 arrivals/t.u., 20-200 t.u. sessions, big items."""
+    return stream_trace(
+        arrival_rate=100.0,
+        duration=Clipped(Exponential(100.0), 20.0, 200.0),
+        size=Uniform(0.3, 0.9),
+        n_items=n_items,
+        seed=seed,
+    )
+
+
+def _algorithms():
+    return [("first-fit", FirstFit), ("best-fit", BestFit)]
+
+
+def run_baseline(
+    sizes=DEFAULT_SIZES, scan_limit=DEFAULT_SCAN_LIMIT, seed=0
+) -> dict:
+    results = []
+    speedups: dict[str, dict[str, float]] = {}
+    for name, algo_cls in _algorithms():
+        for n_items in sizes:
+            if n_items <= scan_limit:
+                items = list(workload(n_items, seed))
+                t0 = time.perf_counter()
+                indexed = simulate(items, algo_cls())
+                indexed_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                scan = simulate(items, algo_cls(), indexed=False)
+                scan_s = time.perf_counter() - t0
+                if indexed != scan:
+                    raise AssertionError(
+                        f"{name} indexed/list-scan packings diverge at {n_items}"
+                    )
+                results.append(
+                    {
+                        "algorithm": name,
+                        "n_items": n_items,
+                        "engine": "indexed",
+                        "seconds": round(indexed_s, 3),
+                        "items_per_sec": round(n_items / indexed_s),
+                        "bins": indexed.num_bins_used,
+                        "peak_open": indexed.max_bins_used,
+                    }
+                )
+                results.append(
+                    {
+                        "algorithm": name,
+                        "n_items": n_items,
+                        "engine": "listscan",
+                        "seconds": round(scan_s, 3),
+                        "items_per_sec": round(n_items / scan_s),
+                        "bins": scan.num_bins_used,
+                        "peak_open": scan.max_bins_used,
+                    }
+                )
+                speedups.setdefault(name, {})[str(n_items)] = round(
+                    scan_s / indexed_s, 2
+                )
+                print(
+                    f"{name:>10} n={n_items:>9,}: indexed {n_items/indexed_s:>10,.0f} it/s, "
+                    f"listscan {n_items/scan_s:>8,.0f} it/s, "
+                    f"speedup {scan_s/indexed_s:.1f}x"
+                )
+            else:
+                tracemalloc.start()
+                t0 = time.perf_counter()
+                summary = simulate_stream(workload(n_items, seed), algo_cls())
+                streamed_s = time.perf_counter() - t0
+                _, peak_bytes = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+                results.append(
+                    {
+                        "algorithm": name,
+                        "n_items": n_items,
+                        "engine": "indexed-streamed",
+                        "seconds": round(streamed_s, 3),
+                        "items_per_sec": round(summary.num_items / streamed_s),
+                        "bins": summary.num_bins_used,
+                        "peak_open": summary.peak_open_bins,
+                        "peak_mem_mb": round(peak_bytes / 1e6, 1),
+                    }
+                )
+                print(
+                    f"{name:>10} n={n_items:>9,}: streamed {summary.num_items/streamed_s:>9,.0f} it/s, "
+                    f"peak mem {peak_bytes/1e6:,.0f} MB "
+                    f"({summary.num_bins_used:,} bins, peak {summary.peak_open_bins:,} open)"
+                )
+    return {
+        "workload": {
+            "arrival_rate": 100.0,
+            "duration": "Clipped(Exponential(100), 20, 200)",
+            "size": "Uniform(0.3, 0.9)",
+            "seed": seed,
+        },
+        "sizes": list(sizes),
+        "scan_limit": scan_limit,
+        "results": results,
+        "speedups": speedups,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SIZES),
+        help="trace sizes to measure",
+    )
+    parser.add_argument(
+        "--scan-limit",
+        type=int,
+        default=DEFAULT_SCAN_LIMIT,
+        help="largest size the O(n²) list scan is run at",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help=f"record the baseline to {OUTPUT.name}",
+    )
+    args = parser.parse_args(argv)
+    baseline = run_baseline(
+        sizes=tuple(args.sizes), scan_limit=args.scan_limit, seed=args.seed
+    )
+    if args.write:
+        OUTPUT.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline written to {OUTPUT}")
+    return 0
+
+
+# ------------------------------------------------------------------ pytest
+
+def test_engine_baseline_smoke():
+    """Tiny-size smoke run: both engines agree and the report is complete."""
+    baseline = run_baseline(sizes=(500, 2000), scan_limit=500)
+    engines = {r["engine"] for r in baseline["results"]}
+    assert engines == {"indexed", "listscan", "indexed-streamed"}
+    assert baseline["speedups"]["first-fit"]["500"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

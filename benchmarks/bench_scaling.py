@@ -8,10 +8,11 @@ future change that accidentally quadratifies a hot path shows up here.
 import pytest
 
 from repro import BestFit, FirstFit, simulate
+from repro.core.streaming import simulate_stream
 from repro.opt.load import load_profile_np
 from repro.opt.lower_bounds import pointwise_lower_bound
 from repro.opt.snapshot import opt_total_ffd_upper_bound
-from repro.workloads import Clipped, Exponential, Uniform, generate_trace
+from repro.workloads import Clipped, Exponential, Uniform, generate_trace, stream_trace
 
 
 def _trace(n_items: int, seed: int = 0):
@@ -20,6 +21,16 @@ def _trace(n_items: int, seed: int = 0):
         horizon=1000.0,
         duration=Clipped(Exponential(5.0), 1.0, 15.0),
         size=Uniform(0.05, 0.5),
+        seed=seed,
+    )
+
+
+def _stream(n_items: int, seed: int = 0):
+    return stream_trace(
+        arrival_rate=n_items / 1000.0,
+        duration=Clipped(Exponential(5.0), 1.0, 15.0),
+        size=Uniform(0.05, 0.5),
+        n_items=n_items,
         seed=seed,
     )
 
@@ -33,11 +44,29 @@ def test_bench_simulate_scaling(benchmark, n_items):
     benchmark.extra_info["bins"] = result.num_bins_used
 
 
+@pytest.mark.parametrize("n_items", [1000, 4000, 16000])
+def test_bench_simulate_scaling_listscan(benchmark, n_items):
+    """The seed O(n²) path, kept benchmarked as the indexed engine's foil."""
+    trace = _trace(n_items)
+    result = benchmark(lambda: simulate(trace.items, FirstFit(), indexed=False))
+    assert result.num_bins_used >= 1
+    benchmark.extra_info["items"] = len(trace)
+
+
 @pytest.mark.parametrize("n_items", [1000, 8000])
 def test_bench_best_fit_scaling(benchmark, n_items):
     trace = _trace(n_items)
     result = benchmark(lambda: simulate(trace.items, BestFit()))
     assert result.num_bins_used >= 1
+
+
+@pytest.mark.parametrize("n_items", [4000, 16000])
+def test_bench_simulate_stream_scaling(benchmark, n_items):
+    """O(active)-memory streaming: generator workload, no materialization."""
+    summary = benchmark(lambda: simulate_stream(_stream(n_items), FirstFit()))
+    assert summary.num_bins_used >= 1
+    benchmark.extra_info["items"] = summary.num_items
+    benchmark.extra_info["peak_open"] = summary.peak_open_bins
 
 
 @pytest.mark.parametrize("n_items", [1000, 8000])

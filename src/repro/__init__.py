@@ -24,17 +24,21 @@ from .core import (
     CostModel,
     Interval,
     Item,
+    OpenBinIndex,
+    OpenBinView,
     PackingResult,
     QuantizedCost,
     SimulationError,
     SimulationObserver,
     Simulator,
+    StreamSummary,
     TelemetryCollector,
     TraceStats,
     interval_ratio,
     make_items,
     parse_configuration,
     simulate,
+    simulate_stream,
     span,
     total_demand,
     trace_span,
@@ -77,6 +81,10 @@ __all__ = [
     "PackingResult",
     "Simulator",
     "simulate",
+    "simulate_stream",
+    "StreamSummary",
+    "OpenBinIndex",
+    "OpenBinView",
     "SimulationError",
     "SimulationObserver",
     "TelemetryCollector",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..core.bin import Bin
+from ..core.bin_index import OpenBinIndex
 
 __all__ = [
     "Arrival",
@@ -81,6 +82,22 @@ class PackingAlgorithm(ABC):
         a new bin.  The returned bin must satisfy ``bin.fits(item)``; the
         simulator validates this and raises on violation.
         """
+
+    def choose_bin_indexed(self, item: Arrival, index: OpenBinIndex):
+        """Optional O(log n) selection against the simulator's bin index.
+
+        The indexed counterpart of :meth:`choose_bin`: instead of a bin
+        sequence to scan, the algorithm receives the simulator's
+        :class:`~repro.core.bin_index.OpenBinIndex` and may answer fit
+        queries (``index.first_fit(size)``, ``index.best_fit(size)``, both
+        optionally per ``label`` pool) in O(log n).  Return a bin,
+        ``OPEN_NEW``/``None``, or ``NotImplemented`` (the default) to fall
+        back to the list scan — the simulator asks once per run and caches
+        the answer, so an algorithm must either always or never support the
+        indexed path.  Implementations must make exactly the choice their
+        :meth:`choose_bin` would make; the differential tests assert this.
+        """
+        return NotImplemented
 
     def new_bin_capacity(self, item: Arrival) -> numbers.Real | None:
         """Capacity for a bin opened for ``item``; ``None`` = simulator default.

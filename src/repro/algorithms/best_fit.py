@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.bin import Bin
-from .base import AnyFitAlgorithm, Arrival, register_algorithm
+from ..core.bin_index import OpenBinIndex
+from .base import OPEN_NEW, AnyFitAlgorithm, Arrival, register_algorithm
 
 __all__ = ["BestFit"]
 
@@ -33,3 +34,9 @@ class BestFit(AnyFitAlgorithm):
             if candidate.residual < best.residual:
                 best = candidate
         return best
+
+    def choose_bin_indexed(self, item: Arrival, index: OpenBinIndex):
+        # Tightest fit by binary search on the ordered residual index;
+        # residual ties resolve to the earliest-opened bin, as in select().
+        target = index.best_fit(item.size)
+        return target if target is not None else OPEN_NEW

@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.bin import Bin
-from .base import AnyFitAlgorithm, Arrival, register_algorithm
+from ..core.bin_index import OpenBinIndex
+from .base import OPEN_NEW, AnyFitAlgorithm, Arrival, register_algorithm
 
 __all__ = ["FirstFit"]
 
@@ -23,12 +24,15 @@ class FirstFit(AnyFitAlgorithm):
     def choose_bin(self, item: Arrival, open_bins: Sequence[Bin]):
         # Fast path (profiled: the full fitting-list scan dominated
         # simulation time): First Fit only needs the first fitting bin.
-        from .base import OPEN_NEW
-
         for b in open_bins:
             if b.fits(item):
                 return b
         return OPEN_NEW
+
+    def choose_bin_indexed(self, item: Arrival, index: OpenBinIndex):
+        # Lowest-index bin with sufficient residual, via segment-tree descent.
+        target = index.first_fit(item.size)
+        return target if target is not None else OPEN_NEW
 
     def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
         # fitting_bins preserves opening order, so the first is the earliest.

@@ -16,6 +16,7 @@ import numbers
 from typing import Sequence
 
 from ..core.bin import Bin
+from ..core.bin_index import OpenBinIndex
 from .base import Arrival, OPEN_NEW, PackingAlgorithm, register_algorithm
 from .modified_first_fit import LARGE, SMALL
 
@@ -48,6 +49,11 @@ class ModifiedBestFit(PackingAlgorithm):
                 if best is None or b.residual < best.residual:
                     best = b
         return best if best is not None else OPEN_NEW
+
+    def choose_bin_indexed(self, item: Arrival, index: OpenBinIndex):
+        # Best Fit restricted to this size class's bin pool.
+        target = index.best_fit(item.size, label=self.classify(item))
+        return target if target is not None else OPEN_NEW
 
     def on_bin_opened(self, bin: Bin, item: Arrival) -> None:
         bin.label = self.classify(item)

@@ -19,6 +19,7 @@ import numbers
 from typing import Sequence
 
 from ..core.bin import Bin
+from ..core.bin_index import OpenBinIndex
 from .base import Arrival, OPEN_NEW, PackingAlgorithm, register_algorithm
 
 __all__ = ["ModifiedFirstFit", "LARGE", "SMALL"]
@@ -68,6 +69,11 @@ class ModifiedFirstFit(PackingAlgorithm):
             if b.label == wanted and b.fits(item):
                 return b
         return OPEN_NEW
+
+    def choose_bin_indexed(self, item: Arrival, index: OpenBinIndex):
+        # First Fit restricted to this size class's bin pool.
+        target = index.first_fit(item.size, label=self.classify(item))
+        return target if target is not None else OPEN_NEW
 
     def on_bin_opened(self, bin: Bin, item: Arrival) -> None:
         bin.label = self.classify(item)

@@ -4,6 +4,8 @@ from .dispatcher import (
     CloudGamingDispatcher,
     DispatchReport,
     ServerType,
+    StreamDispatchReport,
+    dispatch_stream,
     dispatch_trace,
 )
 from .finite_fleet import (
@@ -23,8 +25,10 @@ __all__ = [
     "serve_with_fleet_limit",
     "ServerType",
     "DispatchReport",
+    "StreamDispatchReport",
     "CloudGamingDispatcher",
     "dispatch_trace",
+    "dispatch_stream",
     "RegionPricing",
     "RegionBill",
     "price_by_region",

@@ -12,16 +12,26 @@ from __future__ import annotations
 
 import numbers
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable
 
 from ..algorithms.base import PackingAlgorithm
 from ..core.cost import ContinuousCost, CostModel, QuantizedCost
+from ..core.item import Item
 from ..core.metrics import utilization
 from ..core.result import PackingResult
 from ..core.simulator import Simulator
+from ..core.streaming import StreamSummary, simulate_stream
+from ..core.telemetry import SimulationObserver
 from ..workloads.trace import Trace
 
-__all__ = ["ServerType", "DispatchReport", "CloudGamingDispatcher", "dispatch_trace"]
+__all__ = [
+    "ServerType",
+    "DispatchReport",
+    "StreamDispatchReport",
+    "CloudGamingDispatcher",
+    "dispatch_trace",
+    "dispatch_stream",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,6 +93,75 @@ class DispatchReport:
             "cost(billed)": float(self.billed_cost),
             "util": self.utilization,
         }
+
+
+@dataclass(frozen=True)
+class StreamDispatchReport:
+    """Cost summary of a *streamed* trace: aggregates only, O(1) state.
+
+    The streaming counterpart of :class:`DispatchReport` for traces too
+    large to keep a :class:`~repro.core.result.PackingResult` for —
+    utilization needs per-item demand history and is therefore absent.
+    """
+
+    algorithm_name: str
+    server_type: ServerType
+    summary: StreamSummary
+    continuous_cost: numbers.Real  #: the paper's objective
+    billed_cost: numbers.Real  #: under the server type's billing quanta
+    num_servers_rented: int
+    peak_concurrent_servers: int
+    num_sessions: int
+
+    @property
+    def cost_per_session(self) -> float:
+        return float(self.continuous_cost) / self.num_sessions
+
+
+class _BillingMeter(SimulationObserver):
+    """Accrues quantised billing as servers are released."""
+
+    def __init__(self, model: CostModel) -> None:
+        self.model = model
+        self.billed: numbers.Real = 0
+
+    def on_departure(self, time, item_id, bin, closed) -> None:
+        if closed:
+            self.billed = self.billed + self.model.bin_cost(bin.usage_length)
+
+
+def dispatch_stream(
+    sessions: Iterable[Item],
+    algorithm: PackingAlgorithm,
+    *,
+    server_type: ServerType | None = None,
+) -> StreamDispatchReport:
+    """Serve an arrival-ordered session stream in O(active sessions) memory.
+
+    ``sessions`` may be any iterable — typically a generator such as
+    :func:`repro.workloads.generators.stream_trace` — yielding items with
+    non-decreasing arrival times.  Billing is metered as servers are
+    released, so million-session traces never materialize.
+    """
+    server_type = server_type or ServerType()
+    meter = _BillingMeter(server_type.billed_model())
+    summary = simulate_stream(
+        sessions,
+        algorithm,
+        capacity=server_type.gpu_capacity,
+        cost_rate=server_type.rate,
+        observers=(meter,),
+    )
+    return StreamDispatchReport(
+        algorithm_name=algorithm.name,
+        server_type=server_type,
+        summary=summary,
+        continuous_cost=summary.total_cost,
+        billed_cost=meter.billed,
+        num_servers_rented=summary.num_bins_used,
+        peak_concurrent_servers=summary.peak_open_bins,
+        num_sessions=summary.num_items,
+    )
 
 
 class CloudGamingDispatcher:

@@ -1,9 +1,17 @@
 """Core MinTotal DBP model: items, bins, events, simulator, metrics, costs."""
 
 from .bin import Bin, BinAssignment, BinClosedError, CapacityExceededError
+from .bin_index import ANY_LABEL, OpenBinIndex, OpenBinView
 from .config_notation import BinConfiguration, ConfigGroup, parse_configuration
 from .cost import ContinuousCost, CostModel, QuantizedCost
-from .events import Event, EventKind, compile_events, event_times
+from .events import (
+    Event,
+    EventKind,
+    EventOrderError,
+    compile_events,
+    event_times,
+    iter_events,
+)
 from .interval import (
     Interval,
     interval_difference,
@@ -25,6 +33,7 @@ from .metrics import (
 )
 from .result import BinRecord, PackingResult
 from .simulator import SimulationError, Simulator, simulate
+from .streaming import StreamSummary, simulate_stream
 from .telemetry import SimulationObserver, TelemetryCollector
 
 __all__ = [
@@ -46,8 +55,13 @@ __all__ = [
     "parse_configuration",
     "Event",
     "EventKind",
+    "EventOrderError",
+    "iter_events",
     "compile_events",
     "event_times",
+    "ANY_LABEL",
+    "OpenBinIndex",
+    "OpenBinView",
     "CostModel",
     "ContinuousCost",
     "QuantizedCost",
@@ -55,6 +69,8 @@ __all__ = [
     "PackingResult",
     "Simulator",
     "simulate",
+    "simulate_stream",
+    "StreamSummary",
     "SimulationError",
     "SimulationObserver",
     "TelemetryCollector",

@@ -61,6 +61,10 @@ class Bin:
     _contents: dict[str, Item] = field(default_factory=dict, repr=False)
     _level: numbers.Real = 0
     assignments: list[BinAssignment] = field(default_factory=list, repr=False)
+    #: When false, skip the assignment log — the streaming engine's
+    #: O(active)-memory mode (the log is the only per-bin state that grows
+    #: with every item ever placed rather than with current occupancy).
+    record_log: bool = True
 
     # ------------------------------------------------------------------ state
 
@@ -129,7 +133,8 @@ class Bin:
             self.opened_at = time
         self._contents[item.item_id] = item
         self._level = self._level + item.size
-        self.assignments.append(BinAssignment(time=time, item=item))
+        if self.record_log:
+            self.assignments.append(BinAssignment(time=time, item=item))
 
     def remove(self, item_id: str, time: numbers.Real) -> Item:
         """Remove a departing item; closes the bin if it becomes empty."""

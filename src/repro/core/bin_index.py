@@ -1,0 +1,287 @@
+"""Indexed open-bin state: O(1) membership, O(log n) fit queries.
+
+The seed engine kept open bins in a plain list, so every First Fit arrival
+scanned all open bins and every departure paid an O(n) ``list.remove`` —
+quadratic end-to-end.  :class:`OpenBinIndex` replaces the list with a
+slot-map keyed by ``bin.index`` plus, per bin label, two ordered views
+maintained on every add/remove/update:
+
+* a **max-residual segment tree** over opening-order slots, answering
+  "lowest-index open bin with residual >= s" (the First Fit query) by a
+  single root-to-leaf descent, and
+* a **sorted residual list** answering "smallest residual >= s, earliest
+  opened on ties" (the Best Fit query) by binary search.
+
+Bins are pooled by the ``bin.label`` they carry when registered (Modified
+First/Best Fit segregate large- and small-item bins this way); queries
+either target one pool or combine all pools.  Labels must not change after
+a bin is indexed.
+
+:class:`OpenBinView` is the immutable sequence facade the simulator hands
+to list-scanning algorithms and exposes as ``Simulator.open_bins`` —
+iteration is in opening order and costs nothing extra; positional indexing
+is supported for compatibility but is O(n).
+"""
+
+from __future__ import annotations
+
+import numbers
+from bisect import bisect_left, insort
+from collections.abc import Sequence
+from itertools import islice
+from typing import Any, Iterator
+
+from .bin import Bin
+
+__all__ = ["ANY_LABEL", "OpenBinIndex", "OpenBinView"]
+
+#: Residual stored for dead (closed) slots — compares below every item size.
+_CLOSED = float("-inf")
+
+
+class _AnyLabel:
+    """Sentinel for fit queries spanning every label pool."""
+
+    _instance: "_AnyLabel | None" = None
+
+    def __new__(cls) -> "_AnyLabel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "ANY_LABEL"
+
+
+ANY_LABEL = _AnyLabel()
+
+
+class _Pool:
+    """Fit indexes for the open bins sharing one label."""
+
+    __slots__ = ("cap", "n_slots", "tree", "slots", "slot_of", "by_residual", "entry")
+
+    def __init__(self) -> None:
+        self.cap = 1  # leaf capacity of the segment tree (power of two)
+        self.n_slots = 0  # slots ever allocated, including dead ones
+        self.tree: list = [_CLOSED, _CLOSED]  # 1-based max tree, leaves at cap+i
+        self.slots: list[Bin | None] = [None]
+        self.slot_of: dict[int, int] = {}  # bin.index -> slot
+        self.by_residual: list[tuple] = []  # sorted (residual, bin.index)
+        self.entry: dict[int, tuple] = {}  # bin.index -> its by_residual key
+
+    def __len__(self) -> int:
+        return len(self.slot_of)
+
+    # ------------------------------------------------------------- mutation
+
+    def add(self, bin: Bin) -> None:
+        if self.n_slots == self.cap:
+            self._grow()
+        slot = self.n_slots
+        self.n_slots += 1
+        self.slots[slot] = bin
+        self.slot_of[bin.index] = slot
+        self._tree_set(slot, bin.residual)
+        key = (bin.residual, bin.index)
+        insort(self.by_residual, key)
+        self.entry[bin.index] = key
+
+    def discard(self, bin: Bin) -> None:
+        slot = self.slot_of.pop(bin.index)
+        self.slots[slot] = None
+        self._tree_set(slot, _CLOSED)
+        key = self.entry.pop(bin.index)
+        del self.by_residual[bisect_left(self.by_residual, key)]
+
+    def update(self, bin: Bin) -> None:
+        self._tree_set(self.slot_of[bin.index], bin.residual)
+        old = self.entry[bin.index]
+        del self.by_residual[bisect_left(self.by_residual, old)]
+        key = (bin.residual, bin.index)
+        insort(self.by_residual, key)
+        self.entry[bin.index] = key
+
+    # -------------------------------------------------------------- queries
+
+    def first_fit(self, size: numbers.Real) -> Bin | None:
+        """Earliest-opened bin with residual >= ``size`` (O(log n))."""
+        tree = self.tree
+        if tree[1] < size:
+            return None
+        node = 1
+        while node < self.cap:
+            node <<= 1
+            if tree[node] < size:
+                node += 1
+        return self.slots[node - self.cap]
+
+    def best_fit(self, size: numbers.Real) -> tuple | None:
+        """``(residual, bin.index)`` of the tightest fit, or None (O(log n)).
+
+        Ties on residual resolve to the lowest ``bin.index`` — the
+        earliest-opened bin, matching the list scan's strict-< rule.
+        """
+        i = bisect_left(self.by_residual, (size,))
+        if i == len(self.by_residual):
+            return None
+        return self.by_residual[i]
+
+    # ------------------------------------------------------------ internals
+
+    def _grow(self) -> None:
+        self.cap *= 2
+        self.slots.extend([None] * (self.cap - len(self.slots)))
+        tree = [_CLOSED] * (2 * self.cap)
+        for slot, bin in enumerate(self.slots):
+            if bin is not None:
+                tree[self.cap + slot] = bin.residual
+        for node in range(self.cap - 1, 0, -1):
+            tree[node] = max(tree[2 * node], tree[2 * node + 1])
+        self.tree = tree
+
+    def _tree_set(self, slot: int, value) -> None:
+        tree = self.tree
+        node = self.cap + slot
+        tree[node] = value
+        node >>= 1
+        while node:
+            best = max(tree[2 * node], tree[2 * node + 1])
+            if tree[node] == best:
+                break
+            tree[node] = best
+            node >>= 1
+
+
+class OpenBinIndex:
+    """Slot-map of open bins with per-label ordered fit indexes.
+
+    The simulator owns one instance and keeps it current: ``add`` on bin
+    open (after the algorithm's ``on_bin_opened`` hook has set the label),
+    ``update`` after any placement or partial departure changes a bin's
+    residual, ``discard`` when the bin closes.  Membership tests, length
+    and removal are O(1); fit queries are O(log n); iteration yields bins
+    in opening order.
+    """
+
+    __slots__ = ("_by_index", "_pools", "_label_of")
+
+    def __init__(self) -> None:
+        self._by_index: dict[int, Bin] = {}  # insertion order == opening order
+        self._pools: dict[Any, _Pool] = {}
+        self._label_of: dict[int, Any] = {}  # label at registration time
+
+    # ------------------------------------------------------- set protocol
+
+    def __len__(self) -> int:
+        return len(self._by_index)
+
+    def __iter__(self) -> Iterator[Bin]:
+        return iter(self._by_index.values())
+
+    def __contains__(self, bin: object) -> bool:
+        return isinstance(bin, Bin) and self._by_index.get(bin.index) is bin
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OpenBinIndex({len(self)} open)"
+
+    # ----------------------------------------------------------- mutation
+
+    def add(self, bin: Bin) -> None:
+        """Register a newly opened bin under its current label."""
+        if bin.index in self._by_index:
+            raise ValueError(f"bin {bin.index} is already indexed")
+        self._by_index[bin.index] = bin
+        label = bin.label
+        pool = self._pools.get(label)
+        if pool is None:
+            pool = self._pools[label] = _Pool()
+        pool.add(bin)
+        self._label_of[bin.index] = label
+
+    def discard(self, bin: Bin) -> None:
+        """Drop a (closed) bin from the index."""
+        del self._by_index[bin.index]
+        label = self._label_of.pop(bin.index)
+        self._pools[label].discard(bin)
+
+    def update(self, bin: Bin) -> None:
+        """Refresh the ordered views after the bin's residual changed."""
+        self._pools[self._label_of[bin.index]].update(bin)
+
+    # ------------------------------------------------------------ queries
+
+    def first_fit(self, size: numbers.Real, label: Any = ANY_LABEL) -> Bin | None:
+        """Earliest-opened bin with residual >= ``size``, or ``None``.
+
+        With the default ``ANY_LABEL`` the search spans every pool (plain
+        First Fit); passing a label restricts it to that pool (Modified
+        First Fit's per-class rule).
+        """
+        if label is ANY_LABEL:
+            best: Bin | None = None
+            for pool in self._pools.values():
+                hit = pool.first_fit(size)
+                if hit is not None and (best is None or hit.index < best.index):
+                    best = hit
+            return best
+        pool = self._pools.get(label)
+        return pool.first_fit(size) if pool is not None else None
+
+    def best_fit(self, size: numbers.Real, label: Any = ANY_LABEL) -> Bin | None:
+        """Tightest-fitting bin (smallest residual >= ``size``), or ``None``.
+
+        Ties on residual resolve to the earliest-opened bin, matching the
+        list scan's behaviour.  ``label`` restricts the search as in
+        :meth:`first_fit`.
+        """
+        if label is ANY_LABEL:
+            best: tuple | None = None
+            for pool in self._pools.values():
+                hit = pool.best_fit(size)
+                if hit is not None and (best is None or hit < best):
+                    best = hit
+        else:
+            pool = self._pools.get(label)
+            best = pool.best_fit(size) if pool is not None else None
+        if best is None:
+            return None
+        return self._by_index[best[1]]
+
+
+class OpenBinView(Sequence):
+    """Read-only sequence view over an :class:`OpenBinIndex`.
+
+    Iteration (opening order), ``len`` and ``in`` are as cheap as on the
+    index itself; positional access materializes lazily and is O(n), which
+    the adversarial constructions' small simulations can afford.  Handing
+    this view out instead of copying the open-bin list keeps
+    ``Simulator.open_bins`` O(1).
+    """
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: OpenBinIndex) -> None:
+        self._index = index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self) -> Iterator[Bin]:
+        return iter(self._index)
+
+    def __contains__(self, bin: object) -> bool:
+        return bin in self._index
+
+    def __getitem__(self, pos):
+        if isinstance(pos, slice):
+            return list(self._index)[pos]
+        n = len(self._index)
+        if pos < 0:
+            pos += n
+        if not 0 <= pos < n:
+            raise IndexError("open-bin index out of range")
+        return next(islice(iter(self._index), pos, None))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OpenBinView({len(self)} open)"

@@ -1,23 +1,45 @@
 """Event machinery for the discrete-event DBP simulator.
 
-A trace of items is compiled into a totally ordered event sequence.  Ties at
+A trace of items is turned into a totally ordered event sequence.  Ties at
 a single time instant are resolved **departures first, then arrivals**, with
 arrivals kept in trace order.  This matches the paper's adversarial
 constructions, where items departing at time ``t`` free capacity that
 same-instant arrivals may use, and the sequential "groups arrive one after
 another" orderings are expressed by trace order at equal times.
+
+Two entry points share one merge core:
+
+* :func:`iter_events` is a **lazy heap-merge generator**: it consumes any
+  item iterable whose arrivals are non-decreasing (generators included) and
+  yields events one at a time, holding only the departure heap of currently
+  active items in memory — O(active) space instead of O(trace).
+* :func:`compile_events` is the materializing compatibility wrapper: it
+  accepts items in any order, stable-sorts them by arrival and returns the
+  full event list, byte-identical to the historical eager implementation.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 import numbers
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from .item import Item
 
-__all__ = ["EventKind", "Event", "compile_events", "event_times"]
+__all__ = [
+    "EventKind",
+    "Event",
+    "EventOrderError",
+    "iter_events",
+    "compile_events",
+    "event_times",
+]
+
+
+class EventOrderError(ValueError):
+    """Raised by :func:`iter_events` when arrivals are not non-decreasing."""
 
 
 class EventKind(enum.IntEnum):
@@ -41,6 +63,49 @@ class Event:
         return (self.time, int(self.kind), self.seq)
 
 
+def _merge_events(seq_items: Iterable[tuple[int, Item]]) -> Iterator[Event]:
+    """Heap-merge ``(seq, item)`` pairs (non-decreasing arrivals) into events.
+
+    Equivalent to sorting all 2n events by ``(time, kind, seq)``: before an
+    arrival at time ``t`` is emitted, every pending departure with time
+    ``<= t`` is drained from the heap in ``(time, seq)`` order.  Departures
+    always belong to already-consumed items because ``d(r) > a(r)`` and the
+    input is sorted by arrival, so the merge never has to look ahead.
+    """
+    pending: list[tuple[numbers.Real, int, Item]] = []  # (departure, seq, item)
+    last_arrival: numbers.Real | None = None
+    for seq, item in seq_items:
+        if last_arrival is not None and item.arrival < last_arrival:
+            raise EventOrderError(
+                f"item {item.item_id!r} arrives at {item.arrival}, before the "
+                f"previous arrival at {last_arrival}; iter_events requires "
+                "non-decreasing arrival times — sort the trace or use "
+                "compile_events()"
+            )
+        last_arrival = item.arrival
+        while pending and pending[0][0] <= item.arrival:
+            time, dep_seq, departed = heapq.heappop(pending)
+            yield Event(time=time, kind=EventKind.DEPARTURE, item=departed, seq=dep_seq)
+        yield Event(time=item.arrival, kind=EventKind.ARRIVAL, item=item, seq=seq)
+        heapq.heappush(pending, (item.departure, seq, item))
+    while pending:
+        time, dep_seq, departed = heapq.heappop(pending)
+        yield Event(time=time, kind=EventKind.DEPARTURE, item=departed, seq=dep_seq)
+
+
+def iter_events(items: Iterable[Item]) -> Iterator[Event]:
+    """Lazily merge items (sorted by arrival) into the event stream.
+
+    Accepts any iterable — including one-shot generators — whose arrival
+    times are non-decreasing, and yields :class:`Event` objects in
+    ``(time, kind, trace order)`` order with DEPARTURE < ARRIVAL, holding
+    only the active items' departures in a heap (O(active) memory).  Raises
+    :class:`EventOrderError` on an out-of-order arrival; unsorted traces
+    must go through :func:`compile_events` instead.
+    """
+    return _merge_events(enumerate(items))
+
+
 def compile_events(items: Iterable[Item]) -> list[Event]:
     """Compile items into the sorted event sequence.
 
@@ -48,13 +113,14 @@ def compile_events(items: Iterable[Item]) -> list[Event]:
     ``d(r)``.  The result is sorted by ``(time, kind, trace order)`` with
     DEPARTURE < ARRIVAL, so simultaneous departures are processed before
     simultaneous arrivals.
+
+    Compatibility wrapper over the lazy merge: items are stable-sorted by
+    arrival (keeping their original trace positions as tiebreakers), which
+    reproduces the historical fully-materialized ordering exactly.  Code
+    that can guarantee sorted arrivals should prefer :func:`iter_events`.
     """
-    events: list[Event] = []
-    for seq, item in enumerate(items):
-        events.append(Event(time=item.arrival, kind=EventKind.ARRIVAL, item=item, seq=seq))
-        events.append(Event(time=item.departure, kind=EventKind.DEPARTURE, item=item, seq=seq))
-    events.sort(key=lambda e: e.sort_key)
-    return events
+    ordered = sorted(enumerate(items), key=lambda pair: pair[1].arrival)
+    return list(_merge_events(ordered))
 
 
 def event_times(items: Iterable[Item]) -> list[numbers.Real]:

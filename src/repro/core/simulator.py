@@ -3,7 +3,9 @@
 Two driving styles share one engine:
 
 * :func:`simulate` replays a complete item list (a trace) against an
-  algorithm — the common case for workloads and experiments.
+  algorithm — the common case for workloads and experiments.  Generator
+  inputs with sorted arrivals are streamed through the lazy event merge
+  (:func:`repro.core.events.iter_events`) without materializing the trace.
 * :class:`Simulator` is the incremental engine itself, which *adaptive
   adversaries* drive step by step: they submit arrivals, observe the
   resulting bin states, and only then decide departure times.  The paper's
@@ -15,21 +17,32 @@ discretisation, simultaneous events are ordered departures-first (see
 :mod:`repro.core.events`), and online-ness is enforced structurally — the
 algorithm only ever sees :class:`~repro.algorithms.base.Arrival` views,
 which carry no departure time.
+
+Open bins live in an :class:`~repro.core.bin_index.OpenBinIndex` — a
+slot-map with per-label ordered residual indexes — so membership checks and
+removals are O(1) and algorithms implementing the indexed selection
+protocol (:meth:`PackingAlgorithm.choose_bin_indexed`) place items in
+O(log n) instead of scanning every open bin.  Algorithms without an indexed
+path transparently fall back to the classic list scan over an immutable
+:class:`~repro.core.bin_index.OpenBinView`.
 """
 
 from __future__ import annotations
 
 import numbers
+from collections.abc import Iterator as _Iterator
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from ..algorithms.base import OPEN_NEW, Arrival, PackingAlgorithm
 from .bin import Bin
-from .events import EventKind, compile_events
+from .bin_index import OpenBinIndex, OpenBinView
+from .events import EventKind, _merge_events, iter_events
 from .item import Item, validate_items
 from .result import BinRecord, PackingResult
 
 if False:  # pragma: no cover - import cycle guard for type checkers
+    from .streaming import StreamSummary
     from .telemetry import SimulationObserver
 
 __all__ = ["Simulator", "simulate", "SimulationError"]
@@ -37,6 +50,23 @@ __all__ = ["Simulator", "simulate", "SimulationError"]
 
 class SimulationError(RuntimeError):
     """Raised for protocol violations (bad algorithm choice, time travel...)."""
+
+
+def _indexed_is_authoritative(cls: type) -> bool:
+    """Whether ``cls.choose_bin_indexed`` speaks for ``cls.choose_bin``.
+
+    A subclass may override ``choose_bin`` (tests and experiments wrap the
+    stock algorithms this way) while inheriting a parent's indexed path —
+    which would then silently bypass the override.  The indexed path is
+    only authoritative when it is (re)defined at or below the most-derived
+    ``choose_bin`` override in the MRO.
+    """
+    for klass in cls.__mro__:
+        if "choose_bin_indexed" in klass.__dict__:
+            return True
+        if "choose_bin" in klass.__dict__:
+            return False
+    return False
 
 
 @dataclass
@@ -59,6 +89,18 @@ class Simulator:
     strict:
         When true (default), validate every algorithm decision: the chosen
         bin must be open and must fit the item.
+    indexed:
+        When true (default), offer the algorithm the O(log n) indexed
+        selection protocol first, falling back to the classic list scan if
+        it does not implement it.  Set false to force the list scan — the
+        oracle mode the differential tests compare against.
+    record:
+        When true (default), keep the full history needed for
+        :meth:`finish`'s :class:`~repro.core.result.PackingResult`.  When
+        false the engine runs in O(active items) memory — no finalized-item
+        list, no assignment map, no per-bin logs — and only
+        :meth:`finish_summary` is available.  Duplicate item ids are then
+        only detected against currently *active* items.
     """
 
     def __init__(
@@ -68,6 +110,8 @@ class Simulator:
         capacity: numbers.Real = 1,
         cost_rate: numbers.Real = 1,
         strict: bool = True,
+        indexed: bool = True,
+        record: bool = True,
         observers: Sequence["SimulationObserver"] = (),
     ) -> None:
         if capacity <= 0:
@@ -79,13 +123,20 @@ class Simulator:
         self.cost_rate = cost_rate
         self.strict = strict
         self.observers = list(observers)
-        self._open_bins: list[Bin] = []
+        self._record = record
+        self._use_indexed = indexed and _indexed_is_authoritative(type(algorithm))
+        self._bins = OpenBinIndex()
+        self._open_view = OpenBinView(self._bins)
         self._all_bins: list[Bin] = []
         self._active: dict[str, _ActiveItem] = {}
         self._finalized: list[Item] = []
         self._assignment: dict[str, int] = {}
         self._now: numbers.Real | None = None
         self._auto_id = 0
+        self._bins_opened = 0
+        self._peak_open = 0
+        self._items_arrived = 0
+        self._closed_bin_time: numbers.Real = 0
         algorithm.reset(capacity)
 
     # ------------------------------------------------------------- inspection
@@ -96,13 +147,22 @@ class Simulator:
         return self._now
 
     @property
-    def open_bins(self) -> list[Bin]:
-        """Currently open bins in opening order (adversaries may inspect)."""
-        return list(self._open_bins)
+    def open_bins(self) -> OpenBinView:
+        """Currently open bins in opening order (adversaries may inspect).
+
+        An immutable live *view* — O(1) to obtain, no copying.  Iterate it
+        freely; positional access works but costs O(n).
+        """
+        return self._open_view
 
     @property
     def num_open_bins(self) -> int:
-        return len(self._open_bins)
+        return len(self._bins)
+
+    @property
+    def peak_open_bins(self) -> int:
+        """Largest number of simultaneously open bins seen so far."""
+        return self._peak_open
 
     @property
     def active_item_ids(self) -> list[str]:
@@ -144,7 +204,14 @@ class Simulator:
             raise SimulationError(f"duplicate item id {item_id!r}")
 
         view = Arrival(item_id=item_id, size=size, arrival=time, tag=tag)
-        choice = self.algorithm.choose_bin(view, self._open_bins)
+        choice: Any = NotImplemented
+        if self._use_indexed:
+            choice = self.algorithm.choose_bin_indexed(view, self._bins)
+            if choice is NotImplemented:
+                # The algorithm has no indexed path; don't ask again.
+                self._use_indexed = False
+        if choice is NotImplemented:
+            choice = self.algorithm.choose_bin(view, self._open_view)
         if choice is OPEN_NEW or choice is None:
             new_capacity = self.algorithm.new_bin_capacity(view)
             if new_capacity is None:
@@ -154,13 +221,17 @@ class Simulator:
                     f"item {item_id!r} of size {size} cannot fit the new bin of "
                     f"capacity {new_capacity} the algorithm requested"
                 )
-            target = Bin(index=len(self._all_bins), capacity=new_capacity)
+            target = Bin(
+                index=self._bins_opened,
+                capacity=new_capacity,
+                record_log=self._record,
+            )
             opened = True
         else:
             target = choice  # type: ignore[assignment]
             opened = False
             if self.strict:
-                if not isinstance(target, Bin) or not target.is_open or target not in self._open_bins:
+                if not isinstance(target, Bin) or not target.is_open or target not in self._bins:
                     raise SimulationError(
                         f"algorithm {self.algorithm.name!r} returned an invalid bin for "
                         f"{item_id!r}: {choice!r}"
@@ -172,11 +243,21 @@ class Simulator:
                     )
         target.add(view, time)
         if opened:
-            self._open_bins.append(target)
-            self._all_bins.append(target)
+            self._bins_opened += 1
+            if self._record:
+                self._all_bins.append(target)
+            # The hook runs before indexing so the label it assigns decides
+            # the bin's pool (MFF/MBF segregate large/small bins this way).
             self.algorithm.on_bin_opened(target, view)
+            self._bins.add(target)
+            if len(self._bins) > self._peak_open:
+                self._peak_open = len(self._bins)
+        else:
+            self._bins.update(target)
+        self._items_arrived += 1
         self._active[item_id] = _ActiveItem(view=view, bin=target)
-        self._assignment[item_id] = target.index
+        if self._record:
+            self._assignment[item_id] = target.index
         for observer in self.observers:
             observer.on_arrival(time, view, target, opened)
         return target
@@ -195,19 +276,23 @@ class Simulator:
             )
         target.remove(item_id, time)
         if target.is_closed:
-            self._open_bins.remove(target)
+            self._bins.discard(target)
+            self._closed_bin_time = self._closed_bin_time + target.usage_length
+        else:
+            self._bins.update(target)
         self.algorithm.on_item_departed(item_id, target)
         for observer in self.observers:
             observer.on_departure(time, item_id, target, target.is_closed)
-        self._finalized.append(
-            Item(
-                arrival=view.arrival,
-                departure=time,
-                size=view.size,
-                item_id=item_id,
-                tag=view.tag,
+        if self._record:
+            self._finalized.append(
+                Item(
+                    arrival=view.arrival,
+                    departure=time,
+                    size=view.size,
+                    item_id=item_id,
+                    tag=view.tag,
+                )
             )
-        )
         return target
 
     # ----------------------------------------------------------------- finish
@@ -216,19 +301,21 @@ class Simulator:
         """Finalize the simulation and return the packing result.
 
         All items must have departed (every bin closed); an adaptive
-        adversary is responsible for scheduling every departure.
+        adversary is responsible for scheduling every departure.  Requires
+        ``record=True`` (the default) — the O(active)-memory streaming mode
+        keeps no history and offers :meth:`finish_summary` instead.
 
         ``result.items`` preserves *arrival issue order*, so replaying them
         through :func:`simulate` reproduces this packing exactly for any
         deterministic algorithm (same-instant arrivals keep their order) —
         the round-trip property the adversarial experiments rely on.
         """
-        if self._active:
-            leftover = sorted(self._active)[:5]
+        if not self._record:
             raise SimulationError(
-                f"{len(self._active)} items never departed (e.g. {leftover}); "
-                "schedule departures for all items before finish()"
+                "finish() needs record=True; streaming simulations report via "
+                "finish_summary()"
             )
+        self._require_all_departed()
         records = tuple(
             BinRecord(
                 index=b.index,
@@ -252,6 +339,36 @@ class Simulator:
             bins=records,
         )
 
+    def finish_summary(self) -> "StreamSummary":
+        """Finalize and return aggregate statistics only (any ``record`` mode).
+
+        The O(1)-sized counterpart of :meth:`finish` for streaming runs:
+        total cost, bins opened, peak concurrency — everything that does not
+        require per-item history.  All items must have departed.
+        """
+        from .streaming import StreamSummary
+
+        self._require_all_departed()
+        return StreamSummary(
+            algorithm_name=self.algorithm.name,
+            capacity=self.capacity,
+            cost_rate=self.cost_rate,
+            num_items=self._items_arrived,
+            num_bins_used=self._bins_opened,
+            peak_open_bins=self._peak_open,
+            total_bin_time=self._closed_bin_time,
+            total_cost=self.cost_rate * self._closed_bin_time,
+            end_time=self._now,
+        )
+
+    def _require_all_departed(self) -> None:
+        if self._active:
+            leftover = sorted(self._active)[:5]
+            raise SimulationError(
+                f"{len(self._active)} items never departed (e.g. {leftover}); "
+                "schedule departures for all items before finish()"
+            )
+
 
 def simulate(
     items: Iterable[Item],
@@ -261,6 +378,7 @@ def simulate(
     cost_rate: numbers.Real = 1,
     strict: bool = True,
     check: bool = False,
+    indexed: bool = True,
     observers: Sequence["SimulationObserver"] = (),
     max_bin_capacity: numbers.Real | None = None,
 ) -> PackingResult:
@@ -269,11 +387,23 @@ def simulate(
     Events are ordered by time with departures before arrivals at equal
     times, and arrivals in trace order (see :mod:`repro.core.events`).
 
+    Sequence inputs (lists, tuples, :class:`~repro.workloads.trace.Trace`)
+    may be in any order; they are validated up front and merged lazily, so
+    the full 2n event list is never materialized.  One-shot iterators
+    (generators) are **streamed**: items must then arrive in non-decreasing
+    arrival order and are validated on the fly, never held all at once.
+    For O(active items) memory end to end — no PackingResult history —
+    use :func:`repro.core.streaming.simulate_stream` instead.
+
     Parameters
     ----------
     check:
         When true, run :meth:`PackingResult.check_invariants` on the result
         before returning (useful in tests; costs an extra pass).
+    indexed:
+        When true (default), let the algorithm use the O(log n) indexed
+        selection protocol if it implements one; false forces the classic
+        list scan (the differential-test oracle).
     max_bin_capacity:
         For flavour-aware algorithms that open bins larger than the default
         ``capacity`` (see :meth:`PackingAlgorithm.new_bin_capacity`): the
@@ -292,17 +422,24 @@ def simulate(
     >>> result.num_bins_used
     2
     """
-    trace = validate_items(
-        items, capacity=capacity if max_bin_capacity is None else max_bin_capacity
-    )
+    cap_limit = capacity if max_bin_capacity is None else max_bin_capacity
+    if isinstance(items, _Iterator):
+        events = iter_events(_validated_stream(items, cap_limit))
+    else:
+        trace = validate_items(items, capacity=cap_limit)
+        # Stable sort by arrival keeping trace positions as tiebreakers:
+        # the lazy merge then reproduces compile_events() exactly without
+        # building the event list.
+        events = _merge_events(sorted(enumerate(trace), key=lambda p: p[1].arrival))
     sim = Simulator(
         algorithm,
         capacity=capacity,
         cost_rate=cost_rate,
         strict=strict,
+        indexed=indexed,
         observers=observers,
     )
-    for event in compile_events(trace):
+    for event in events:
         if event.kind is EventKind.ARRIVAL:
             sim.arrive(
                 event.item.arrival,
@@ -316,3 +453,17 @@ def simulate(
     if check:
         result.check_invariants()
     return result
+
+
+def _validated_stream(
+    items: Iterable[Item], capacity: numbers.Real | None
+) -> Iterable[Item]:
+    """Per-item validation for streamed traces (duplicate ids are caught by
+    the simulator against active/assigned items)."""
+    for item in items:
+        if capacity is not None and item.size > capacity:
+            raise ValueError(
+                f"item {item.item_id!r} has size {item.size} exceeding bin "
+                f"capacity {capacity}"
+            )
+        yield item

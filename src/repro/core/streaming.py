@@ -1,0 +1,123 @@
+"""Streaming simulation: replay unbounded traces in O(active items) memory.
+
+:func:`simulate` keeps the full history a
+:class:`~repro.core.result.PackingResult` needs — every finalized item,
+the complete assignment map, every bin's placement log — so its memory
+grows with the trace.  Million-request VM traces (the DVBP evaluation
+workloads) only need the *aggregates*: total rental cost, bins opened,
+peak concurrency.  :func:`simulate_stream` drives the same engine with
+``record=False``, consuming items lazily through the heap-merge event
+stream (:func:`repro.core.events.iter_events`), and returns a compact
+:class:`StreamSummary`.  Peak memory is proportional to the number of
+simultaneously active items, never the trace length.
+
+The input iterable must yield items in non-decreasing arrival order (any
+generator produced by a chronological source does); an out-of-order item
+raises :class:`~repro.core.events.EventOrderError`.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..algorithms.base import PackingAlgorithm
+from .events import EventKind, iter_events
+from .item import Item
+from .simulator import Simulator
+
+if False:  # pragma: no cover - import cycle guard for type checkers
+    from .telemetry import SimulationObserver
+
+__all__ = ["StreamSummary", "simulate_stream"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamSummary:
+    """Aggregate outcome of a streamed simulation (no per-item history)."""
+
+    algorithm_name: str
+    capacity: numbers.Real
+    cost_rate: numbers.Real
+    #: Items that arrived (and departed — the stream must drain fully).
+    num_items: int
+    #: Bins ever opened, the paper's ``n`` in ``b_1..b_n``.
+    num_bins_used: int
+    #: Largest number of simultaneously open bins.
+    peak_open_bins: int
+    #: Total bin usage time ``sum_i len(I_i)``.
+    total_bin_time: numbers.Real
+    #: The MinTotal objective ``A_total = C * sum_i len(I_i)``.
+    total_cost: numbers.Real
+    #: Time of the last event (``None`` for an empty stream).
+    end_time: numbers.Real | None
+
+    @property
+    def cost_per_item(self) -> float:
+        return float(self.total_cost) / self.num_items
+
+
+def simulate_stream(
+    items: Iterable[Item],
+    algorithm: PackingAlgorithm,
+    *,
+    capacity: numbers.Real = 1,
+    cost_rate: numbers.Real = 1,
+    strict: bool = True,
+    indexed: bool = True,
+    observers: Sequence["SimulationObserver"] = (),
+) -> StreamSummary:
+    """Stream a trace through an algorithm in O(active items) memory.
+
+    ``items`` may be any iterable — typically a generator such as
+    :func:`repro.workloads.generators.stream_trace` — yielding items in
+    non-decreasing arrival order.  Items are validated as they arrive
+    (positive size, fits an empty bin); duplicate ids are detected only
+    against currently active items, since no global id set is kept.
+
+    Returns a :class:`StreamSummary`; for a full
+    :class:`~repro.core.result.PackingResult` use :func:`simulate`, which
+    costs O(trace) memory.
+
+    Examples
+    --------
+    >>> from repro import FirstFit, make_items
+    >>> from repro.core.streaming import simulate_stream
+    >>> summary = simulate_stream(
+    ...     iter(make_items([(0, 10, 0.5), (0, 2, 0.5), (1, 3, 0.5)])),
+    ...     FirstFit(),
+    ... )
+    >>> summary.num_bins_used, float(summary.total_cost)
+    (2, 12.0)
+    """
+    sim = Simulator(
+        algorithm,
+        capacity=capacity,
+        cost_rate=cost_rate,
+        strict=strict,
+        indexed=indexed,
+        record=False,
+        observers=observers,
+    )
+    for event in iter_events(_validated(items, capacity)):
+        if event.kind is EventKind.ARRIVAL:
+            sim.arrive(
+                event.item.arrival,
+                event.item.size,
+                item_id=event.item.item_id,
+                tag=event.item.tag,
+            )
+        else:
+            sim.depart(event.item.item_id, event.item.departure)
+    return sim.finish_summary()
+
+
+def _validated(items: Iterable[Item], capacity: numbers.Real) -> Iterable[Item]:
+    for item in items:
+        if item.size > capacity:
+            raise ValueError(
+                f"item {item.item_id!r} has size {item.size} exceeding bin "
+                f"capacity {capacity}"
+            )
+        yield item

@@ -116,6 +116,7 @@ def _ensure_loaded() -> None:
         clairvoyance_gap,
         classic_dbp,
         constrained_dbp,
+        engine_scaling,
         flash_crowd,
         fleet_mix,
         mff_experiment,

@@ -24,6 +24,7 @@ from .generators import (
     generate_trace,
     mmpp_arrivals,
     poisson_arrivals,
+    stream_trace,
     thinned_arrivals,
 )
 from .trace import Trace
@@ -51,6 +52,7 @@ __all__ = [
     "thinned_arrivals",
     "mmpp_arrivals",
     "generate_trace",
+    "stream_trace",
     "generate_burst_trace",
     "generate_mmpp_trace",
     "Game",

@@ -8,7 +8,7 @@ duration distribution controls the trace's μ: bounded duration support
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -21,6 +21,7 @@ __all__ = [
     "thinned_arrivals",
     "mmpp_arrivals",
     "generate_trace",
+    "stream_trace",
     "generate_burst_trace",
     "generate_mmpp_trace",
 ]
@@ -130,6 +131,71 @@ def generate_trace(
         for i in range(n)
     ]
     return Trace.from_items(items, name=name)
+
+
+def stream_trace(
+    *,
+    arrival_rate: float,
+    duration: Distribution,
+    size: Distribution,
+    n_items: int | None = None,
+    horizon: float | None = None,
+    seed: int = 0,
+    name: str = "stream",
+    capacity: float = 1.0,
+    chunk: int = 8192,
+) -> "Iterator[Item]":
+    """Yield Poisson-arrival items lazily, in arrival order, O(chunk) memory.
+
+    The streaming counterpart of :func:`generate_trace` for traces too
+    large to materialize: arrivals are generated from exponential
+    inter-arrival gaps in vectorised chunks and yielded one at a time, so
+    a million-item trace never exists as a list.  Feed the result straight
+    to :func:`repro.core.streaming.simulate_stream` (or :func:`simulate`,
+    which streams one-shot iterators through the lazy event merge).
+
+    Exactly one of ``n_items`` (stop after that many items) or ``horizon``
+    (stop at the first arrival past it) must be given.  Deterministic for
+    a fixed seed and chunk size; the gap-based construction differs from
+    :func:`generate_trace`'s order-statistics sampling, so equal seeds do
+    not reproduce the same trace across the two generators.
+    """
+    if (n_items is None) == (horizon is None):
+        raise ValueError("exactly one of n_items and horizon must be given")
+    if arrival_rate <= 0:
+        raise ValueError(f"rate must be positive, got {arrival_rate}")
+    if n_items is not None and n_items < 0:
+        raise ValueError(f"n_items must be non-negative, got {n_items}")
+    if horizon is not None and horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if chunk < 1:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    rng = np.random.default_rng(seed)
+    now = 0.0
+    emitted = 0
+    while True:
+        if n_items is not None:
+            k = min(chunk, n_items - emitted)
+            if k == 0:
+                return
+        else:
+            k = chunk
+        gaps = rng.exponential(1.0 / arrival_rate, size=k)
+        times = now + np.cumsum(gaps)
+        now = float(times[-1])
+        durations = duration.sample(rng, k)
+        sizes = np.minimum(size.sample(rng, k), capacity)
+        for i in range(k):
+            arrival = float(times[i])
+            if horizon is not None and arrival >= horizon:
+                return
+            yield Item(
+                arrival=arrival,
+                departure=arrival + float(durations[i]),
+                size=float(sizes[i]),
+                item_id=f"{name}-{emitted}",
+            )
+            emitted += 1
 
 
 def generate_burst_trace(

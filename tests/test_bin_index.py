@@ -1,0 +1,173 @@
+"""Unit tests for the indexed open-bin state (OpenBinIndex / OpenBinView)."""
+
+import pytest
+
+from repro.core.bin import Bin
+from repro.core.bin_index import ANY_LABEL, OpenBinIndex, OpenBinView
+from repro.core.item import Item
+
+_seq = iter(range(10**6))
+
+
+def _item(size):
+    n = next(_seq)
+    return Item(arrival=0, departure=1e9, size=size, item_id=f"f{n}")
+
+
+def _bin(index, residual, label=None, capacity=1.0):
+    """An open bin carrying ``residual`` free capacity (filled with one item)."""
+    b = Bin(index=index, capacity=capacity, label=label)
+    if residual < capacity:
+        b.add(_item(capacity - residual), 0.0)
+    return b
+
+
+def _bins(*residuals, label=None):
+    return [_bin(i, r, label=label) for i, r in enumerate(residuals)]
+
+
+class TestFirstFit:
+    def test_picks_lowest_index_with_room(self):
+        index = OpenBinIndex()
+        for b in _bins(0.2, 0.6, 0.9, 0.6):
+            index.add(b)
+        assert index.first_fit(0.5).index == 1
+        assert index.first_fit(0.7).index == 2
+        assert index.first_fit(0.95) is None
+
+    def test_reflects_discard_and_update(self):
+        index = OpenBinIndex()
+        bins = _bins(0.2, 0.6, 0.9)
+        for b in bins:
+            index.add(b)
+        index.discard(bins[1])
+        assert index.first_fit(0.5).index == 2
+        bins[2].add(_item(0.85), 1.0)  # residual 0.9 -> 0.05
+        index.update(bins[2])
+        assert index.first_fit(0.5) is None
+
+    def test_update_after_partial_departure(self):
+        index = OpenBinIndex()
+        b = Bin(index=0, capacity=1.0)
+        first, second = _item(0.6), _item(0.3)
+        b.add(first, 0.0)
+        b.add(second, 0.0)
+        index.add(b)
+        assert index.first_fit(0.5) is None
+        b.remove(first.item_id, 1.0)  # residual 0.1 -> 0.7
+        index.update(b)
+        assert index.first_fit(0.5) is b
+        assert index.best_fit(0.5) is b
+
+    def test_grows_past_initial_capacity(self):
+        index = OpenBinIndex()
+        bins = _bins(*([0.5] * 40))
+        for b in bins:
+            index.add(b)
+        for b in bins[:39]:
+            b.add(_item(0.5), 1.0)  # fill all but the last
+            index.update(b)
+        assert index.first_fit(0.5).index == 39
+
+    def test_empty_index(self):
+        assert OpenBinIndex().first_fit(0.1) is None
+        assert OpenBinIndex().best_fit(0.1) is None
+
+
+class TestBestFit:
+    def test_picks_tightest_fit(self):
+        index = OpenBinIndex()
+        for b in _bins(0.9, 0.4, 0.6):
+            index.add(b)
+        assert index.best_fit(0.3).index == 1
+        assert index.best_fit(0.5).index == 2
+        assert index.best_fit(0.99) is None
+
+    def test_residual_tie_resolves_to_earliest_opened(self):
+        index = OpenBinIndex()
+        for b in _bins(0.5, 0.5, 0.5):
+            index.add(b)
+        assert index.best_fit(0.5).index == 0
+
+
+class TestLabelPools:
+    def test_label_restricts_query(self):
+        index = OpenBinIndex()
+        large = _bin(0, 0.9, label="large")
+        small = _bin(1, 0.9, label="small")
+        index.add(large)
+        index.add(small)
+        assert index.first_fit(0.5, label="large") is large
+        assert index.first_fit(0.5, label="small") is small
+        assert index.first_fit(0.5, label="other") is None
+        assert index.best_fit(0.5, label="small") is small
+
+    def test_any_label_spans_pools(self):
+        index = OpenBinIndex()
+        index.add(_bin(3, 0.4, label="large"))
+        index.add(_bin(1, 0.9, label="small"))
+        index.add(_bin(2, 0.6, label="small"))
+        # First Fit: lowest opening index across pools.
+        assert index.first_fit(0.3, label=ANY_LABEL).index == 1
+        # Best Fit: tightest residual across pools.
+        assert index.best_fit(0.3).index == 3
+
+
+class TestSetProtocol:
+    def test_membership_is_identity_keyed(self):
+        index = OpenBinIndex()
+        b = _bin(0, 0.5)
+        index.add(b)
+        assert b in index
+        assert _bin(0, 0.5) not in index  # same index, different object
+        assert "not a bin" not in index
+
+    def test_iteration_in_opening_order(self):
+        index = OpenBinIndex()
+        bins = _bins(0.1, 0.2, 0.3)
+        for b in bins:
+            index.add(b)
+        assert list(index) == bins
+        index.discard(bins[1])
+        assert list(index) == [bins[0], bins[2]]
+        assert len(index) == 2
+
+    def test_double_add_rejected(self):
+        index = OpenBinIndex()
+        b = _bin(0, 0.5)
+        index.add(b)
+        with pytest.raises(ValueError):
+            index.add(b)
+
+
+class TestOpenBinView:
+    def _view(self):
+        index = OpenBinIndex()
+        bins = _bins(0.1, 0.2, 0.3)
+        for b in bins:
+            index.add(b)
+        return index, OpenBinView(index), bins
+
+    def test_sequence_protocol(self):
+        _, view, bins = self._view()
+        assert len(view) == 3
+        assert list(view) == bins
+        assert view[0] is bins[0]
+        assert view[-1] is bins[2]
+        assert view[1:] == bins[1:]
+        assert bins[1] in view
+
+    def test_index_out_of_range(self):
+        _, view, _ = self._view()
+        with pytest.raises(IndexError):
+            view[3]
+        with pytest.raises(IndexError):
+            view[-4]
+
+    def test_is_live_and_immutable(self):
+        index, view, bins = self._view()
+        index.discard(bins[0])
+        assert list(view) == bins[1:]  # tracks the index, no copy
+        with pytest.raises(TypeError):
+            view[0] = bins[1]  # type: ignore[index]
+        assert not hasattr(view, "append")

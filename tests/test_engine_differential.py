@@ -1,0 +1,152 @@
+"""Differential tests for the scale-out engine refactor.
+
+Two independently implemented paths must agree exactly:
+
+* the lazy heap-merge event stream (:func:`iter_events`) vs the
+  materializing global sort (:func:`compile_events`), and
+* the O(log n) indexed fit paths vs the seed list scan, for every bundled
+  algorithm, compared as whole :class:`PackingResult` values.
+
+Traces are seeded and use integer-grid times so same-instant collisions
+(departures tied with arrivals, simultaneous arrivals) occur constantly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BestFit, FirstFit, Item, ModifiedFirstFit, NextFit, simulate
+from repro.algorithms import ModifiedBestFit
+from repro.core.events import (
+    EventKind,
+    EventOrderError,
+    compile_events,
+    iter_events,
+)
+
+SEEDS = [0, 1, 2, 7]
+
+
+def tied_trace(seed, n=120):
+    """Arrival-ordered items on an integer time grid, sizes in eighths.
+
+    Integer times force heavy event-time collisions; eighth sizes are
+    exactly representable so fit comparisons are float-exact.
+    """
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.integers(0, 25, size=n))
+    durations = rng.integers(1, 12, size=n)
+    sizes = rng.integers(1, 8, size=n) / 8.0
+    return [
+        Item(
+            arrival=int(arrivals[i]),
+            departure=int(arrivals[i] + durations[i]),
+            size=float(sizes[i]),
+            item_id=f"t{seed}-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestEventStreamDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_iter_events_matches_compile_events(self, seed):
+        items = tied_trace(seed)
+        streamed = list(iter_events(iter(items)))
+        compiled = compile_events(items)
+        assert [(e.time, e.kind, e.seq, e.item.item_id) for e in streamed] == [
+            (e.time, e.kind, e.seq, e.item.item_id) for e in compiled
+        ]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_departures_precede_arrivals_at_every_instant(self, seed):
+        events = list(iter_events(iter(tied_trace(seed))))
+        for prev, cur in zip(events, events[1:]):
+            assert prev.time <= cur.time
+            if prev.time == cur.time:
+                # DEPARTURE sorts before ARRIVAL; never the reverse.
+                assert not (
+                    prev.kind is EventKind.ARRIVAL
+                    and cur.kind is EventKind.DEPARTURE
+                )
+
+    def test_same_instant_departure_before_arrival_tie(self):
+        # "a" departs exactly when "b" arrives: the stream must free the
+        # capacity first, which is what lets the held-open bin serve both.
+        items = [
+            Item(arrival=0, departure=9, size=0.5, item_id="hold"),
+            Item(arrival=0, departure=5, size=0.5, item_id="a"),
+            Item(arrival=5, departure=9, size=0.5, item_id="b"),
+        ]
+        kinds = [(e.kind, e.item.item_id) for e in iter_events(iter(items)) if e.time == 5]
+        assert kinds == [(EventKind.DEPARTURE, "a"), (EventKind.ARRIVAL, "b")]
+        result = simulate(items, FirstFit())
+        assert result.num_bins_used == 1
+
+    def test_out_of_order_stream_rejected(self):
+        items = [
+            Item(arrival=3, departure=5, size=0.5, item_id="a"),
+            Item(arrival=1, departure=9, size=0.5, item_id="b"),
+        ]
+        with pytest.raises(EventOrderError):
+            list(iter_events(iter(items)))
+
+    def test_stream_is_lazy(self):
+        # Pulling the first event must not exhaust the source.
+        def source():
+            yield Item(arrival=0, departure=2, size=0.5, item_id="a")
+            source.pulled = True
+            yield Item(arrival=10, departure=12, size=0.5, item_id="b")
+
+        source.pulled = False
+        events = iter_events(source())
+        first = next(events)
+        assert first.item.item_id == "a" and not source.pulled
+
+
+ALGORITHMS = [
+    FirstFit,
+    BestFit,
+    NextFit,
+    ModifiedFirstFit,
+    ModifiedBestFit,
+]
+
+
+class TestIndexedPathDifferential:
+    @pytest.mark.parametrize("algo_cls", ALGORITHMS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_indexed_matches_list_scan_exactly(self, algo_cls, seed):
+        items = tied_trace(seed)
+        indexed = simulate(items, algo_cls(), indexed=True)
+        scan = simulate(items, algo_cls(), indexed=False)
+        assert indexed == scan  # whole-result equality: every placement
+        assert indexed.total_cost() == scan.total_cost()
+
+    @pytest.mark.parametrize("algo_cls", [FirstFit, BestFit])
+    def test_indexed_matches_on_iterator_input(self, algo_cls):
+        items = tied_trace(11)
+        from_stream = simulate(iter(items), algo_cls())
+        from_list = simulate(items, algo_cls(), indexed=False)
+        assert from_stream == from_list
+
+    def test_subclassed_choose_bin_is_authoritative(self):
+        # Overriding choose_bin without choose_bin_indexed must disable the
+        # inherited indexed path — otherwise the override would be bypassed.
+        opened_last = []
+
+        class LastFit(FirstFit):
+            name = "last-fit"
+
+            def choose_bin(self, item, open_bins):
+                for bin in reversed(open_bins):
+                    if bin.fits(item):
+                        opened_last.append(bin.index)
+                        return bin
+                from repro.algorithms.base import OPEN_NEW
+
+                return OPEN_NEW
+
+        items = tied_trace(3, n=60)
+        result = simulate(items, LastFit())
+        assert opened_last  # the override actually ran
+        assert result == simulate(items, LastFit(), indexed=False)

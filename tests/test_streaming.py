@@ -1,0 +1,205 @@
+"""Tests for the O(active)-memory streaming path: simulate_stream,
+StreamSummary, stream_trace, dispatch_stream, and record=False mode."""
+
+import math
+
+import pytest
+
+from repro import FirstFit, make_items, simulate
+from repro.cloud import ServerType, dispatch_stream, dispatch_trace
+from repro.core.events import EventOrderError
+from repro.core.simulator import SimulationError, Simulator
+from repro.core.streaming import StreamSummary, simulate_stream
+from repro.workloads import (
+    Clipped,
+    Exponential,
+    Uniform,
+    stream_trace,
+)
+
+
+def _workload(n_items=400, seed=0):
+    return stream_trace(
+        arrival_rate=5.0,
+        duration=Clipped(Exponential(5.0), 1.0, 15.0),
+        size=Uniform(0.1, 0.6),
+        n_items=n_items,
+        seed=seed,
+    )
+
+
+class TestSimulateStream:
+    def test_matches_recorded_simulation(self):
+        items = list(_workload())
+        summary = simulate_stream(iter(items), FirstFit())
+        result = simulate(items, FirstFit())
+        assert summary.num_items == len(items)
+        assert summary.num_bins_used == result.num_bins_used
+        assert summary.peak_open_bins == result.max_bins_used
+        # Usage is summed in close order streaming vs opening order in the
+        # result — float addition is order-sensitive at the last ulp.
+        assert math.isclose(
+            float(summary.total_cost), float(result.total_cost()), rel_tol=1e-9
+        )
+        assert summary.end_time == max(i.departure for i in items)
+
+    def test_summary_fields(self):
+        summary = simulate_stream(
+            iter(make_items([(0, 10, 0.5), (0, 2, 0.5), (1, 3, 0.5)])),
+            FirstFit(),
+            cost_rate=2,
+        )
+        assert isinstance(summary, StreamSummary)
+        assert summary.algorithm_name == "first-fit"
+        assert summary.num_items == 3
+        assert summary.num_bins_used == 2
+        assert summary.peak_open_bins == 2
+        assert float(summary.total_bin_time) == 12.0
+        assert float(summary.total_cost) == 24.0
+        assert summary.cost_per_item == 8.0
+
+    def test_empty_stream(self):
+        summary = simulate_stream(iter([]), FirstFit())
+        assert summary.num_items == 0
+        assert summary.num_bins_used == 0
+        assert summary.end_time is None
+
+    def test_out_of_order_stream_rejected(self):
+        items = make_items([(5, 9, 0.5), (0, 2, 0.5)])
+        with pytest.raises(EventOrderError):
+            simulate_stream(iter(items), FirstFit())
+
+    def test_oversized_item_rejected(self):
+        items = make_items([(0, 1, 0.9)])
+        with pytest.raises(ValueError, match="capacity"):
+            simulate_stream(iter(items), FirstFit(), capacity=0.5)
+
+
+class TestRecordOffMode:
+    def test_finish_requires_recording(self):
+        sim = Simulator(FirstFit(), record=False)
+        sim.arrive(0.0, 0.5, item_id="a")
+        sim.depart("a", 1.0)
+        with pytest.raises(SimulationError, match="record"):
+            sim.finish()
+        assert sim.finish_summary().num_bins_used == 1
+
+    def test_finish_summary_requires_drained_stream(self):
+        sim = Simulator(FirstFit(), record=False)
+        sim.arrive(0.0, 0.5, item_id="a")
+        with pytest.raises(SimulationError):
+            sim.finish_summary()
+
+    def test_bins_skip_assignment_log(self):
+        sim = Simulator(FirstFit(), record=False)
+        sim.arrive(0.0, 0.5, item_id="a")
+        (bin,) = sim.open_bins
+        assert bin.assignments == []
+
+
+class TestStreamTrace:
+    def test_deterministic_for_seed(self):
+        a = [(i.arrival, i.departure, i.size) for i in _workload(seed=3)]
+        b = [(i.arrival, i.departure, i.size) for i in _workload(seed=3)]
+        assert a == b
+        c = [(i.arrival, i.departure, i.size) for i in _workload(seed=4)]
+        assert a != c
+
+    def test_arrival_ordered_and_counted(self):
+        items = list(_workload(n_items=250))
+        assert len(items) == 250
+        arrivals = [i.arrival for i in items]
+        assert arrivals == sorted(arrivals)
+        assert len({i.item_id for i in items}) == 250
+
+    def test_horizon_mode(self):
+        items = list(
+            stream_trace(
+                arrival_rate=10.0,
+                duration=Exponential(2.0),
+                size=Uniform(0.1, 0.5),
+                horizon=20.0,
+                seed=0,
+            )
+        )
+        assert items  # ~200 expected
+        assert all(i.arrival < 20.0 for i in items)
+
+    def test_chunk_size_does_not_change_the_trace(self):
+        kw = dict(
+            arrival_rate=5.0,
+            duration=Exponential(3.0),
+            size=Uniform(0.1, 0.5),
+            n_items=100,
+            seed=1,
+        )
+        small = [(i.arrival, i.size) for i in stream_trace(chunk=7, **kw)]
+        big = [(i.arrival, i.size) for i in stream_trace(chunk=1000, **kw)]
+        # Chunking changes the rng draw interleaving, not determinism per
+        # chunk size; each is self-consistent.
+        again = [(i.arrival, i.size) for i in stream_trace(chunk=7, **kw)]
+        assert small == again
+        assert len(small) == len(big) == 100
+
+    def test_argument_validation(self):
+        kw = dict(duration=Exponential(2.0), size=Uniform(0.1, 0.5))
+        with pytest.raises(ValueError, match="exactly one"):
+            next(stream_trace(arrival_rate=1.0, **kw))
+        with pytest.raises(ValueError, match="exactly one"):
+            next(stream_trace(arrival_rate=1.0, n_items=5, horizon=5.0, **kw))
+        with pytest.raises(ValueError, match="rate"):
+            next(stream_trace(arrival_rate=0.0, n_items=5, **kw))
+        with pytest.raises(ValueError, match="chunk"):
+            next(stream_trace(arrival_rate=1.0, n_items=5, chunk=0, **kw))
+
+    def test_sizes_clipped_to_capacity(self):
+        items = list(
+            stream_trace(
+                arrival_rate=5.0,
+                duration=Exponential(2.0),
+                size=Uniform(0.5, 2.0),
+                n_items=50,
+                capacity=0.8,
+                seed=0,
+            )
+        )
+        assert all(i.size <= 0.8 for i in items)
+
+
+class TestDispatchStream:
+    def test_matches_materialized_dispatch(self):
+        items = list(_workload(n_items=300, seed=2))
+        server = ServerType(gpu_capacity=1.0, rate=3.0, billing_quantum=10.0)
+        streamed = dispatch_stream(iter(items), FirstFit(), server_type=server)
+        from repro.workloads.trace import Trace
+
+        full = dispatch_trace(
+            Trace.from_items(items, name="t"), FirstFit(), server_type=server
+        )
+        assert streamed.num_servers_rented == full.num_servers_rented
+        assert streamed.peak_concurrent_servers == full.peak_concurrent_servers
+        assert streamed.num_sessions == full.num_sessions
+        assert math.isclose(
+            float(streamed.continuous_cost), float(full.continuous_cost), rel_tol=1e-9
+        )
+        assert math.isclose(
+            float(streamed.billed_cost), float(full.billed_cost), rel_tol=1e-9
+        )
+        assert streamed.cost_per_session > 0
+
+    def test_defaults(self):
+        report = dispatch_stream(
+            iter(make_items([(0, 10, 0.5), (2, 6, 0.5)])), FirstFit()
+        )
+        assert report.server_type == ServerType()
+        assert report.num_servers_rented == 1
+        assert float(report.continuous_cost) == 10.0
+        assert float(report.billed_cost) == 60.0  # one hourly quantum
+
+
+def test_engine_scaling_experiment_claims_hold():
+    from repro.experiments.registry import get_experiment
+
+    result = get_experiment("engine-scaling")(sizes=(300,), seeds=(0, 1))
+    assert result.all_claims_hold
+    assert len(result.table.rows) == 4  # 2 algorithms x 1 size x 2 seeds
