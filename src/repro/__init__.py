@@ -20,20 +20,27 @@ from .core import (
     Bin,
     BinConfiguration,
     BinRecord,
+    CheckpointError,
     ContinuousCost,
     CostModel,
+    DuplicateItemIdError,
     Interval,
+    InvalidIntervalError,
+    InvalidItemSizeError,
     Item,
     OpenBinIndex,
     OpenBinView,
+    OversizedItemError,
     PackingResult,
     QuantizedCost,
     SimulationError,
     SimulationObserver,
     Simulator,
+    StreamCheckpoint,
     StreamSummary,
     TelemetryCollector,
     TraceStats,
+    TraceValidationError,
     interval_ratio,
     make_items,
     parse_configuration,
@@ -83,9 +90,16 @@ __all__ = [
     "simulate",
     "simulate_stream",
     "StreamSummary",
+    "StreamCheckpoint",
+    "CheckpointError",
     "OpenBinIndex",
     "OpenBinView",
     "SimulationError",
+    "TraceValidationError",
+    "InvalidItemSizeError",
+    "InvalidIntervalError",
+    "OversizedItemError",
+    "DuplicateItemIdError",
     "SimulationObserver",
     "TelemetryCollector",
     "CostModel",

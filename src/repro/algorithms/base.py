@@ -114,6 +114,25 @@ class PackingAlgorithm(ABC):
     def on_item_departed(self, item_id: str, bin: Bin) -> None:
         """Hook after an item leaves ``bin`` (bin may have just closed)."""
 
+    def checkpoint_state(self) -> Any:
+        """JSON-serializable snapshot of mutable per-run state (or ``None``).
+
+        Most algorithms keep no per-run state beyond what ``reset`` derives
+        and what bin labels carry (FF, BF, MFF, MBF) — the default ``None``
+        is then exact.  Algorithms holding references to live bins (Next
+        Fit's current bin) override this with :meth:`restore_state` so
+        checkpoint/resume (:mod:`repro.core.checkpoint`) reproduces their
+        decisions bit for bit.
+        """
+        return None
+
+    def restore_state(self, state: Any, open_bins: dict[int, Bin]) -> None:
+        """Restore :meth:`checkpoint_state` output after a resume.
+
+        ``open_bins`` maps ``bin.index`` to the reconstructed open bins so
+        bin references can be re-established.  Called after ``reset``.
+        """
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

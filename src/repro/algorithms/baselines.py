@@ -52,3 +52,12 @@ class NextFit(PackingAlgorithm):
 
     def on_bin_opened(self, bin: Bin, item: Arrival) -> None:
         self._current = bin
+
+    def checkpoint_state(self):
+        current = self._current
+        if current is not None and current.is_open:
+            return current.index
+        return None
+
+    def restore_state(self, state, open_bins) -> None:
+        self._current = open_bins.get(state) if state is not None else None

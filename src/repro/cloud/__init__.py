@@ -8,6 +8,18 @@ from .dispatcher import (
     dispatch_stream,
     dispatch_trace,
 )
+from .faults import (
+    CRASH,
+    RECONNECT,
+    RESTART,
+    SPOT,
+    FaultInjector,
+    FaultReport,
+    FaultyDispatchReport,
+    FaultyStreamResult,
+    dispatch_faulty_stream,
+    simulate_faulty_stream,
+)
 from .finite_fleet import (
     FiniteFleetDispatcher,
     QueueingReport,
@@ -32,4 +44,14 @@ __all__ = [
     "RegionPricing",
     "RegionBill",
     "price_by_region",
+    "SPOT",
+    "CRASH",
+    "RECONNECT",
+    "RESTART",
+    "FaultInjector",
+    "FaultReport",
+    "FaultyStreamResult",
+    "FaultyDispatchReport",
+    "simulate_faulty_stream",
+    "dispatch_faulty_stream",
 ]

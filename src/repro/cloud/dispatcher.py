@@ -119,15 +119,37 @@ class StreamDispatchReport:
 
 
 class _BillingMeter(SimulationObserver):
-    """Accrues quantised billing as servers are released."""
+    """Accrues quantised billing as servers are released.
+
+    Every rented server is settled exactly once, whichever way its rental
+    ends: the ``closed=True`` departure of its last session, or a mid-run
+    revocation (``on_server_failure`` — failed servers still bill up to the
+    failure instant, the spot-market rule).  ``servers_billed`` counts the
+    settlements so end-of-run tests can assert nothing bypassed the meter.
+    """
 
     def __init__(self, model: CostModel) -> None:
         self.model = model
         self.billed: numbers.Real = 0
+        self.servers_billed: int = 0
+
+    def _settle(self, bin) -> None:
+        self.billed = self.billed + self.model.bin_cost(bin.usage_length)
+        self.servers_billed += 1
 
     def on_departure(self, time, item_id, bin, closed) -> None:
         if closed:
-            self.billed = self.billed + self.model.bin_cost(bin.usage_length)
+            self._settle(bin)
+
+    def on_server_failure(self, time, bin, evicted) -> None:
+        self._settle(bin)
+
+    def checkpoint_state(self) -> dict:
+        return {"billed": self.billed, "servers_billed": self.servers_billed}
+
+    def restore_state(self, state: dict) -> None:
+        self.billed = state["billed"]
+        self.servers_billed = state["servers_billed"]
 
 
 def dispatch_stream(
@@ -135,6 +157,9 @@ def dispatch_stream(
     algorithm: PackingAlgorithm,
     *,
     server_type: ServerType | None = None,
+    checkpoint_every: int | None = None,
+    on_checkpoint=None,
+    resume_from=None,
 ) -> StreamDispatchReport:
     """Serve an arrival-ordered session stream in O(active sessions) memory.
 
@@ -142,6 +167,11 @@ def dispatch_stream(
     :func:`repro.workloads.generators.stream_trace` — yielding items with
     non-decreasing arrival times.  Billing is metered as servers are
     released, so million-session traces never materialize.
+
+    Checkpoint/resume works as in
+    :func:`repro.core.streaming.simulate_stream`; the billing meter's
+    accrued state rides along in each snapshot, so a resumed dispatch
+    bills exactly what the uninterrupted one would.
     """
     server_type = server_type or ServerType()
     meter = _BillingMeter(server_type.billed_model())
@@ -151,6 +181,9 @@ def dispatch_stream(
         capacity=server_type.gpu_capacity,
         cost_rate=server_type.rate,
         observers=(meter,),
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
+        resume_from=resume_from,
     )
     return StreamDispatchReport(
         algorithm_name=algorithm.name,

@@ -1,0 +1,443 @@
+"""Server fault injection and session recovery for streamed dispatch.
+
+The MinTotal DBP model assumes rented servers never fail, but the cloud
+substrate the paper targets — spot/preemptible VMs serving gaming
+sessions — loses servers mid-session: the provider reclaims a spot
+instance, or a host crashes.  Kamali & López-Ortiz's server-renting
+analysis and the DVBP placement line both observe that *re-placement*
+behaviour dominates real cost once bins can die; this module lets us
+measure exactly that.
+
+Three pieces:
+
+* :class:`FaultInjector` — a deterministic, seeded failure process.
+  Either a Poisson process of the given ``rate`` (failures per time unit)
+  or an explicit ``schedule`` of failure times.  When a failure fires,
+  the victim server is chosen by the failure ``model``: ``CRASH`` picks a
+  uniformly random open server, ``SPOT`` revokes the most recently opened
+  one (the youngest spot capacity is reclaimed first).  A failure that
+  strikes an empty fleet is counted and otherwise ignored.
+* A **recovery policy** — evicted sessions are re-dispatched through the
+  same packing algorithm at the failure instant: ``RECONNECT`` resumes
+  with the session's *remaining* duration (progress survives, as with
+  server-side save state), ``RESTART`` replays the *full* duration from
+  scratch (progress lost).  Each re-dispatch is a fresh arrival the
+  algorithm places online, exactly like the original.
+* :class:`FaultReport` — deterministic accounting: revocation schedule,
+  evictions, lost and re-dispatched work.  Identical seeds produce
+  byte-identical reports (``to_json``).
+
+:func:`simulate_faulty_stream` drives the core
+:class:`~repro.core.simulator.Simulator` in O(active sessions) memory and
+reproduces :func:`~repro.core.streaming.simulate_stream`'s event order
+exactly, so a zero-failure run matches the fault-free engine *to the
+float*.  With ``record_induced=True`` it also returns the **induced
+trace** — every served attempt as a plain item whose departure is its
+natural end or its eviction instant — which replayed through
+``simulate(..., indexed=False)`` must reproduce the faulty run's packing
+bit for bit (the differential-test oracle).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import numbers
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..algorithms.base import PackingAlgorithm
+from ..core.events import EventOrderError
+from ..core.item import Item
+from ..core.simulator import Simulator
+from ..core.streaming import StreamSummary
+from ..core.telemetry import SimulationObserver
+from ..core.validation import OversizedItemError
+from .dispatcher import ServerType, _BillingMeter
+
+__all__ = [
+    "SPOT",
+    "CRASH",
+    "RECONNECT",
+    "RESTART",
+    "FaultInjector",
+    "FaultReport",
+    "FaultyStreamResult",
+    "FaultyDispatchReport",
+    "simulate_faulty_stream",
+    "dispatch_faulty_stream",
+]
+
+#: Failure models (victim selection).
+SPOT = "spot"
+CRASH = "crash"
+_MODELS = (SPOT, CRASH)
+
+#: Recovery policies for evicted sessions.
+RECONNECT = "reconnect"
+RESTART = "restart"
+_RECOVERIES = (RECONNECT, RESTART)
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """A deterministic, seeded server-failure process.
+
+    Parameters
+    ----------
+    rate:
+        Expected failures per time unit (a Poisson process on the run's
+        time axis).  ``0`` — and no ``schedule`` — means no failures.
+    schedule:
+        Explicit failure times (non-decreasing, positive); overrides
+        ``rate``.  Equal times are allowed and strike distinct victims.
+    model:
+        ``CRASH`` (uniformly random open server) or ``SPOT`` (most
+        recently opened server — youngest spot capacity goes first).
+    seed:
+        Seeds both the Poisson gaps and the victim draws; equal seeds
+        reproduce the exact same revocation schedule.
+    """
+
+    rate: float = 0.0
+    schedule: tuple[numbers.Real, ...] | None = None
+    model: str = CRASH
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"failure rate must be >= 0, got {self.rate}")
+        if self.model not in _MODELS:
+            raise ValueError(f"unknown failure model {self.model!r}; options: {_MODELS}")
+        if self.schedule is not None:
+            times = tuple(self.schedule)
+            object.__setattr__(self, "schedule", times)
+            if any(t <= 0 for t in times):
+                raise ValueError(f"scheduled failure times must be positive: {times}")
+            if any(b < a for a, b in zip(times, times[1:])):
+                raise ValueError(f"failure schedule must be non-decreasing: {times}")
+
+    def failure_times(self, rng: random.Random) -> Iterator[numbers.Real]:
+        """Lazily yield failure instants (``rng`` drives the Poisson gaps)."""
+        if self.schedule is not None:
+            yield from self.schedule
+            return
+        if self.rate <= 0:
+            return
+        t = 0.0
+        while True:
+            t += rng.expovariate(self.rate)
+            yield t
+
+    def pick_victim(self, rng: random.Random, open_bins: Sequence) -> Any:
+        """Choose the server to revoke among ``open_bins`` (opening order)."""
+        if self.model == SPOT:
+            return open_bins[-1]
+        return open_bins[rng.randrange(len(open_bins))]
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Deterministic accounting of one faulty run.
+
+    ``lost_work`` is elapsed session-time discarded by evictions (only
+    ``RESTART`` loses progress); ``redispatch_work`` is the session-time
+    scheduled anew at recovery (remaining duration under ``RECONNECT``,
+    full duration under ``RESTART``).  ``revocations`` is the full
+    ``(time, server index, sessions evicted)`` schedule.  Same injector
+    seed ⇒ byte-identical :meth:`to_json` output.
+    """
+
+    model: str
+    recovery: str
+    seed: int
+    rate: float
+    num_failures: int
+    num_idle_strikes: int
+    sessions_evicted: int
+    sessions_redispatched: int
+    lost_work: numbers.Real
+    redispatch_work: numbers.Real
+    revocations: tuple[tuple[numbers.Real, int, int], ...]
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (sorted keys — byte-stable per seed)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class FaultyStreamResult:
+    """Outcome of a faulty streamed run: engine summary + fault accounting.
+
+    ``summary.num_items`` counts *admissions* — original sessions plus
+    every recovery re-dispatch (each is a fresh online arrival).
+    ``induced_items`` (with ``record_induced=True``) is the run's induced
+    trace: one item per served attempt, arrival = admission time,
+    departure = natural end or eviction instant, in admission order —
+    replaying it through a fault-free simulation reproduces this packing.
+    """
+
+    summary: StreamSummary
+    report: FaultReport
+    induced_items: tuple[Item, ...] | None = None
+
+
+@dataclass(frozen=True)
+class FaultyDispatchReport:
+    """Billing view of a faulty streamed dispatch (cloud vocabulary)."""
+
+    algorithm_name: str
+    server_type: ServerType
+    summary: StreamSummary
+    report: FaultReport
+    continuous_cost: numbers.Real
+    billed_cost: numbers.Real
+    num_servers_rented: int
+    peak_concurrent_servers: int
+    num_sessions: int
+
+
+@dataclass
+class _Attempt:
+    """One service attempt of a session (original admission or re-dispatch)."""
+
+    item_id: str
+    orig_id: str
+    size: numbers.Real
+    tag: Any
+    start: numbers.Real
+    departure: numbers.Real  # scheduled; eviction may end the attempt earlier
+    full_length: numbers.Real
+    attempt: int
+    end: numbers.Real | None = field(default=None)
+
+
+def simulate_faulty_stream(
+    items: Iterable[Item],
+    algorithm: PackingAlgorithm,
+    *,
+    injector: FaultInjector,
+    recovery: str = RECONNECT,
+    capacity: numbers.Real = 1,
+    cost_rate: numbers.Real = 1,
+    strict: bool = True,
+    indexed: bool = True,
+    observers: Sequence[SimulationObserver] = (),
+    record_induced: bool = False,
+) -> FaultyStreamResult:
+    """Stream a trace through an algorithm while servers fail and recover.
+
+    Event order extends the engine's rule: at one instant, departures are
+    processed first, then failures (a session departing exactly when its
+    server dies has already left), then arrivals — recovery re-dispatches
+    before any same-instant stream arrival.  All failures sharing one
+    instant evict before any eviction is re-dispatched, so every attempt
+    has strictly positive length.  With no failures the run is
+    event-for-event identical to
+    :func:`~repro.core.streaming.simulate_stream`.
+    """
+    if recovery not in _RECOVERIES:
+        raise ValueError(f"unknown recovery policy {recovery!r}; options: {_RECOVERIES}")
+    sim = Simulator(
+        algorithm,
+        capacity=capacity,
+        cost_rate=cost_rate,
+        strict=strict,
+        indexed=indexed,
+        record=False,
+        observers=observers,
+    )
+    rng = random.Random(injector.seed)
+    fail_times = injector.failure_times(rng)
+    next_fail: numbers.Real | None = next(fail_times, None)
+
+    pending: list[tuple] = []  # (departure, seq, item_id) — may hold stale ids
+    active: dict[str, _Attempt] = {}
+    induced: list[_Attempt] | None = [] if record_induced else None
+    seq = 0
+    last_arrival: numbers.Real | None = None
+
+    num_failures = 0
+    idle_strikes = 0
+    evicted_total = 0
+    redispatched = 0
+    lost_work: numbers.Real = 0
+    redispatch_work: numbers.Real = 0
+    revocations: list[tuple] = []
+
+    def admit(attempt: _Attempt) -> None:
+        nonlocal seq
+        sim.arrive(attempt.start, attempt.size, item_id=attempt.item_id, tag=attempt.tag)
+        heapq.heappush(pending, (attempt.departure, seq, attempt.item_id))
+        seq += 1
+        active[attempt.item_id] = attempt
+        if induced is not None:
+            induced.append(attempt)
+
+    def depart_next() -> None:
+        dep_time, _, item_id = heapq.heappop(pending)
+        attempt = active.pop(item_id)
+        sim.depart(item_id, dep_time)
+        attempt.end = dep_time
+
+    def process_failures_at(time: numbers.Real) -> None:
+        # All failures at this instant evict before any re-dispatch, so a
+        # recovered session is never struck again at its admission time
+        # (which would create a zero-length attempt).
+        nonlocal next_fail, num_failures, idle_strikes, evicted_total
+        nonlocal redispatched, lost_work, redispatch_work
+        evicted: list[_Attempt] = []
+        while next_fail is not None and next_fail == time:
+            open_bins = list(sim.open_bins)
+            if open_bins:
+                victim = injector.pick_victim(rng, open_bins)
+                views = sim.fail_bin(victim, time)
+                num_failures += 1
+                revocations.append((time, victim.index, len(views)))
+                for view in views:
+                    attempt = active.pop(view.item_id)
+                    attempt.end = time
+                    evicted.append(attempt)
+            else:
+                idle_strikes += 1
+            next_fail = next(fail_times, None)
+        evicted_total += len(evicted)
+        for old in evicted:
+            if recovery == RESTART:
+                lost_work = lost_work + (time - old.start)
+                remaining = old.full_length
+            else:
+                remaining = old.departure - time
+            redispatch_work = redispatch_work + remaining
+            redispatched += 1
+            admit(
+                _Attempt(
+                    item_id=f"{old.orig_id}~a{old.attempt + 1}",
+                    orig_id=old.orig_id,
+                    size=old.size,
+                    tag=old.tag,
+                    start=time,
+                    departure=time + remaining,
+                    full_length=old.full_length,
+                    attempt=old.attempt + 1,
+                )
+            )
+
+    def drain(until: numbers.Real) -> None:
+        """Process every departure and failure at time <= ``until``."""
+        while True:
+            while pending and pending[0][2] not in active:
+                heapq.heappop(pending)  # stale: the session was evicted
+            dep_time = pending[0][0] if pending else None
+            have_dep = dep_time is not None and dep_time <= until
+            have_fail = next_fail is not None and next_fail <= until
+            if not have_dep and not have_fail:
+                return
+            if have_dep and (not have_fail or dep_time <= next_fail):
+                depart_next()
+            else:
+                process_failures_at(next_fail)
+
+    for item in items:
+        if item.size > capacity:
+            raise OversizedItemError(item.size, capacity, item_id=item.item_id)
+        if last_arrival is not None and item.arrival < last_arrival:
+            raise EventOrderError(
+                f"item {item.item_id!r} arrives at {item.arrival}, before the "
+                f"previous arrival at {last_arrival}; faulty streams require "
+                "non-decreasing arrival times",
+                item_id=item.item_id,
+            )
+        last_arrival = item.arrival
+        drain(item.arrival)
+        admit(
+            _Attempt(
+                item_id=item.item_id,
+                orig_id=item.item_id,
+                size=item.size,
+                tag=item.tag,
+                start=item.arrival,
+                departure=item.departure,
+                full_length=item.length,
+                attempt=0,
+            )
+        )
+
+    # End of stream: serve out the remaining sessions.  Failures past the
+    # last departure would strike an empty fleet; they are not generated.
+    while active:
+        while pending and pending[0][2] not in active:
+            heapq.heappop(pending)
+        dep_time = pending[0][0]
+        if next_fail is not None and next_fail < dep_time:
+            process_failures_at(next_fail)
+        else:
+            depart_next()
+
+    summary = sim.finish_summary()
+    report = FaultReport(
+        model=injector.model,
+        recovery=recovery,
+        seed=injector.seed,
+        rate=injector.rate,
+        num_failures=num_failures,
+        num_idle_strikes=idle_strikes,
+        sessions_evicted=evicted_total,
+        sessions_redispatched=redispatched,
+        lost_work=lost_work,
+        redispatch_work=redispatch_work,
+        revocations=tuple(revocations),
+    )
+    induced_items = None
+    if induced is not None:
+        induced_items = tuple(
+            Item(
+                arrival=a.start,
+                departure=a.end,
+                size=a.size,
+                item_id=a.item_id,
+                tag=a.tag,
+            )
+            for a in induced
+        )
+    return FaultyStreamResult(summary=summary, report=report, induced_items=induced_items)
+
+
+def dispatch_faulty_stream(
+    sessions: Iterable[Item],
+    algorithm: PackingAlgorithm,
+    *,
+    injector: FaultInjector,
+    recovery: str = RECONNECT,
+    server_type: ServerType | None = None,
+) -> FaultyDispatchReport:
+    """Serve a session stream on failure-prone servers and settle the bill.
+
+    The billing meter settles each server when it releases *or fails* —
+    a revoked server is billed up to the revocation instant (the
+    spot-market rule), so every rented server is billed exactly once.
+    """
+    server_type = server_type or ServerType()
+    meter = _BillingMeter(server_type.billed_model())
+    result = simulate_faulty_stream(
+        sessions,
+        algorithm,
+        injector=injector,
+        recovery=recovery,
+        capacity=server_type.gpu_capacity,
+        cost_rate=server_type.rate,
+        observers=(meter,),
+    )
+    summary = result.summary
+    return FaultyDispatchReport(
+        algorithm_name=algorithm.name,
+        server_type=server_type,
+        summary=summary,
+        report=result.report,
+        continuous_cost=summary.total_cost,
+        billed_cost=meter.billed,
+        num_servers_rented=summary.num_bins_used,
+        peak_concurrent_servers=summary.peak_open_bins,
+        num_sessions=summary.num_items,
+    )

@@ -34,6 +34,7 @@ from ..algorithms.base import Arrival, OPEN_NEW, PackingAlgorithm
 from ..core.bin import Bin
 from ..core.cost import CostModel
 from ..core.item import Item
+from ..core.validation import OversizedItemError
 from .dispatcher import ServerType
 
 __all__ = ["AdmissionPolicy", "QueueingReport", "FiniteFleetDispatcher", "serve_with_fleet_limit"]
@@ -163,13 +164,29 @@ class FiniteFleetDispatcher:
     # ------------------------------------------------------------------ API
 
     def serve(self, items: Iterable[Item]) -> QueueingReport:
-        """Serve a whole trace; returns the queueing report."""
+        """Serve a whole trace; returns the queueing report.
+
+        Raises
+        ------
+        OversizedItemError
+            If any request demands more than one server's capacity.  Such
+            a request could never be admitted: under ``QUEUE`` it would
+            block the FIFO queue forever, under ``DROP`` silently
+            discarding it would misreport the drop as congestion.  Both
+            policies reject it up front, before any request is served.
+        """
         requests = [
             _Request(item=item, seq=i)
             for i, item in enumerate(
                 sorted(items, key=lambda it: (it.arrival, it.item_id))
             )
         ]
+        capacity = self.server_type.gpu_capacity
+        for request in requests:
+            if request.item.size > capacity:
+                raise OversizedItemError(
+                    request.item.size, capacity, item_id=request.item.item_id
+                )
         n = len(requests)
         for request in requests:
             self._drain_departures(request.item.arrival)

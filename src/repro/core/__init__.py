@@ -2,6 +2,7 @@
 
 from .bin import Bin, BinAssignment, BinClosedError, CapacityExceededError
 from .bin_index import ANY_LABEL, OpenBinIndex, OpenBinView
+from .checkpoint import CHECKPOINT_VERSION, CheckpointError, StreamCheckpoint
 from .config_notation import BinConfiguration, ConfigGroup, parse_configuration
 from .cost import ContinuousCost, CostModel, QuantizedCost
 from .events import (
@@ -35,6 +36,13 @@ from .result import BinRecord, PackingResult
 from .simulator import SimulationError, Simulator, simulate
 from .streaming import StreamSummary, simulate_stream
 from .telemetry import SimulationObserver, TelemetryCollector
+from .validation import (
+    DuplicateItemIdError,
+    InvalidIntervalError,
+    InvalidItemSizeError,
+    OversizedItemError,
+    TraceValidationError,
+)
 
 __all__ = [
     "Item",
@@ -71,9 +79,17 @@ __all__ = [
     "simulate",
     "simulate_stream",
     "StreamSummary",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "StreamCheckpoint",
     "SimulationError",
     "SimulationObserver",
     "TelemetryCollector",
+    "TraceValidationError",
+    "InvalidItemSizeError",
+    "InvalidIntervalError",
+    "OversizedItemError",
+    "DuplicateItemIdError",
     "TraceStats",
     "trace_stats",
     "trace_span",

@@ -136,6 +136,25 @@ class Bin:
         if self.record_log:
             self.assignments.append(BinAssignment(time=time, item=item))
 
+    def force_close(self, time: numbers.Real) -> list[Item]:
+        """Forcibly close the bin at ``time``, evicting every current item.
+
+        Models a server failure (spot preemption, crash): the bin's usage
+        period ends now regardless of occupancy.  Returns the evicted items
+        in placement order; the caller (typically
+        :meth:`~repro.core.simulator.Simulator.fail_bin`) is responsible for
+        re-dispatching or discarding them.
+        """
+        if self.is_closed:
+            raise BinClosedError(f"bin {self.index} is already closed")
+        if self.opened_at is None:
+            raise BinClosedError(f"bin {self.index} was never opened")
+        evicted = list(self._contents.values())
+        self._contents.clear()
+        self._level = 0
+        self.closed_at = time
+        return evicted
+
     def remove(self, item_id: str, time: numbers.Real) -> Item:
         """Remove a departing item; closes the bin if it becomes empty."""
         if self.is_closed:

@@ -1,0 +1,248 @@
+"""Checkpoint/resume for streamed simulations.
+
+A million-item streamed run (:func:`repro.core.streaming.simulate_stream`)
+used to be all-or-nothing: any interruption — a preempted worker, a crash,
+a deploy — threw the whole pass away.  This module makes the streaming
+engine restartable: at any event boundary the complete engine state fits
+in O(active sessions) space — open bins (index, capacity, label, opening
+time, exact level), active items with their pending departure times and
+source positions, the aggregate counters, observer state, and any mutable
+algorithm state — and a :class:`StreamCheckpoint` captures it as a
+JSON-serializable snapshot.
+
+Resuming replays nothing: the caller re-creates the *same* source stream
+(same generator, same seed), :func:`repro.core.streaming.simulate_stream`
+skips the already-consumed prefix, reconstructs the engine from the
+snapshot, and continues.  The resumed run is **exact**: every float is
+restored bit for bit (bin levels are stored rather than re-summed, since
+float addition is order-sensitive), so the final
+:class:`~repro.core.streaming.StreamSummary` equals the uninterrupted
+run's — asserted by the differential tests.
+
+Scope: checkpoints cover the ``record=False`` streaming mode only (the
+full-history mode would need the entire trace anyway), and values must be
+JSON-representable — ``float``/``int`` times and sizes, JSON-able bin
+labels and item tags.  Algorithms restore via
+:meth:`~repro.algorithms.base.PackingAlgorithm.restore_state`; the stock
+family (FF/BF/MFF/MBF, Next Fit) is exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import numbers
+from dataclasses import asdict, dataclass
+from typing import Any, Sequence
+
+from .bin import Bin
+from .simulator import Simulator, _ActiveItem
+from .telemetry import SimulationObserver
+
+__all__ = ["CheckpointError", "StreamCheckpoint", "CHECKPOINT_VERSION"]
+
+#: Bumped whenever the snapshot layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised for unusable checkpoints (mismatched run, truncated source)."""
+
+
+@dataclass(frozen=True)
+class StreamCheckpoint:
+    """Complete engine state of a streamed run at one event boundary.
+
+    Build one with :meth:`capture` (normally done for you by
+    ``simulate_stream(..., checkpoint_every=N, on_checkpoint=sink)``),
+    persist it with :meth:`to_json`, and hand it back to
+    ``simulate_stream(..., resume_from=...)`` together with a fresh
+    instance of the same source stream.
+    """
+
+    algorithm_name: str
+    capacity: numbers.Real
+    cost_rate: numbers.Real
+    #: Items pulled from the source stream so far; the resume skips these.
+    items_consumed: int
+    #: Arrival + departure events processed so far.
+    events_processed: int
+    #: Last arrival time seen (stream-order validation resumes from here).
+    last_arrival: numbers.Real | None
+    now: numbers.Real | None
+    auto_id: int
+    bins_opened: int
+    peak_open: int
+    items_arrived: int
+    closed_bin_time: numbers.Real
+    #: Open bins in opening order: (index, capacity, label, opened_at, level).
+    bins: tuple[dict, ...]
+    #: Active items: (item_id, size, arrival, tag, departure, seq, bin).
+    active: tuple[dict, ...]
+    #: Per-observer ``checkpoint_state()`` payloads, positionally aligned.
+    observers: tuple[Any, ...]
+    algorithm_state: Any = None
+    version: int = CHECKPOINT_VERSION
+
+    # ---------------------------------------------------------------- capture
+
+    @classmethod
+    def capture(
+        cls,
+        sim: Simulator,
+        pending: Sequence[tuple],
+        items_consumed: int,
+        events_processed: int,
+        last_arrival: numbers.Real | None,
+    ) -> "StreamCheckpoint":
+        """Snapshot a live streaming simulator at an event boundary.
+
+        ``pending`` is the streaming driver's departure heap of
+        ``(departure, seq, item_id)`` entries for every active item.
+        """
+        if sim._record:
+            raise CheckpointError(
+                "checkpoints cover streaming (record=False) simulations only"
+            )
+        departure_of = {item_id: (dep, seq) for dep, seq, item_id in pending}
+        active = []
+        for item_id, record in sim._active.items():
+            dep, seq = departure_of[item_id]
+            view = record.view
+            active.append(
+                {
+                    "item_id": item_id,
+                    "size": view.size,
+                    "arrival": view.arrival,
+                    "tag": view.tag,
+                    "departure": dep,
+                    "seq": seq,
+                    "bin": record.bin.index,
+                }
+            )
+        bins = tuple(
+            {
+                "index": b.index,
+                "capacity": b.capacity,
+                "label": b.label,
+                "opened_at": b.opened_at,
+                "level": b.level,
+            }
+            for b in sim._bins  # iteration is opening order
+        )
+        return cls(
+            algorithm_name=sim.algorithm.name,
+            capacity=sim.capacity,
+            cost_rate=sim.cost_rate,
+            items_consumed=items_consumed,
+            events_processed=events_processed,
+            last_arrival=last_arrival,
+            now=sim._now,
+            auto_id=sim._auto_id,
+            bins_opened=sim._bins_opened,
+            peak_open=sim._peak_open,
+            items_arrived=sim._items_arrived,
+            closed_bin_time=sim._closed_bin_time,
+            bins=bins,
+            active=tuple(active),
+            observers=tuple(o.checkpoint_state() for o in sim.observers),
+            algorithm_state=sim.algorithm.checkpoint_state(),
+        )
+
+    # ---------------------------------------------------------------- restore
+
+    def restore(
+        self,
+        algorithm,
+        *,
+        strict: bool = True,
+        indexed: bool = True,
+        observers: Sequence[SimulationObserver] = (),
+    ) -> tuple[Simulator, list[tuple]]:
+        """Reconstruct the simulator and the pending-departure heap.
+
+        ``algorithm`` must be a fresh instance of the checkpointed
+        algorithm (matched by registry name); ``observers`` must be fresh
+        instances positionally matching the checkpointed ones — their
+        state is restored via ``restore_state``.
+        """
+        from ..algorithms.base import Arrival
+
+        if self.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {self.version} is not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        if algorithm.name != self.algorithm_name:
+            raise CheckpointError(
+                f"checkpoint was taken with algorithm "
+                f"{self.algorithm_name!r}, cannot resume with {algorithm.name!r}"
+            )
+        if len(observers) != len(self.observers):
+            raise CheckpointError(
+                f"checkpoint has state for {len(self.observers)} observers, "
+                f"got {len(observers)}"
+            )
+        sim = Simulator(
+            algorithm,
+            capacity=self.capacity,
+            cost_rate=self.cost_rate,
+            strict=strict,
+            indexed=indexed,
+            record=False,
+            observers=observers,
+        )
+        bins_by_index: dict[int, Bin] = {
+            state["index"]: Bin(
+                index=state["index"],
+                capacity=state["capacity"],
+                label=state["label"],
+                record_log=False,
+            )
+            for state in self.bins
+        }
+        pending: list[tuple] = []
+        for entry in self.active:
+            target = bins_by_index[entry["bin"]]
+            view = Arrival(
+                item_id=entry["item_id"],
+                size=entry["size"],
+                arrival=entry["arrival"],
+                tag=entry["tag"],
+            )
+            target.add(view, entry["arrival"])
+            sim._active[entry["item_id"]] = _ActiveItem(view=view, bin=target)
+            pending.append((entry["departure"], entry["seq"], entry["item_id"]))
+        heapq.heapify(pending)
+        for state in self.bins:  # opening order: index insertion order matters
+            target = bins_by_index[state["index"]]
+            target.opened_at = state["opened_at"]
+            # Exact level, not the re-added sum: float addition is
+            # order-sensitive and fit decisions compare residuals exactly.
+            target._level = state["level"]
+            sim._bins.add(target)
+        sim._now = self.now
+        sim._auto_id = self.auto_id
+        sim._bins_opened = self.bins_opened
+        sim._peak_open = self.peak_open
+        sim._items_arrived = self.items_arrived
+        sim._closed_bin_time = self.closed_bin_time
+        for observer, state in zip(observers, self.observers):
+            if state is not None:
+                observer.restore_state(state)
+        algorithm.restore_state(self.algorithm_state, bins_by_index)
+        return sim, pending
+
+    # ---------------------------------------------------------- serialization
+
+    def to_json(self) -> str:
+        """Serialize to JSON (floats round-trip exactly)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StreamCheckpoint":
+        payload = json.loads(text)
+        payload["bins"] = tuple(payload["bins"])
+        payload["active"] = tuple(payload["active"])
+        payload["observers"] = tuple(payload["observers"])
+        return cls(**payload)

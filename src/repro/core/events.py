@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from .item import Item
+from .validation import TraceValidationError
 
 __all__ = [
     "EventKind",
@@ -38,7 +39,7 @@ __all__ = [
 ]
 
 
-class EventOrderError(ValueError):
+class EventOrderError(TraceValidationError):
     """Raised by :func:`iter_events` when arrivals are not non-decreasing."""
 
 
@@ -80,7 +81,8 @@ def _merge_events(seq_items: Iterable[tuple[int, Item]]) -> Iterator[Event]:
                 f"item {item.item_id!r} arrives at {item.arrival}, before the "
                 f"previous arrival at {last_arrival}; iter_events requires "
                 "non-decreasing arrival times — sort the trace or use "
-                "compile_events()"
+                "compile_events()",
+                item_id=item.item_id,
             )
         last_arrival = item.arrival
         while pending and pending[0][0] <= item.arrival:

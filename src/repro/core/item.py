@@ -18,6 +18,14 @@ import numbers
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
 
+from .validation import (
+    DuplicateItemIdError,
+    InvalidIntervalError,
+    InvalidItemSizeError,
+    OversizedItemError,
+    TraceValidationError,
+)
+
 __all__ = ["Item", "make_items", "validate_items"]
 
 _id_counter = itertools.count()
@@ -58,14 +66,15 @@ class Item:
             if not isinstance(value, numbers.Real):
                 raise TypeError(f"Item.{name} must be a real number, got {value!r}")
             if value != value:  # NaN
-                raise ValueError(f"Item.{name} must not be NaN")
+                raise TraceValidationError(
+                    f"Item.{name} must not be NaN", item_id=self.item_id
+                )
         if not self.departure > self.arrival:
-            raise ValueError(
-                f"Item departure must be strictly after arrival "
-                f"(got a(r)={self.arrival}, d(r)={self.departure})"
+            raise InvalidIntervalError(
+                self.arrival, self.departure, item_id=self.item_id
             )
         if not self.size > 0:
-            raise ValueError(f"Item size must be positive, got {self.size}")
+            raise InvalidItemSizeError(self.size, item_id=self.item_id)
 
     @property
     def interval(self) -> tuple[numbers.Real, numbers.Real]:
@@ -124,10 +133,8 @@ def validate_items(items: Iterable[Item], *, capacity: numbers.Real | None = Non
     seen: set[str] = set()
     for item in out:
         if item.item_id in seen:
-            raise ValueError(f"duplicate item id: {item.item_id!r}")
+            raise DuplicateItemIdError(item.item_id)
         seen.add(item.item_id)
         if capacity is not None and item.size > capacity:
-            raise ValueError(
-                f"item {item.item_id!r} has size {item.size} exceeding bin capacity {capacity}"
-            )
+            raise OversizedItemError(item.size, capacity, item_id=item.item_id)
     return out

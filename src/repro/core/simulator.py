@@ -40,6 +40,7 @@ from .bin_index import OpenBinIndex, OpenBinView
 from .events import EventKind, _merge_events, iter_events
 from .item import Item, validate_items
 from .result import BinRecord, PackingResult
+from .validation import InvalidItemSizeError, OversizedItemError
 
 if False:  # pragma: no cover - import cycle guard for type checkers
     from .streaming import StreamSummary
@@ -194,7 +195,7 @@ class Simulator:
         """Submit an arrival; returns the bin the algorithm placed it in."""
         self._advance(time)
         if size <= 0:
-            raise ValueError(f"item size must be positive, got {size}")
+            raise InvalidItemSizeError(size, item_id=item_id)
         # Note: oversize vs the *default* capacity is checked at open time —
         # a flavour-aware algorithm may open a larger bin for this item.
         if item_id is None:
@@ -294,6 +295,52 @@ class Simulator:
                 )
             )
         return target
+
+    def fail_bin(self, target: Bin, time: numbers.Real) -> list[Arrival]:
+        """Revoke an open bin at ``time`` (server failure), evicting its items.
+
+        The bin's usage period ends immediately — its rental is billed up to
+        ``time`` exactly as if its last item had departed — and every active
+        item it held is evicted and returned (in placement order).  Evicted
+        items are no longer active; a recovery layer (see
+        :mod:`repro.cloud.faults`) may re-submit them via :meth:`arrive`
+        under fresh ids.  Observers are notified once through
+        :meth:`~repro.core.telemetry.SimulationObserver.on_server_failure`;
+        the algorithm's ``on_item_departed`` hook fires per evicted item so
+        stateful algorithms stay consistent.
+        """
+        self._advance(time)
+        if not isinstance(target, Bin) or target not in self._bins:
+            raise SimulationError(
+                f"cannot fail bin {getattr(target, 'index', target)!r}: not an "
+                "open bin of this simulation"
+            )
+        evicted = target.force_close(time)
+        for view in evicted:
+            del self._active[view.item_id]
+            if self._record:
+                if time <= view.arrival:
+                    raise SimulationError(
+                        f"bin {target.index} failed at {time}, not after item "
+                        f"{view.item_id!r} arrived at {view.arrival}; recorded "
+                        "simulations need strictly positive eviction intervals"
+                    )
+                self._finalized.append(
+                    Item(
+                        arrival=view.arrival,
+                        departure=time,
+                        size=view.size,
+                        item_id=view.item_id,
+                        tag=view.tag,
+                    )
+                )
+        self._bins.discard(target)
+        self._closed_bin_time = self._closed_bin_time + target.usage_length
+        for view in evicted:
+            self.algorithm.on_item_departed(view.item_id, target)
+        for observer in self.observers:
+            observer.on_server_failure(time, target, evicted)
+        return evicted
 
     # ----------------------------------------------------------------- finish
 
@@ -462,8 +509,5 @@ def _validated_stream(
     the simulator against active/assigned items)."""
     for item in items:
         if capacity is not None and item.size > capacity:
-            raise ValueError(
-                f"item {item.item_id!r} has size {item.size} exceeding bin "
-                f"capacity {capacity}"
-            )
+            raise OversizedItemError(item.size, capacity, item_id=item.item_id)
         yield item

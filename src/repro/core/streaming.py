@@ -18,16 +18,19 @@ raises :class:`~repro.core.events.EventOrderError`.
 
 from __future__ import annotations
 
+import heapq
 import numbers
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..algorithms.base import PackingAlgorithm
-from .events import EventKind, iter_events
+from .events import EventKind, EventOrderError, iter_events
 from .item import Item
 from .simulator import Simulator
+from .validation import OversizedItemError
 
 if False:  # pragma: no cover - import cycle guard for type checkers
+    from .checkpoint import StreamCheckpoint
     from .telemetry import SimulationObserver
 
 __all__ = ["StreamSummary", "simulate_stream"]
@@ -67,6 +70,9 @@ def simulate_stream(
     strict: bool = True,
     indexed: bool = True,
     observers: Sequence["SimulationObserver"] = (),
+    checkpoint_every: int | None = None,
+    on_checkpoint: "Callable[[StreamCheckpoint], None] | None" = None,
+    resume_from: "StreamCheckpoint | None" = None,
 ) -> StreamSummary:
     """Stream a trace through an algorithm in O(active items) memory.
 
@@ -80,6 +86,16 @@ def simulate_stream(
     :class:`~repro.core.result.PackingResult` use :func:`simulate`, which
     costs O(trace) memory.
 
+    Checkpoint/resume
+    -----------------
+    Pass ``checkpoint_every=N`` with an ``on_checkpoint`` sink to receive a
+    :class:`~repro.core.checkpoint.StreamCheckpoint` snapshot every ``N``
+    processed events (always at an event boundary).  To resume an
+    interrupted run, re-create the *same* source stream and pass the last
+    snapshot as ``resume_from`` — the consumed prefix is skipped and the
+    engine continues from the captured state, producing a summary equal to
+    the uninterrupted run's.
+
     Examples
     --------
     >>> from repro import FirstFit, make_items
@@ -91,6 +107,19 @@ def simulate_stream(
     >>> summary.num_bins_used, float(summary.total_cost)
     (2, 12.0)
     """
+    if checkpoint_every is not None or on_checkpoint is not None or resume_from is not None:
+        return _simulate_stream_checkpointed(
+            items,
+            algorithm,
+            capacity=capacity,
+            cost_rate=cost_rate,
+            strict=strict,
+            indexed=indexed,
+            observers=observers,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+            resume_from=resume_from,
+        )
     sim = Simulator(
         algorithm,
         capacity=capacity,
@@ -113,11 +142,106 @@ def simulate_stream(
     return sim.finish_summary()
 
 
+def _simulate_stream_checkpointed(
+    items: Iterable[Item],
+    algorithm: PackingAlgorithm,
+    *,
+    capacity: numbers.Real,
+    cost_rate: numbers.Real,
+    strict: bool,
+    indexed: bool,
+    observers: Sequence["SimulationObserver"],
+    checkpoint_every: int | None,
+    on_checkpoint: "Callable[[StreamCheckpoint], None] | None",
+    resume_from: "StreamCheckpoint | None",
+) -> StreamSummary:
+    """The checkpoint-aware streaming driver.
+
+    Replicates :func:`repro.core.events.iter_events`' merge order exactly
+    (departures before arrivals at equal times, both heap-ordered by
+    ``(time, source position)``) while tracking the consumed-item count and
+    the pending-departure heap — the two pieces of merge state a
+    :class:`~repro.core.checkpoint.StreamCheckpoint` needs beyond the
+    engine itself.
+    """
+    from .checkpoint import CheckpointError, StreamCheckpoint
+
+    if (checkpoint_every is None) != (on_checkpoint is None):
+        raise ValueError(
+            "checkpoint_every and on_checkpoint must be given together"
+        )
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+
+    if resume_from is not None:
+        sim, pending = resume_from.restore(
+            algorithm, strict=strict, indexed=indexed, observers=observers
+        )
+        consumed = resume_from.items_consumed
+        events = resume_from.events_processed
+        last_arrival = resume_from.last_arrival
+    else:
+        sim = Simulator(
+            algorithm,
+            capacity=capacity,
+            cost_rate=cost_rate,
+            strict=strict,
+            indexed=indexed,
+            record=False,
+            observers=observers,
+        )
+        pending = []
+        consumed = 0
+        events = 0
+        last_arrival = None
+
+    source = iter(items)
+    _missing = object()
+    for _ in range(consumed):
+        if next(source, _missing) is _missing:
+            raise CheckpointError(
+                f"source stream ended before the checkpoint position "
+                f"({consumed} items); resume needs the same stream"
+            )
+
+    def ship_checkpoint() -> None:
+        if checkpoint_every is not None and events % checkpoint_every == 0:
+            on_checkpoint(
+                StreamCheckpoint.capture(sim, pending, consumed, events, last_arrival)
+            )
+
+    for item in source:
+        if item.size > capacity:
+            raise OversizedItemError(item.size, capacity, item_id=item.item_id)
+        if last_arrival is not None and item.arrival < last_arrival:
+            raise EventOrderError(
+                f"item {item.item_id!r} arrives at {item.arrival}, before the "
+                f"previous arrival at {last_arrival}; streamed items must have "
+                "non-decreasing arrival times",
+                item_id=item.item_id,
+            )
+        last_arrival = item.arrival
+        while pending and pending[0][0] <= item.arrival:
+            dep_time, _, dep_id = heapq.heappop(pending)
+            sim.depart(dep_id, dep_time)
+            events += 1
+            ship_checkpoint()
+        seq = consumed  # the item's 0-based source position
+        consumed += 1
+        sim.arrive(item.arrival, item.size, item_id=item.item_id, tag=item.tag)
+        heapq.heappush(pending, (item.departure, seq, item.item_id))
+        events += 1
+        ship_checkpoint()
+    while pending:
+        dep_time, _, dep_id = heapq.heappop(pending)
+        sim.depart(dep_id, dep_time)
+        events += 1
+        ship_checkpoint()
+    return sim.finish_summary()
+
+
 def _validated(items: Iterable[Item], capacity: numbers.Real) -> Iterable[Item]:
     for item in items:
         if item.size > capacity:
-            raise ValueError(
-                f"item {item.item_id!r} has size {item.size} exceeding bin "
-                f"capacity {capacity}"
-            )
+            raise OversizedItemError(item.size, capacity, item_id=item.item_id)
         yield item

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numbers
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..algorithms.base import Arrival
@@ -30,6 +30,30 @@ class SimulationObserver:
     def on_departure(self, time: numbers.Real, item_id: str, bin: "Bin", closed: bool) -> None:
         """Item left ``bin``; ``closed`` if the bin emptied and closed."""
 
+    def on_server_failure(
+        self, time: numbers.Real, bin: "Bin", evicted: Sequence["Arrival"]
+    ) -> None:
+        """``bin`` was revoked at ``time`` (server failure), evicting items.
+
+        Fires instead of per-item ``on_departure`` calls: the bin closes in
+        one stroke with ``evicted`` still inside.  Billing observers must
+        settle the bin's rental here — the usual ``closed=True`` departure
+        never happens for a failed server.
+        """
+
+    def checkpoint_state(self) -> Any:
+        """JSON-serializable snapshot of this observer's state (or ``None``).
+
+        Observers that accumulate state (billing meters, telemetry) override
+        this together with :meth:`restore_state` so streamed runs can
+        checkpoint and resume exactly (see :mod:`repro.core.checkpoint`).
+        The default returns ``None`` — nothing to save.
+        """
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        """Restore the state captured by :meth:`checkpoint_state`."""
+
 
 @dataclass
 class TelemetryCollector(SimulationObserver):
@@ -45,6 +69,10 @@ class TelemetryCollector(SimulationObserver):
     num_departures: int = 0
     bins_opened: int = 0
     bins_closed: int = 0
+    #: Bins revoked mid-run by server failures (disjoint from bins_closed).
+    servers_failed: int = 0
+    #: Active sessions evicted by those failures.
+    sessions_evicted: int = 0
     open_bins: int = 0
     active_items: int = 0
     peak_open_bins: int = 0
@@ -77,8 +105,54 @@ class TelemetryCollector(SimulationObserver):
             self._closed_bin_time = self._closed_bin_time + (time - opened_at)
             self._record(time)
 
+    def on_server_failure(self, time, bin, evicted) -> None:
+        self.servers_failed += 1
+        self.sessions_evicted += len(evicted)
+        self.active_items -= len(evicted)
+        self.open_bins -= 1
+        opened_at = self._open_since.pop(bin.index)
+        self._closed_bin_time = self._closed_bin_time + (time - opened_at)
+        self._record(time)
+
     def _record(self, time: numbers.Real) -> None:
         self.open_bins_series.append((time, self.open_bins))
+
+    # ----------------------------------------------------------- checkpointing
+
+    def checkpoint_state(self) -> dict:
+        return {
+            "num_arrivals": self.num_arrivals,
+            "num_departures": self.num_departures,
+            "bins_opened": self.bins_opened,
+            "bins_closed": self.bins_closed,
+            "servers_failed": self.servers_failed,
+            "sessions_evicted": self.sessions_evicted,
+            "open_bins": self.open_bins,
+            "active_items": self.active_items,
+            "peak_open_bins": self.peak_open_bins,
+            "peak_active_items": self.peak_active_items,
+            "open_bins_series": [list(p) for p in self.open_bins_series],
+            "closed_bin_time": self._closed_bin_time,
+            "open_since": {str(k): v for k, v in self._open_since.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for name in (
+            "num_arrivals",
+            "num_departures",
+            "bins_opened",
+            "bins_closed",
+            "servers_failed",
+            "sessions_evicted",
+            "open_bins",
+            "active_items",
+            "peak_open_bins",
+            "peak_active_items",
+        ):
+            setattr(self, name, state[name])
+        self.open_bins_series = [tuple(p) for p in state["open_bins_series"]]
+        self._closed_bin_time = state["closed_bin_time"]
+        self._open_since = {int(k): v for k, v in state["open_since"].items()}
 
     # ---------------------------------------------------------------- queries
 

@@ -1,0 +1,95 @@
+"""Typed validation errors for the trace/stream boundary.
+
+Bad input used to surface as bare ``ValueError``/``RuntimeError`` strings
+raised from wherever the corruption was first noticed — sometimes after
+index state had already mutated.  This module defines a structured
+exception hierarchy raised *before* any engine state changes, so callers
+can catch one base class (:class:`TraceValidationError`) or discriminate
+programmatically on the concrete type and its fields (``item_id``,
+offending value, limit) instead of parsing messages.
+
+Every class subclasses :class:`ValueError`, so existing ``except
+ValueError`` call sites (and tests) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+__all__ = [
+    "TraceValidationError",
+    "InvalidItemSizeError",
+    "InvalidIntervalError",
+    "OversizedItemError",
+    "DuplicateItemIdError",
+]
+
+
+class TraceValidationError(ValueError):
+    """Base class for malformed trace/stream input.
+
+    Subclasses carry the offending item's id and values as attributes so
+    handlers (admission controllers, trace linters) can act on them
+    without string parsing.
+    """
+
+    def __init__(self, message: str, *, item_id: str | None = None) -> None:
+        super().__init__(message)
+        self.item_id = item_id
+
+
+class InvalidItemSizeError(TraceValidationError):
+    """An item size that is not a positive real number (≤ 0 or NaN)."""
+
+    def __init__(self, size: numbers.Real, *, item_id: str | None = None) -> None:
+        super().__init__(
+            f"item{f' {item_id!r}' if item_id else ''} size must be positive, "
+            f"got {size}",
+            item_id=item_id,
+        )
+        self.size = size
+
+
+class InvalidIntervalError(TraceValidationError):
+    """A departure time at or before the arrival time (``d(r) <= a(r)``)."""
+
+    def __init__(
+        self,
+        arrival: numbers.Real,
+        departure: numbers.Real,
+        *,
+        item_id: str | None = None,
+    ) -> None:
+        super().__init__(
+            f"item{f' {item_id!r}' if item_id else ''} departure must be "
+            f"strictly after arrival (got a(r)={arrival}, d(r)={departure})",
+            item_id=item_id,
+        )
+        self.arrival = arrival
+        self.departure = departure
+
+
+class OversizedItemError(TraceValidationError):
+    """An item larger than the bin capacity ``W`` — unplaceable anywhere."""
+
+    def __init__(
+        self,
+        size: numbers.Real,
+        capacity: numbers.Real,
+        *,
+        item_id: str | None = None,
+    ) -> None:
+        super().__init__(
+            f"item{f' {item_id!r}' if item_id else ''} has size {size} "
+            f"exceeding bin capacity {capacity}",
+            item_id=item_id,
+        )
+        self.size = size
+        self.capacity = capacity
+
+
+class DuplicateItemIdError(TraceValidationError):
+    """Two items in one trace sharing an id."""
+
+    def __init__(self, item_id: str) -> None:
+        super().__init__(f"duplicate item id: {item_id!r}", item_id=item_id)

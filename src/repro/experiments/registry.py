@@ -117,6 +117,7 @@ def _ensure_loaded() -> None:
         classic_dbp,
         constrained_dbp,
         engine_scaling,
+        fault_tolerance,
         flash_crowd,
         fleet_mix,
         mff_experiment,

@@ -1,0 +1,154 @@
+"""Checkpoint/resume for streamed runs: an interrupted run, resumed from a
+snapshot plus a fresh copy of the same source stream, must produce the exact
+same StreamSummary as the uninterrupted run — same floats, not just close.
+"""
+
+import pytest
+
+from repro import BestFit, FirstFit, NextFit, TelemetryCollector, make_items
+from repro.cloud import dispatch_stream
+from repro.core.checkpoint import CHECKPOINT_VERSION, CheckpointError, StreamCheckpoint
+from repro.core.streaming import simulate_stream
+from repro.workloads import Clipped, Exponential, Uniform, stream_trace
+
+
+def _workload(n_items=600, seed=3):
+    return stream_trace(
+        arrival_rate=5.0,
+        duration=Clipped(Exponential(5.0), 1.0, 15.0),
+        size=Uniform(0.1, 0.6),
+        n_items=n_items,
+        seed=seed,
+    )
+
+
+def _collect_checkpoints(algo_factory, every=53, **kw):
+    sink = []
+    summary = simulate_stream(
+        _workload(**kw), algo_factory(), checkpoint_every=every, on_checkpoint=sink.append
+    )
+    return summary, sink
+
+
+class TestCheckpointedPathExactness:
+    @pytest.mark.parametrize("algo_factory", [FirstFit, BestFit, NextFit])
+    def test_checkpointed_run_equals_fast_path(self, algo_factory):
+        base = simulate_stream(_workload(), algo_factory())
+        summary, sink = _collect_checkpoints(algo_factory)
+        assert summary == base  # frozen dataclass: float-exact equality
+        assert sink, "expected at least one checkpoint"
+
+
+class TestResume:
+    @pytest.mark.parametrize("algo_factory", [FirstFit, BestFit])
+    def test_resume_mid_run_reproduces_summary(self, algo_factory):
+        base = simulate_stream(_workload(), algo_factory())
+        _, sink = _collect_checkpoints(algo_factory)
+        middle = sink[len(sink) // 2]
+        resumed = simulate_stream(_workload(), algo_factory(), resume_from=middle)
+        assert resumed == base
+
+    @pytest.mark.parametrize("algo_factory", [FirstFit, BestFit, NextFit])
+    def test_resume_from_json_roundtrip(self, algo_factory):
+        base = simulate_stream(_workload(), algo_factory())
+        _, sink = _collect_checkpoints(algo_factory)
+        snap = StreamCheckpoint.from_json(sink[len(sink) // 2].to_json())
+        resumed = simulate_stream(_workload(), algo_factory(), resume_from=snap)
+        assert resumed == base
+
+    def test_interrupted_run_resumes(self):
+        """Simulate a crash: stop consuming mid-stream, resume from the last
+        shipped snapshot with a fresh copy of the same stream."""
+        base = simulate_stream(_workload(), FirstFit())
+        sink = []
+
+        class Interrupted(RuntimeError):
+            pass
+
+        def ship(cp):
+            sink.append(cp)
+            if len(sink) == 4:
+                raise Interrupted()
+
+        with pytest.raises(Interrupted):
+            simulate_stream(
+                _workload(), FirstFit(), checkpoint_every=101, on_checkpoint=ship
+            )
+        resumed = simulate_stream(_workload(), FirstFit(), resume_from=sink[-1])
+        assert resumed == base
+
+    def test_resume_with_observers(self):
+        full = TelemetryCollector()
+        base = simulate_stream(_workload(), FirstFit(), observers=(full,))
+        sink = []
+        first = TelemetryCollector()
+        simulate_stream(
+            _workload(),
+            FirstFit(),
+            observers=(first,),
+            checkpoint_every=97,
+            on_checkpoint=sink.append,
+        )
+        fresh = TelemetryCollector()
+        resumed = simulate_stream(
+            _workload(), FirstFit(), observers=(fresh,), resume_from=sink[len(sink) // 2]
+        )
+        assert resumed == base
+        assert fresh.bins_opened == full.bins_opened
+        assert fresh.bins_closed == full.bins_closed
+        assert fresh.num_arrivals == full.num_arrivals
+        assert fresh.open_bins_series == full.open_bins_series
+
+    def test_dispatch_stream_resume_bills_identically(self):
+        base = dispatch_stream(_workload(), FirstFit())
+        sink = []
+        dispatch_stream(
+            _workload(), FirstFit(), checkpoint_every=83, on_checkpoint=sink.append
+        )
+        resumed = dispatch_stream(
+            _workload(), FirstFit(), resume_from=sink[len(sink) // 2]
+        )
+        assert resumed.summary == base.summary
+        assert resumed.billed_cost == base.billed_cost
+        assert resumed.num_servers_rented == base.num_servers_rented
+
+
+class TestCheckpointErrors:
+    def test_checkpoint_every_requires_sink(self):
+        with pytest.raises(ValueError, match="together"):
+            simulate_stream(_workload(), FirstFit(), checkpoint_every=10)
+
+    def test_checkpoint_every_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            simulate_stream(
+                _workload(), FirstFit(), checkpoint_every=0, on_checkpoint=lambda c: None
+            )
+
+    def test_wrong_algorithm_rejected(self):
+        _, sink = _collect_checkpoints(FirstFit)
+        with pytest.raises(CheckpointError, match="algorithm"):
+            simulate_stream(_workload(), BestFit(), resume_from=sink[0])
+
+    def test_truncated_source_rejected(self):
+        _, sink = _collect_checkpoints(FirstFit)
+        short = iter(make_items([(0, 1, 0.5)]))
+        with pytest.raises(CheckpointError, match="same stream"):
+            simulate_stream(short, FirstFit(), resume_from=sink[-1])
+
+    def test_observer_count_mismatch_rejected(self):
+        _, sink = _collect_checkpoints(FirstFit)
+        with pytest.raises(CheckpointError, match="observers"):
+            simulate_stream(
+                _workload(),
+                FirstFit(),
+                observers=(TelemetryCollector(),),
+                resume_from=sink[0],
+            )
+
+    def test_version_mismatch_rejected(self):
+        _, sink = _collect_checkpoints(FirstFit)
+        import dataclasses
+
+        stale = dataclasses.replace(sink[0], version=CHECKPOINT_VERSION + 1)
+        with pytest.raises(CheckpointError, match="version"):
+            simulate_stream(_workload(), FirstFit(), resume_from=stale)

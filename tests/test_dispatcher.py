@@ -91,3 +91,62 @@ class TestDispatchTrace:
         small = dispatch_trace(gaming_trace, FirstFit(), server_type=ServerType(gpu_capacity=1.0))
         big = dispatch_trace(gaming_trace, FirstFit(), server_type=ServerType(gpu_capacity=2.0))
         assert big.peak_concurrent_servers <= small.peak_concurrent_servers
+
+
+class TestBillingSettlement:
+    """Every rented server is billed exactly once, end of run included."""
+
+    def test_stream_meter_settles_every_server(self, gaming_trace):
+        from repro.cloud.dispatcher import _BillingMeter
+        from repro.core.streaming import simulate_stream
+
+        server_type = ServerType()
+        meter = _BillingMeter(server_type.billed_model())
+        summary = simulate_stream(
+            iter(sorted(gaming_trace.items, key=lambda it: it.arrival)),
+            FirstFit(),
+            capacity=server_type.gpu_capacity,
+            cost_rate=server_type.rate,
+            observers=(meter,),
+        )
+        assert meter.servers_billed == summary.num_bins_used
+        assert float(meter.billed) >= float(summary.total_cost)
+
+    def test_stream_report_matches_trace_dispatch(self, gaming_trace):
+        from repro.cloud import dispatch_stream
+
+        stream_report = dispatch_stream(
+            iter(sorted(gaming_trace.items, key=lambda it: it.arrival)), FirstFit()
+        )
+        trace_report = dispatch_trace(gaming_trace, FirstFit())
+        assert stream_report.num_servers_rented == trace_report.num_servers_rented
+        assert float(stream_report.billed_cost) == float(trace_report.billed_cost)
+
+    def test_failed_servers_settle_at_revocation(self):
+        from repro.cloud import FaultInjector, dispatch_faulty_stream
+        from repro.cloud.dispatcher import _BillingMeter
+        from repro.cloud.faults import simulate_faulty_stream
+        from repro.workloads import Clipped, Exponential, Uniform, stream_trace
+
+        def sessions():
+            return stream_trace(
+                arrival_rate=4.0,
+                duration=Clipped(Exponential(6.0), 1.0, 20.0),
+                size=Uniform(0.1, 0.6),
+                n_items=500,
+                seed=2,
+            )
+
+        server_type = ServerType()
+        meter = _BillingMeter(server_type.billed_model())
+        result = simulate_faulty_stream(
+            sessions(),
+            FirstFit(),
+            injector=FaultInjector(rate=0.05, seed=5),
+            capacity=server_type.gpu_capacity,
+            cost_rate=server_type.rate,
+            observers=(meter,),
+        )
+        assert result.report.num_failures > 0
+        # settlements = servers closed by departures + servers revoked
+        assert meter.servers_billed == result.summary.num_bins_used

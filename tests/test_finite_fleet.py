@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from repro import BestFit, FirstFit, make_items, simulate
+from repro import BestFit, FirstFit, Item, make_items, simulate
 from repro.cloud import ServerType, serve_with_fleet_limit
 from repro.cloud.finite_fleet import FiniteFleetDispatcher
 from tests.conftest import exact_items
@@ -113,3 +113,45 @@ def test_looser_fleet_never_serves_fewer(items):
     tight = serve_with_fleet_limit(items, FirstFit(), fleet_limit=1, policy="drop")
     loose = serve_with_fleet_limit(items, FirstFit(), fleet_limit=5, policy="drop")
     assert loose.num_served >= tight.num_served
+
+
+class TestOversizedRejection:
+    """Requests demanding more than one server's capacity get a typed
+    rejection up front — under both admission policies."""
+
+    @pytest.mark.parametrize("policy", ["queue", "drop"])
+    def test_oversized_request_raises(self, policy):
+        from repro.core.validation import OversizedItemError
+
+        items = make_items([(0, 2, 0.5)]) + [
+            Item(arrival=1, departure=3, size=2.0, item_id="whale")
+        ]
+        with pytest.raises(OversizedItemError) as exc:
+            serve_with_fleet_limit(
+                items, FirstFit(), fleet_limit=4, policy=policy
+            )
+        assert exc.value.item_id == "whale"
+        assert exc.value.size == 2.0
+        assert exc.value.capacity == 1.0
+
+    def test_rejection_happens_before_any_service(self):
+        from repro.core.validation import OversizedItemError
+
+        dispatcher = FiniteFleetDispatcher(FirstFit(), fleet_limit=2)
+        items = [Item(arrival=0, departure=1, size=5.0, item_id="whale")]
+        with pytest.raises(OversizedItemError):
+            dispatcher.serve(items)
+        assert dispatcher._served == 0
+
+    def test_oversized_is_still_a_value_error(self):
+        items = [Item(arrival=0, departure=1, size=9.0, item_id="whale")]
+        with pytest.raises(ValueError, match="capacity"):
+            serve_with_fleet_limit(items, FirstFit(), fleet_limit=1, policy="drop")
+
+    def test_custom_capacity_respected(self):
+        big = ServerType(gpu_capacity=4.0)
+        items = [Item(arrival=0, departure=1, size=3.5, item_id="ok")]
+        rep = serve_with_fleet_limit(
+            items, FirstFit(), fleet_limit=1, server_type=big
+        )
+        assert rep.num_served == 1
