@@ -73,7 +73,7 @@ class Theorem1Outcome:
         are meaningful.
         """
         return (
-            self.algorithm_cost == self.predicted_algorithm_cost
+            self.algorithm_cost == self.predicted_algorithm_cost  # dbp: noqa[DBP003] -- exact-replay oracle: both sides are the same Fraction-exact computation
             and Fraction(self.opt.lower) == self.predicted_opt_total
             and Fraction(self.opt.upper) == self.predicted_opt_total
         )

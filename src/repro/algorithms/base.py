@@ -14,11 +14,12 @@ segregate large-item and small-item bins.
 
 from __future__ import annotations
 
-import numbers
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from types import NotImplementedType
 from typing import Any, Callable, Sequence
 
+from ..core.numeric import Num
 from ..core.bin import Bin
 from ..core.bin_index import OpenBinIndex
 
@@ -42,8 +43,8 @@ class Arrival:
     """
 
     item_id: str
-    size: numbers.Real
-    arrival: numbers.Real
+    size: Num
+    arrival: Num
     tag: Any = None
 
 
@@ -70,7 +71,7 @@ class PackingAlgorithm(ABC):
     #: Registry name; subclasses set this via :func:`register_algorithm`.
     name: str = "abstract"
 
-    def reset(self, capacity: numbers.Real) -> None:
+    def reset(self, capacity: Num) -> None:
         """Called once at simulation start; override to clear state."""
 
     @abstractmethod
@@ -83,7 +84,9 @@ class PackingAlgorithm(ABC):
         simulator validates this and raises on violation.
         """
 
-    def choose_bin_indexed(self, item: Arrival, index: OpenBinIndex):
+    def choose_bin_indexed(
+        self, item: Arrival, index: OpenBinIndex
+    ) -> Bin | _OpenNew | None | NotImplementedType:
         """Optional O(log n) selection against the simulator's bin index.
 
         The indexed counterpart of :meth:`choose_bin`: instead of a bin
@@ -99,7 +102,7 @@ class PackingAlgorithm(ABC):
         """
         return NotImplemented
 
-    def new_bin_capacity(self, item: Arrival) -> numbers.Real | None:
+    def new_bin_capacity(self, item: Arrival) -> Num | None:
         """Capacity for a bin opened for ``item``; ``None`` = simulator default.
 
         Override to model heterogeneous fleets (multiple VM flavours).  The

@@ -19,7 +19,7 @@ from typing import Sequence
 
 from ..core.bin import Bin
 from ..core.bin_index import OpenBinIndex
-from .base import OPEN_NEW, AnyFitAlgorithm, Arrival, register_algorithm
+from .base import OPEN_NEW, AnyFitAlgorithm, Arrival, _OpenNew, register_algorithm
 
 __all__ = ["BestFit"]
 
@@ -35,7 +35,9 @@ class BestFit(AnyFitAlgorithm):
                 best = candidate
         return best
 
-    def choose_bin_indexed(self, item: Arrival, index: OpenBinIndex):
+    def choose_bin_indexed(
+        self, item: Arrival, index: OpenBinIndex
+    ) -> Bin | _OpenNew | None:
         # Tightest fit by binary search on the ordered residual index;
         # residual ties resolve to the earliest-opened bin, as in select().
         target = index.best_fit(item.size)

@@ -12,7 +12,7 @@ from typing import Sequence
 
 from ..core.bin import Bin
 from ..core.bin_index import OpenBinIndex
-from .base import OPEN_NEW, AnyFitAlgorithm, Arrival, register_algorithm
+from .base import OPEN_NEW, AnyFitAlgorithm, Arrival, _OpenNew, register_algorithm
 
 __all__ = ["FirstFit"]
 
@@ -29,7 +29,9 @@ class FirstFit(AnyFitAlgorithm):
                 return b
         return OPEN_NEW
 
-    def choose_bin_indexed(self, item: Arrival, index: OpenBinIndex):
+    def choose_bin_indexed(
+        self, item: Arrival, index: OpenBinIndex
+    ) -> Bin | _OpenNew | None:
         # Lowest-index bin with sufficient residual, via segment-tree descent.
         target = index.first_fit(item.size)
         return target if target is not None else OPEN_NEW

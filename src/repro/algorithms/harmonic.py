@@ -16,9 +16,9 @@ best, echoing why the paper stops at two classes.)
 
 from __future__ import annotations
 
-import numbers
 from typing import Sequence
 
+from ..core.numeric import Num
 from ..core.bin import Bin
 from .base import Arrival, OPEN_NEW, PackingAlgorithm, register_algorithm
 
@@ -40,9 +40,9 @@ class HarmonicFit(PackingAlgorithm):
         if num_classes < 1:
             raise ValueError(f"need at least one class, got {num_classes}")
         self.num_classes = num_classes
-        self._capacity: numbers.Real | None = None
+        self._capacity: Num | None = None
 
-    def reset(self, capacity: numbers.Real) -> None:
+    def reset(self, capacity: Num) -> None:
         self._capacity = capacity
 
     def classify(self, item: Arrival) -> int:

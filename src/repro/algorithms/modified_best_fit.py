@@ -12,12 +12,12 @@ First Fit inside MFF's classes is what carries the bounded ratio.
 
 from __future__ import annotations
 
-import numbers
 from typing import Sequence
 
+from ..core.numeric import Num
 from ..core.bin import Bin
 from ..core.bin_index import OpenBinIndex
-from .base import Arrival, OPEN_NEW, PackingAlgorithm, register_algorithm
+from .base import Arrival, OPEN_NEW, PackingAlgorithm, _OpenNew, register_algorithm
 from .modified_first_fit import LARGE, SMALL
 
 __all__ = ["ModifiedBestFit"]
@@ -27,13 +27,13 @@ __all__ = ["ModifiedBestFit"]
 class ModifiedBestFit(PackingAlgorithm):
     """Best Fit within MFF-style large/small pools (threshold ``W/k``)."""
 
-    def __init__(self, k: numbers.Real = 8) -> None:
+    def __init__(self, k: Num = 8) -> None:
         if not k > 1:
             raise ValueError(f"modified Best Fit requires k > 1, got {k}")
         self.k = k
-        self._threshold: numbers.Real | None = None
+        self._threshold: Num | None = None
 
-    def reset(self, capacity: numbers.Real) -> None:
+    def reset(self, capacity: Num) -> None:
         self._threshold = capacity / self.k
 
     def classify(self, item: Arrival) -> str:
@@ -50,7 +50,9 @@ class ModifiedBestFit(PackingAlgorithm):
                     best = b
         return best if best is not None else OPEN_NEW
 
-    def choose_bin_indexed(self, item: Arrival, index: OpenBinIndex):
+    def choose_bin_indexed(
+        self, item: Arrival, index: OpenBinIndex
+    ) -> Bin | _OpenNew | None:
         # Best Fit restricted to this size class's bin pool.
         target = index.best_fit(item.size, label=self.classify(item))
         return target if target is not None else OPEN_NEW

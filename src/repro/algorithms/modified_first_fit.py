@@ -15,12 +15,12 @@ Competitive ratios proved in the paper:
 
 from __future__ import annotations
 
-import numbers
 from typing import Sequence
 
+from ..core.numeric import Num
 from ..core.bin import Bin
 from ..core.bin_index import OpenBinIndex
-from .base import Arrival, OPEN_NEW, PackingAlgorithm, register_algorithm
+from .base import Arrival, OPEN_NEW, PackingAlgorithm, _OpenNew, register_algorithm
 
 __all__ = ["ModifiedFirstFit", "LARGE", "SMALL"]
 
@@ -41,20 +41,20 @@ class ModifiedFirstFit(PackingAlgorithm):
         unknown.
     """
 
-    def __init__(self, k: numbers.Real = 8) -> None:
+    def __init__(self, k: Num = 8) -> None:
         if not k > 1:
             raise ValueError(f"MFF requires k > 1, got {k}")
         self.k = k
-        self._threshold: numbers.Real | None = None
+        self._threshold: Num | None = None
 
     @classmethod
-    def with_known_mu(cls, mu: numbers.Real) -> "ModifiedFirstFit":
+    def with_known_mu(cls, mu: Num) -> "ModifiedFirstFit":
         """The semi-online variant: ``k = μ + 7``, ratio ``μ + 8``."""
         if mu < 1:
             raise ValueError(f"μ is a max/min ratio and must be ≥ 1, got {mu}")
         return cls(k=mu + 7)
 
-    def reset(self, capacity: numbers.Real) -> None:
+    def reset(self, capacity: Num) -> None:
         self._threshold = capacity / self.k
 
     def classify(self, item: Arrival) -> str:
@@ -70,7 +70,9 @@ class ModifiedFirstFit(PackingAlgorithm):
                 return b
         return OPEN_NEW
 
-    def choose_bin_indexed(self, item: Arrival, index: OpenBinIndex):
+    def choose_bin_indexed(
+        self, item: Arrival, index: OpenBinIndex
+    ) -> Bin | _OpenNew | None:
         # First Fit restricted to this size class's bin pool.
         target = index.first_fit(item.size, label=self.classify(item))
         return target if target is not None else OPEN_NEW

@@ -10,11 +10,11 @@ vocabulary and billing.
 
 from __future__ import annotations
 
-import numbers
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
-from ..algorithms.base import PackingAlgorithm
+from ..core.numeric import Num
+from ..algorithms.base import Arrival, PackingAlgorithm
 from ..core.cost import ContinuousCost, CostModel, QuantizedCost
 from ..core.item import Item
 from ..core.metrics import utilization
@@ -23,6 +23,10 @@ from ..core.simulator import Simulator
 from ..core.streaming import StreamSummary, simulate_stream
 from ..core.telemetry import SimulationObserver
 from ..workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.bin import Bin
+    from ..core.checkpoint import StreamCheckpoint
 
 __all__ = [
     "ServerType",
@@ -43,9 +47,9 @@ class ServerType:
     """
 
     name: str = "gpu-server"
-    gpu_capacity: numbers.Real = 1.0
-    rate: numbers.Real = 1.0
-    billing_quantum: numbers.Real | None = 60.0  # EC2-style hourly billing
+    gpu_capacity: Num = 1.0
+    rate: Num = 1.0
+    billing_quantum: Num | None = 60.0  # EC2-style hourly billing
 
     def __post_init__(self) -> None:
         if self.gpu_capacity <= 0:
@@ -64,15 +68,15 @@ class ServerType:
         return QuantizedCost(rate=self.rate, quantum=self.billing_quantum)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DispatchReport:
     """Cost summary of serving a full trace of playing requests."""
 
     algorithm_name: str
     server_type: ServerType
     result: PackingResult
-    continuous_cost: numbers.Real  #: the paper's objective
-    billed_cost: numbers.Real  #: under the server type's billing quanta
+    continuous_cost: Num  #: the paper's objective
+    billed_cost: Num  #: under the server type's billing quanta
     num_servers_rented: int
     peak_concurrent_servers: int
     num_sessions: int
@@ -95,7 +99,7 @@ class DispatchReport:
         }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamDispatchReport:
     """Cost summary of a *streamed* trace: aggregates only, O(1) state.
 
@@ -107,8 +111,8 @@ class StreamDispatchReport:
     algorithm_name: str
     server_type: ServerType
     summary: StreamSummary
-    continuous_cost: numbers.Real  #: the paper's objective
-    billed_cost: numbers.Real  #: under the server type's billing quanta
+    continuous_cost: Num  #: the paper's objective
+    billed_cost: Num  #: under the server type's billing quanta
     num_servers_rented: int
     peak_concurrent_servers: int
     num_sessions: int
@@ -130,24 +134,26 @@ class _BillingMeter(SimulationObserver):
 
     def __init__(self, model: CostModel) -> None:
         self.model = model
-        self.billed: numbers.Real = 0
+        self.billed: Num = 0
         self.servers_billed: int = 0
 
-    def _settle(self, bin) -> None:
+    def _settle(self, bin: "Bin") -> None:
         self.billed = self.billed + self.model.bin_cost(bin.usage_length)
         self.servers_billed += 1
 
-    def on_departure(self, time, item_id, bin, closed) -> None:
+    def on_departure(self, time: Num, item_id: str, bin: "Bin", closed: bool) -> None:
         if closed:
             self._settle(bin)
 
-    def on_server_failure(self, time, bin, evicted) -> None:
+    def on_server_failure(
+        self, time: Num, bin: "Bin", evicted: Sequence[Arrival]
+    ) -> None:
         self._settle(bin)
 
-    def checkpoint_state(self) -> dict:
+    def checkpoint_state(self) -> dict[str, Any]:
         return {"billed": self.billed, "servers_billed": self.servers_billed}
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         self.billed = state["billed"]
         self.servers_billed = state["servers_billed"]
 
@@ -158,8 +164,8 @@ def dispatch_stream(
     *,
     server_type: ServerType | None = None,
     checkpoint_every: int | None = None,
-    on_checkpoint=None,
-    resume_from=None,
+    on_checkpoint: "Callable[[StreamCheckpoint], None] | None" = None,
+    resume_from: "StreamCheckpoint | None" = None,
 ) -> StreamDispatchReport:
     """Serve an arrival-ordered session stream in O(active sessions) memory.
 
@@ -236,9 +242,9 @@ class CloudGamingDispatcher:
 
     def start_session(
         self,
-        time: numbers.Real,
+        time: Num,
         *,
-        gpu_demand: numbers.Real,
+        gpu_demand: Num,
         request_id: str | None = None,
         game: str | None = None,
     ) -> int:
@@ -246,7 +252,7 @@ class CloudGamingDispatcher:
         placed = self._sim.arrive(time, gpu_demand, item_id=request_id, tag=game)
         return placed.index
 
-    def end_session(self, request_id: str, time: numbers.Real) -> None:
+    def end_session(self, request_id: str, time: Num) -> None:
         """The player stops playing; the session's server may be released."""
         self._sim.depart(request_id, time)
 

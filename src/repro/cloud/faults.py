@@ -42,12 +42,13 @@ from __future__ import annotations
 
 import heapq
 import json
-import numbers
 import random
 from dataclasses import asdict, dataclass, field
 from typing import Any, Iterable, Iterator, Sequence
 
+from ..core.numeric import Num
 from ..algorithms.base import PackingAlgorithm
+from ..core.bin import Bin
 from ..core.events import EventOrderError
 from ..core.item import Item
 from ..core.simulator import Simulator
@@ -80,7 +81,7 @@ RESTART = "restart"
 _RECOVERIES = (RECONNECT, RESTART)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultInjector:
     """A deterministic, seeded server-failure process.
 
@@ -101,7 +102,7 @@ class FaultInjector:
     """
 
     rate: float = 0.0
-    schedule: tuple[numbers.Real, ...] | None = None
+    schedule: tuple[Num, ...] | None = None
     model: str = CRASH
     seed: int = 0
 
@@ -118,7 +119,7 @@ class FaultInjector:
             if any(b < a for a, b in zip(times, times[1:])):
                 raise ValueError(f"failure schedule must be non-decreasing: {times}")
 
-    def failure_times(self, rng: random.Random) -> Iterator[numbers.Real]:
+    def failure_times(self, rng: random.Random) -> Iterator[Num]:
         """Lazily yield failure instants (``rng`` drives the Poisson gaps)."""
         if self.schedule is not None:
             yield from self.schedule
@@ -130,14 +131,14 @@ class FaultInjector:
             t += rng.expovariate(self.rate)
             yield t
 
-    def pick_victim(self, rng: random.Random, open_bins: Sequence) -> Any:
+    def pick_victim(self, rng: random.Random, open_bins: Sequence[Bin]) -> Bin:
         """Choose the server to revoke among ``open_bins`` (opening order)."""
         if self.model == SPOT:
             return open_bins[-1]
         return open_bins[rng.randrange(len(open_bins))]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultReport:
     """Deterministic accounting of one faulty run.
 
@@ -157,16 +158,16 @@ class FaultReport:
     num_idle_strikes: int
     sessions_evicted: int
     sessions_redispatched: int
-    lost_work: numbers.Real
-    redispatch_work: numbers.Real
-    revocations: tuple[tuple[numbers.Real, int, int], ...]
+    lost_work: Num
+    redispatch_work: Num
+    revocations: tuple[tuple[Num, int, int], ...]
 
     def to_json(self) -> str:
         """Canonical JSON rendering (sorted keys — byte-stable per seed)."""
         return json.dumps(asdict(self), sort_keys=True)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultyStreamResult:
     """Outcome of a faulty streamed run: engine summary + fault accounting.
 
@@ -183,7 +184,7 @@ class FaultyStreamResult:
     induced_items: tuple[Item, ...] | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultyDispatchReport:
     """Billing view of a faulty streamed dispatch (cloud vocabulary)."""
 
@@ -191,26 +192,26 @@ class FaultyDispatchReport:
     server_type: ServerType
     summary: StreamSummary
     report: FaultReport
-    continuous_cost: numbers.Real
-    billed_cost: numbers.Real
+    continuous_cost: Num
+    billed_cost: Num
     num_servers_rented: int
     peak_concurrent_servers: int
     num_sessions: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _Attempt:
     """One service attempt of a session (original admission or re-dispatch)."""
 
     item_id: str
     orig_id: str
-    size: numbers.Real
+    size: Num
     tag: Any
-    start: numbers.Real
-    departure: numbers.Real  # scheduled; eviction may end the attempt earlier
-    full_length: numbers.Real
+    start: Num
+    departure: Num  # scheduled; eviction may end the attempt earlier
+    full_length: Num
     attempt: int
-    end: numbers.Real | None = field(default=None)
+    end: Num | None = field(default=None)
 
 
 def simulate_faulty_stream(
@@ -219,8 +220,8 @@ def simulate_faulty_stream(
     *,
     injector: FaultInjector,
     recovery: str = RECONNECT,
-    capacity: numbers.Real = 1,
-    cost_rate: numbers.Real = 1,
+    capacity: Num = 1,
+    cost_rate: Num = 1,
     strict: bool = True,
     indexed: bool = True,
     observers: Sequence[SimulationObserver] = (),
@@ -250,21 +251,21 @@ def simulate_faulty_stream(
     )
     rng = random.Random(injector.seed)
     fail_times = injector.failure_times(rng)
-    next_fail: numbers.Real | None = next(fail_times, None)
+    next_fail: Num | None = next(fail_times, None)
 
-    pending: list[tuple] = []  # (departure, seq, item_id) — may hold stale ids
+    pending: list[tuple[Num, int, str]] = []  # (departure, seq, item_id) — may hold stale ids
     active: dict[str, _Attempt] = {}
     induced: list[_Attempt] | None = [] if record_induced else None
     seq = 0
-    last_arrival: numbers.Real | None = None
+    last_arrival: Num | None = None
 
     num_failures = 0
     idle_strikes = 0
     evicted_total = 0
     redispatched = 0
-    lost_work: numbers.Real = 0
-    redispatch_work: numbers.Real = 0
-    revocations: list[tuple] = []
+    lost_work: Num = 0
+    redispatch_work: Num = 0
+    revocations: list[tuple[Num, int, int]] = []
 
     def admit(attempt: _Attempt) -> None:
         nonlocal seq
@@ -281,7 +282,7 @@ def simulate_faulty_stream(
         sim.depart(item_id, dep_time)
         attempt.end = dep_time
 
-    def process_failures_at(time: numbers.Real) -> None:
+    def process_failures_at(time: Num) -> None:
         # All failures at this instant evict before any re-dispatch, so a
         # recovered session is never struck again at its admission time
         # (which would create a zero-length attempt).
@@ -324,20 +325,22 @@ def simulate_faulty_stream(
                 )
             )
 
-    def drain(until: numbers.Real) -> None:
+    def drain(until: Num) -> None:
         """Process every departure and failure at time <= ``until``."""
         while True:
             while pending and pending[0][2] not in active:
                 heapq.heappop(pending)  # stale: the session was evicted
-            dep_time = pending[0][0] if pending else None
-            have_dep = dep_time is not None and dep_time <= until
-            have_fail = next_fail is not None and next_fail <= until
-            if not have_dep and not have_fail:
+            dep_time: Num | None = pending[0][0] if pending else None
+            if dep_time is not None and dep_time > until:
+                dep_time = None
+            fail_time = next_fail if next_fail is not None and next_fail <= until else None
+            if dep_time is None and fail_time is None:
                 return
-            if have_dep and (not have_fail or dep_time <= next_fail):
+            if dep_time is not None and (fail_time is None or dep_time <= fail_time):
                 depart_next()
             else:
-                process_failures_at(next_fail)
+                assert fail_time is not None
+                process_failures_at(fail_time)
 
     for item in items:
         if item.size > capacity:
@@ -389,18 +392,21 @@ def simulate_faulty_stream(
         redispatch_work=redispatch_work,
         revocations=tuple(revocations),
     )
-    induced_items = None
+    induced_items: tuple[Item, ...] | None = None
     if induced is not None:
-        induced_items = tuple(
-            Item(
-                arrival=a.start,
-                departure=a.end,
-                size=a.size,
-                item_id=a.item_id,
-                tag=a.tag,
+        finished: list[Item] = []
+        for a in induced:
+            assert a.end is not None  # while-active loop drained every attempt
+            finished.append(
+                Item(
+                    arrival=a.start,
+                    departure=a.end,
+                    size=a.size,
+                    item_id=a.item_id,
+                    tag=a.tag,
+                )
             )
-            for a in induced
-        )
+        induced_items = tuple(finished)
     return FaultyStreamResult(summary=summary, report=report, induced_items=induced_items)
 
 

@@ -25,11 +25,11 @@ which the core replay cannot know up front.
 from __future__ import annotations
 
 import heapq
-import numbers
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..core.numeric import Num
 from ..algorithms.base import Arrival, OPEN_NEW, PackingAlgorithm
 from ..core.bin import Bin
 from ..core.cost import CostModel
@@ -52,7 +52,7 @@ class _Request:
     seq: int
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueingReport:
     """Outcome of serving a trace on a capped fleet."""
 
@@ -61,10 +61,10 @@ class QueueingReport:
     num_requests: int
     num_served: int
     num_dropped: int
-    total_cost: numbers.Real  #: continuous server-time cost
-    billed_cost: numbers.Real  #: under the server type's billing model
+    total_cost: Num  #: continuous server-time cost
+    billed_cost: Num  #: under the server type's billing model
     peak_servers: int
-    waits: list[numbers.Real] = field(default_factory=list)  #: per served request
+    waits: list[Num] = field(default_factory=list)  #: per served request
 
     @property
     def drop_rate(self) -> float:
@@ -75,7 +75,7 @@ class QueueingReport:
         return float(sum(self.waits) / len(self.waits)) if self.waits else 0.0
 
     @property
-    def max_wait(self) -> numbers.Real:
+    def max_wait(self) -> Num:
         return max(self.waits, default=0)
 
     @property
@@ -108,9 +108,9 @@ class FiniteFleetDispatcher:
 
         self._open: list[Bin] = []
         self._all: list[Bin] = []
-        self._heap: list[tuple[numbers.Real, int, str, Bin]] = []  # departures
+        self._heap: list[tuple[Num, int, str, Bin]] = []  # departures
         self._queue: deque[_Request] = deque()
-        self._waits: list[numbers.Real] = []
+        self._waits: list[Num] = []
         self._served = 0
         self._dropped = 0
         self._peak = 0
@@ -119,7 +119,7 @@ class FiniteFleetDispatcher:
 
     # ------------------------------------------------------------- internals
 
-    def _try_place(self, request: _Request, now: numbers.Real) -> bool:
+    def _try_place(self, request: _Request, now: Num) -> bool:
         item = request.item
         view = Arrival(item_id=item.item_id, size=item.size, arrival=now, tag=item.tag)
         choice = self.algorithm.choose_bin(view, self._open)
@@ -147,7 +147,7 @@ class FiniteFleetDispatcher:
         self._served += 1
         return True
 
-    def _drain_departures(self, until: numbers.Real) -> None:
+    def _drain_departures(self, until: Num) -> None:
         """Process departures ≤ ``until``; admit queued requests after each."""
         while self._heap and self._heap[0][0] <= until:
             time, _, item_id, target = heapq.heappop(self._heap)
@@ -157,7 +157,7 @@ class FiniteFleetDispatcher:
             self.algorithm.on_item_departed(item_id, target)
             self._admit_from_queue(time)
 
-    def _admit_from_queue(self, now: numbers.Real) -> None:
+    def _admit_from_queue(self, now: Num) -> None:
         while self._queue and self._try_place(self._queue[0], now):
             self._queue.popleft()
 

@@ -20,10 +20,10 @@ per-bin capacities in :class:`~repro.core.result.BinRecord`.
 
 from __future__ import annotations
 
-import numbers
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..core.numeric import Num
 from ..algorithms.base import Arrival, OPEN_NEW, PackingAlgorithm
 from ..core.bin import Bin
 from ..core.result import PackingResult
@@ -37,8 +37,8 @@ class Flavor:
     """One rentable VM flavour."""
 
     name: str
-    capacity: numbers.Real
-    rate: numbers.Real  #: cost per open time unit
+    capacity: Num
+    rate: Num  #: cost per open time unit
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -82,7 +82,7 @@ class FlavorAwareFirstFit(PackingAlgorithm):
         self._pending: Flavor | None = None
 
     @property
-    def max_capacity(self) -> numbers.Real:
+    def max_capacity(self) -> Num:
         return max(f.capacity for f in self.flavors)
 
     def _pick_flavor(self, item: Arrival) -> Flavor:
@@ -125,7 +125,7 @@ def fleet_bill(
     result: PackingResult,
     flavors: Sequence[Flavor],
     *,
-    billing_quantum: numbers.Real | None = None,
+    billing_quantum: Num | None = None,
 ) -> RegionBill:
     """Price a mixed-fleet packing: each bin at its flavour's rate."""
     pricing = RegionPricing(

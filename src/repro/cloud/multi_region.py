@@ -9,24 +9,24 @@ view of the locality premium.
 
 from __future__ import annotations
 
-import numbers
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..core.numeric import Num
 from ..core.cost import ContinuousCost, CostModel, QuantizedCost
 from ..core.result import PackingResult
 
 __all__ = ["RegionPricing", "RegionBill", "price_by_region"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegionPricing:
     """Per-zone rates (cost per time unit) and an optional billing quantum."""
 
-    rates: Mapping[str, numbers.Real]
-    billing_quantum: numbers.Real | None = None
+    rates: Mapping[str, Num]
+    billing_quantum: Num | None = None
     #: Rate applied to bins whose label is not in ``rates`` (None = error).
-    default_rate: numbers.Real | None = None
+    default_rate: Num | None = None
 
     def __post_init__(self) -> None:
         if not self.rates:
@@ -50,17 +50,17 @@ class RegionPricing:
         return QuantizedCost(rate=rate, quantum=self.billing_quantum)
 
 
-@dataclass
+@dataclass(slots=True)
 class RegionBill:
     """A packing's bill decomposed by region."""
 
-    per_zone_cost: dict[str, numbers.Real] = field(default_factory=dict)
+    per_zone_cost: dict[str, Num] = field(default_factory=dict)
     per_zone_bins: dict[str, int] = field(default_factory=dict)
-    per_zone_time: dict[str, numbers.Real] = field(default_factory=dict)
+    per_zone_time: dict[str, Num] = field(default_factory=dict)
 
     @property
-    def total(self) -> numbers.Real:
-        total: numbers.Real = 0
+    def total(self) -> Num:
+        total: Num = 0
         for cost in self.per_zone_cost.values():
             total = total + cost
         return total

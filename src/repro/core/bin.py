@@ -8,16 +8,44 @@ paper) can be computed after a simulation.
 
 from __future__ import annotations
 
-import numbers
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Protocol
 
-from .item import Item
+from .numeric import Num
 
 if TYPE_CHECKING:  # pragma: no cover
     from .interval import Interval
 
-__all__ = ["Bin", "BinAssignment", "BinClosedError", "CapacityExceededError"]
+__all__ = [
+    "Bin",
+    "BinAssignment",
+    "BinClosedError",
+    "CapacityExceededError",
+    "PackedItem",
+]
+
+
+class PackedItem(Protocol):
+    """What a bin needs to know about an item it holds.
+
+    Structural: satisfied both by the full :class:`~repro.core.item.Item`
+    (offline record, has a departure) and by the online
+    :class:`~repro.algorithms.base.Arrival` view (no departure) that the
+    simulator actually stores in bins.  Bins never read departure times —
+    that is the online model's whole point — so the protocol omits them.
+    """
+
+    @property
+    def item_id(self) -> str: ...
+
+    @property
+    def size(self) -> Num: ...
+
+    @property
+    def arrival(self) -> Num: ...
+
+    @property
+    def tag(self) -> Any: ...
 
 
 class BinClosedError(RuntimeError):
@@ -32,11 +60,11 @@ class CapacityExceededError(ValueError):
 class BinAssignment:
     """One ``(time, item)`` placement event recorded in a bin's log."""
 
-    time: numbers.Real
-    item: Item
+    time: Num
+    item: PackedItem
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Bin:
     """A single bin with capacity ``W`` and its usage history.
 
@@ -54,12 +82,12 @@ class Bin:
     """
 
     index: int
-    capacity: numbers.Real
+    capacity: Num
     label: Any = None
-    opened_at: numbers.Real | None = None
-    closed_at: numbers.Real | None = None
-    _contents: dict[str, Item] = field(default_factory=dict, repr=False)
-    _level: numbers.Real = 0
+    opened_at: Num | None = None
+    closed_at: Num | None = None
+    _contents: dict[str, PackedItem] = field(default_factory=dict, repr=False)
+    _level: Num = 0
     assignments: list[BinAssignment] = field(default_factory=list, repr=False)
     #: When false, skip the assignment log — the streaming engine's
     #: O(active)-memory mode (the log is the only per-bin state that grows
@@ -69,12 +97,12 @@ class Bin:
     # ------------------------------------------------------------------ state
 
     @property
-    def level(self) -> numbers.Real:
+    def level(self) -> Num:
         """Current level: total size of the items in the bin."""
         return self._level
 
     @property
-    def residual(self) -> numbers.Real:
+    def residual(self) -> Num:
         """Remaining capacity ``W - level``."""
         return self.capacity - self._level
 
@@ -94,14 +122,14 @@ class Bin:
     def num_items(self) -> int:
         return len(self._contents)
 
-    def items(self) -> list[Item]:
+    def items(self) -> list[PackedItem]:
         """The items currently in the bin (arbitrary but stable order)."""
         return list(self._contents.values())
 
     def contains(self, item_id: str) -> bool:
         return item_id in self._contents
 
-    def fits(self, item: Item) -> bool:
+    def fits(self, item: PackedItem) -> bool:
         """Whether ``item`` fits in the current residual capacity.
 
         Exact comparison — callers working with floats should construct
@@ -112,7 +140,7 @@ class Bin:
 
     # ------------------------------------------------------------ transitions
 
-    def add(self, item: Item, time: numbers.Real) -> None:
+    def add(self, item: PackedItem, time: Num) -> None:
         """Place ``item`` into the bin at ``time``.
 
         Opens the bin if this is its first item.  Raises
@@ -136,7 +164,7 @@ class Bin:
         if self.record_log:
             self.assignments.append(BinAssignment(time=time, item=item))
 
-    def force_close(self, time: numbers.Real) -> list[Item]:
+    def force_close(self, time: Num) -> list[PackedItem]:
         """Forcibly close the bin at ``time``, evicting every current item.
 
         Models a server failure (spot preemption, crash): the bin's usage
@@ -155,7 +183,7 @@ class Bin:
         self.closed_at = time
         return evicted
 
-    def remove(self, item_id: str, time: numbers.Real) -> Item:
+    def remove(self, item_id: str, time: Num) -> PackedItem:
         """Remove a departing item; closes the bin if it becomes empty."""
         if self.is_closed:
             raise BinClosedError(f"bin {self.index} is closed; cannot remove {item_id}")
@@ -172,7 +200,7 @@ class Bin:
     # -------------------------------------------------------------- reporting
 
     @property
-    def usage_length(self) -> numbers.Real:
+    def usage_length(self) -> Num:
         """Length of the usage period ``len(I_i)`` (requires a closed bin)."""
         if self.opened_at is None or self.closed_at is None:
             raise BinClosedError(f"bin {self.index} has no complete usage period yet")
@@ -186,17 +214,17 @@ class Bin:
             raise BinClosedError(f"bin {self.index} has no complete usage period yet")
         return Interval(self.opened_at, self.closed_at)
 
-    def assigned_items(self) -> list[Item]:
+    def assigned_items(self) -> list[PackedItem]:
         """Every item ever assigned to this bin (the paper's ``R_i``)."""
         return [a.item for a in self.assignments]
 
-    def configuration(self) -> dict[numbers.Real, int]:
+    def configuration(self) -> dict[Num, int]:
         """Current bin configuration as ``{size: count}``.
 
         This realises the paper's ``<x1|_y1, ..., xk|_yk>`` notation (see
         :mod:`repro.core.config_notation` for parsing/formatting).
         """
-        config: dict[numbers.Real, int] = {}
+        config: dict[Num, int] = {}
         for item in self._contents.values():
             config[item.size] = config.get(item.size, 0) + 1
         return config

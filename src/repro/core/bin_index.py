@@ -25,12 +25,12 @@ is supported for compatibility but is O(n).
 
 from __future__ import annotations
 
-import numbers
 from bisect import bisect_left, insort
 from collections.abc import Sequence
 from itertools import islice
-from typing import Any, Iterator
+from typing import Any, Iterator, overload
 
+from .numeric import Num
 from .bin import Bin
 
 __all__ = ["ANY_LABEL", "OpenBinIndex", "OpenBinView"]
@@ -64,11 +64,11 @@ class _Pool:
     def __init__(self) -> None:
         self.cap = 1  # leaf capacity of the segment tree (power of two)
         self.n_slots = 0  # slots ever allocated, including dead ones
-        self.tree: list = [_CLOSED, _CLOSED]  # 1-based max tree, leaves at cap+i
+        self.tree: list[Num] = [_CLOSED, _CLOSED]  # 1-based max tree, leaves at cap+i
         self.slots: list[Bin | None] = [None]
         self.slot_of: dict[int, int] = {}  # bin.index -> slot
-        self.by_residual: list[tuple] = []  # sorted (residual, bin.index)
-        self.entry: dict[int, tuple] = {}  # bin.index -> its by_residual key
+        self.by_residual: list[tuple[Num, int]] = []  # sorted (residual, bin.index)
+        self.entry: dict[int, tuple[Num, int]] = {}  # bin.index -> its by_residual key
 
     def __len__(self) -> int:
         return len(self.slot_of)
@@ -104,7 +104,7 @@ class _Pool:
 
     # -------------------------------------------------------------- queries
 
-    def first_fit(self, size: numbers.Real) -> Bin | None:
+    def first_fit(self, size: Num) -> Bin | None:
         """Earliest-opened bin with residual >= ``size`` (O(log n))."""
         tree = self.tree
         if tree[1] < size:
@@ -116,13 +116,15 @@ class _Pool:
                 node += 1
         return self.slots[node - self.cap]
 
-    def best_fit(self, size: numbers.Real) -> tuple | None:
+    def best_fit(self, size: Num) -> tuple[Num, int] | None:
         """``(residual, bin.index)`` of the tightest fit, or None (O(log n)).
 
         Ties on residual resolve to the lowest ``bin.index`` — the
         earliest-opened bin, matching the list scan's strict-< rule.
         """
-        i = bisect_left(self.by_residual, (size,))
+        # (size, -1) sorts before every real (size, bin.index) key: indexes
+        # are >= 0, so the search lands on the first residual >= size.
+        i = bisect_left(self.by_residual, (size, -1))
         if i == len(self.by_residual):
             return None
         return self.by_residual[i]
@@ -132,7 +134,7 @@ class _Pool:
     def _grow(self) -> None:
         self.cap *= 2
         self.slots.extend([None] * (self.cap - len(self.slots)))
-        tree = [_CLOSED] * (2 * self.cap)
+        tree: list[Num] = [_CLOSED] * (2 * self.cap)
         for slot, bin in enumerate(self.slots):
             if bin is not None:
                 tree[self.cap + slot] = bin.residual
@@ -140,7 +142,7 @@ class _Pool:
             tree[node] = max(tree[2 * node], tree[2 * node + 1])
         self.tree = tree
 
-    def _tree_set(self, slot: int, value) -> None:
+    def _tree_set(self, slot: int, value: Num) -> None:
         tree = self.tree
         node = self.cap + slot
         tree[node] = value
@@ -211,7 +213,7 @@ class OpenBinIndex:
 
     # ------------------------------------------------------------ queries
 
-    def first_fit(self, size: numbers.Real, label: Any = ANY_LABEL) -> Bin | None:
+    def first_fit(self, size: Num, label: Any = ANY_LABEL) -> Bin | None:
         """Earliest-opened bin with residual >= ``size``, or ``None``.
 
         With the default ``ANY_LABEL`` the search spans every pool (plain
@@ -228,7 +230,7 @@ class OpenBinIndex:
         pool = self._pools.get(label)
         return pool.first_fit(size) if pool is not None else None
 
-    def best_fit(self, size: numbers.Real, label: Any = ANY_LABEL) -> Bin | None:
+    def best_fit(self, size: Num, label: Any = ANY_LABEL) -> Bin | None:
         """Tightest-fitting bin (smallest residual >= ``size``), or ``None``.
 
         Ties on residual resolve to the earliest-opened bin, matching the
@@ -236,7 +238,7 @@ class OpenBinIndex:
         :meth:`first_fit`.
         """
         if label is ANY_LABEL:
-            best: tuple | None = None
+            best: tuple[Num, int] | None = None
             for pool in self._pools.values():
                 hit = pool.best_fit(size)
                 if hit is not None and (best is None or hit < best):
@@ -249,7 +251,7 @@ class OpenBinIndex:
         return self._by_index[best[1]]
 
 
-class OpenBinView(Sequence):
+class OpenBinView(Sequence[Bin]):
     """Read-only sequence view over an :class:`OpenBinIndex`.
 
     Iteration (opening order), ``len`` and ``in`` are as cheap as on the
@@ -273,7 +275,13 @@ class OpenBinView(Sequence):
     def __contains__(self, bin: object) -> bool:
         return bin in self._index
 
-    def __getitem__(self, pos):
+    @overload
+    def __getitem__(self, pos: int) -> Bin: ...
+
+    @overload
+    def __getitem__(self, pos: slice) -> list[Bin]: ...
+
+    def __getitem__(self, pos: int | slice) -> Bin | list[Bin]:
         if isinstance(pos, slice):
             return list(self._index)[pos]
         n = len(self._index)

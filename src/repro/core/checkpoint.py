@@ -31,13 +31,19 @@ from __future__ import annotations
 
 import heapq
 import json
-import numbers
 from dataclasses import asdict, dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
+from .numeric import Num
 from .bin import Bin
 from .simulator import Simulator, _ActiveItem
 from .telemetry import SimulationObserver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..algorithms.base import PackingAlgorithm
+
+#: One ``(departure, seq, item_id)`` entry of the streaming departure heap.
+PendingEntry = tuple[Num, int, str]
 
 __all__ = ["CheckpointError", "StreamCheckpoint", "CHECKPOINT_VERSION"]
 
@@ -49,7 +55,7 @@ class CheckpointError(RuntimeError):
     """Raised for unusable checkpoints (mismatched run, truncated source)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamCheckpoint:
     """Complete engine state of a streamed run at one event boundary.
 
@@ -61,24 +67,24 @@ class StreamCheckpoint:
     """
 
     algorithm_name: str
-    capacity: numbers.Real
-    cost_rate: numbers.Real
+    capacity: Num
+    cost_rate: Num
     #: Items pulled from the source stream so far; the resume skips these.
     items_consumed: int
     #: Arrival + departure events processed so far.
     events_processed: int
     #: Last arrival time seen (stream-order validation resumes from here).
-    last_arrival: numbers.Real | None
-    now: numbers.Real | None
+    last_arrival: Num | None
+    now: Num | None
     auto_id: int
     bins_opened: int
     peak_open: int
     items_arrived: int
-    closed_bin_time: numbers.Real
+    closed_bin_time: Num
     #: Open bins in opening order: (index, capacity, label, opened_at, level).
-    bins: tuple[dict, ...]
+    bins: tuple[dict[str, Any], ...]
     #: Active items: (item_id, size, arrival, tag, departure, seq, bin).
-    active: tuple[dict, ...]
+    active: tuple[dict[str, Any], ...]
     #: Per-observer ``checkpoint_state()`` payloads, positionally aligned.
     observers: tuple[Any, ...]
     algorithm_state: Any = None
@@ -90,10 +96,10 @@ class StreamCheckpoint:
     def capture(
         cls,
         sim: Simulator,
-        pending: Sequence[tuple],
+        pending: Sequence[PendingEntry],
         items_consumed: int,
         events_processed: int,
-        last_arrival: numbers.Real | None,
+        last_arrival: Num | None,
     ) -> "StreamCheckpoint":
         """Snapshot a live streaming simulator at an event boundary.
 
@@ -105,7 +111,7 @@ class StreamCheckpoint:
                 "checkpoints cover streaming (record=False) simulations only"
             )
         departure_of = {item_id: (dep, seq) for dep, seq, item_id in pending}
-        active = []
+        active: list[dict[str, Any]] = []
         for item_id, record in sim._active.items():
             dep, seq = departure_of[item_id]
             view = record.view
@@ -153,12 +159,12 @@ class StreamCheckpoint:
 
     def restore(
         self,
-        algorithm,
+        algorithm: "PackingAlgorithm",
         *,
         strict: bool = True,
         indexed: bool = True,
         observers: Sequence[SimulationObserver] = (),
-    ) -> tuple[Simulator, list[tuple]]:
+    ) -> tuple[Simulator, list[PendingEntry]]:
         """Reconstruct the simulator and the pending-departure heap.
 
         ``algorithm`` must be a fresh instance of the checkpointed
@@ -201,7 +207,7 @@ class StreamCheckpoint:
             )
             for state in self.bins
         }
-        pending: list[tuple] = []
+        pending: list[PendingEntry] = []
         for entry in self.active:
             target = bins_by_index[entry["bin"]]
             view = Arrival(

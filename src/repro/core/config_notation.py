@@ -14,10 +14,10 @@ and 3 of the paper.
 
 from __future__ import annotations
 
-import numbers
 import re
 from dataclasses import dataclass
 from fractions import Fraction
+from .numeric import Num
 
 __all__ = ["ConfigGroup", "BinConfiguration", "parse_configuration"]
 
@@ -26,8 +26,8 @@ __all__ = ["ConfigGroup", "BinConfiguration", "parse_configuration"]
 class ConfigGroup:
     """One ``x|_y`` group: total size ``x`` made of items of size ``y``."""
 
-    total: numbers.Real
-    item_size: numbers.Real
+    total: Num
+    item_size: Num
 
     def __post_init__(self) -> None:
         if self.item_size <= 0:
@@ -46,28 +46,28 @@ class ConfigGroup:
         """Number of items in the group (``x / y``)."""
         return round(self.total / self.item_size)
 
-    def sizes(self) -> list[numbers.Real]:
+    def sizes(self) -> list[Num]:
         return [self.item_size] * self.count
 
     def __str__(self) -> str:
         return f"{self.total}|_{self.item_size}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinConfiguration:
     """A bin configuration ``<x1|_y1, ..., xk|_yk>``."""
 
     groups: tuple[ConfigGroup, ...]
 
     @classmethod
-    def of(cls, *pairs: tuple[numbers.Real, numbers.Real]) -> "BinConfiguration":
+    def of(cls, *pairs: tuple[Num, Num]) -> "BinConfiguration":
         """Build from ``(total, item_size)`` pairs."""
         return cls(groups=tuple(ConfigGroup(total=t, item_size=y) for t, y in pairs))
 
     @property
-    def level(self) -> numbers.Real:
+    def level(self) -> Num:
         """Total size of the configuration (the bin's level)."""
-        total: numbers.Real = 0
+        total: Num = 0
         for g in self.groups:
             total = total + g.total
         return total
@@ -76,21 +76,21 @@ class BinConfiguration:
     def num_items(self) -> int:
         return sum(g.count for g in self.groups)
 
-    def sizes(self) -> list[numbers.Real]:
+    def sizes(self) -> list[Num]:
         """Concrete item sizes, group by group."""
-        out: list[numbers.Real] = []
+        out: list[Num] = []
         for g in self.groups:
             out.extend(g.sizes())
         return out
 
-    def as_multiset(self) -> dict[numbers.Real, int]:
+    def as_multiset(self) -> dict[Num, int]:
         """``{item_size: count}`` ignoring group boundaries."""
-        counts: dict[numbers.Real, int] = {}
+        counts: dict[Num, int] = {}
         for g in self.groups:
             counts[g.item_size] = counts.get(g.item_size, 0) + g.count
         return counts
 
-    def matches(self, observed: dict[numbers.Real, int]) -> bool:
+    def matches(self, observed: dict[Num, int]) -> bool:
         """Whether an observed ``{size: count}`` map equals this configuration."""
         return self.as_multiset() == dict(observed)
 
@@ -101,7 +101,7 @@ class BinConfiguration:
 _GROUP_RE = re.compile(r"^\s*(?P<total>[^|]+?)\s*\|_?\s*(?P<size>.+?)\s*$")
 
 
-def _parse_number(text: str) -> numbers.Real:
+def _parse_number(text: str) -> Num:
     text = text.strip()
     if "/" in text:
         return Fraction(text)

@@ -11,9 +11,9 @@ the same algorithm ranking survives realistic pricing.
 from __future__ import annotations
 
 import math
-import numbers
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from .numeric import Num
 
 __all__ = ["CostModel", "ContinuousCost", "QuantizedCost"]
 
@@ -22,7 +22,7 @@ class CostModel(ABC):
     """Maps a bin usage duration to money."""
 
     @abstractmethod
-    def bin_cost(self, duration: numbers.Real) -> numbers.Real:
+    def bin_cost(self, duration: Num) -> Num:
         """Cost of keeping one bin open for ``duration`` time units."""
 
 
@@ -30,13 +30,13 @@ class CostModel(ABC):
 class ContinuousCost(CostModel):
     """The paper's model: ``cost = rate × duration``."""
 
-    rate: numbers.Real = 1
+    rate: Num = 1
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
             raise ValueError(f"cost rate must be positive, got {self.rate}")
 
-    def bin_cost(self, duration: numbers.Real) -> numbers.Real:
+    def bin_cost(self, duration: Num) -> Num:
         if duration < 0:
             raise ValueError(f"negative duration: {duration}")
         return self.rate * duration
@@ -52,8 +52,8 @@ class QuantizedCost(CostModel):
     from launch).
     """
 
-    rate: numbers.Real = 1
-    quantum: numbers.Real = 1
+    rate: Num = 1
+    quantum: Num = 1
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -61,7 +61,7 @@ class QuantizedCost(CostModel):
         if self.quantum <= 0:
             raise ValueError(f"billing quantum must be positive, got {self.quantum}")
 
-    def bin_cost(self, duration: numbers.Real) -> numbers.Real:
+    def bin_cost(self, duration: Num) -> Num:
         if duration < 0:
             raise ValueError(f"negative duration: {duration}")
         quanta = max(1, math.ceil(duration / self.quantum))

@@ -22,10 +22,10 @@ from __future__ import annotations
 
 import enum
 import heapq
-import numbers
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from .numeric import Num
 from .item import Item
 from .validation import TraceValidationError
 
@@ -54,7 +54,7 @@ class EventKind(enum.IntEnum):
 class Event:
     """A single arrival or departure event."""
 
-    time: numbers.Real
+    time: Num
     kind: EventKind
     item: Item
     seq: int  # stable tiebreaker: trace position of the item
@@ -73,8 +73,8 @@ def _merge_events(seq_items: Iterable[tuple[int, Item]]) -> Iterator[Event]:
     always belong to already-consumed items because ``d(r) > a(r)`` and the
     input is sorted by arrival, so the merge never has to look ahead.
     """
-    pending: list[tuple[numbers.Real, int, Item]] = []  # (departure, seq, item)
-    last_arrival: numbers.Real | None = None
+    pending: list[tuple[Num, int, Item]] = []  # (departure, seq, item)
+    last_arrival: Num | None = None
     for seq, item in seq_items:
         if last_arrival is not None and item.arrival < last_arrival:
             raise EventOrderError(
@@ -125,7 +125,7 @@ def compile_events(items: Iterable[Item]) -> list[Event]:
     return list(_merge_events(ordered))
 
 
-def event_times(items: Iterable[Item]) -> list[numbers.Real]:
+def event_times(items: Iterable[Item]) -> list[Num]:
     """Sorted, de-duplicated list of all event times of a trace."""
     times = {it.arrival for it in items} | {it.departure for it in items}
     return sorted(times)

@@ -8,9 +8,9 @@ unions, intersections and measures exactly (no discretisation), working for
 
 from __future__ import annotations
 
-import numbers
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+from .numeric import Num
 
 __all__ = [
     "Interval",
@@ -26,18 +26,18 @@ __all__ = [
 class Interval:
     """A closed interval ``[left, right]`` with ``right >= left``."""
 
-    left: numbers.Real
-    right: numbers.Real
+    left: Num
+    right: Num
 
     def __post_init__(self) -> None:
         if self.right < self.left:
             raise ValueError(f"empty interval: [{self.left}, {self.right}]")
 
     @property
-    def length(self) -> numbers.Real:
+    def length(self) -> Num:
         return self.right - self.left
 
-    def contains(self, t: numbers.Real) -> bool:
+    def contains(self, t: Num) -> bool:
         return self.left <= t <= self.right
 
     def overlaps(self, other: "Interval") -> bool:
@@ -80,16 +80,16 @@ def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
     return merged
 
 
-def union_length(intervals: Iterable[Interval]) -> numbers.Real:
+def union_length(intervals: Iterable[Interval]) -> Num:
     """Measure of the union of the intervals (0 for an empty collection)."""
     merged = merge_intervals(intervals)
-    total: numbers.Real = 0
+    total: Num = 0
     for iv in merged:
         total = total + iv.length
     return total
 
 
-def span(intervals: Iterable[tuple[numbers.Real, numbers.Real]] | Iterable[Interval]) -> numbers.Real:
+def span(intervals: Iterable[tuple[Num, Num]] | Iterable[Interval]) -> Num:
     """The paper's ``span``: length of time at least one interval is active.
 
     Accepts either :class:`Interval` objects or ``(left, right)`` pairs,

@@ -5,7 +5,7 @@ departure time and size.  In the cloud-gaming interpretation an item is a
 playing request whose size is the GPU demand of the game instance and whose
 interval is the play session.
 
-All time and size values may be any real ``numbers.Real`` — ``int``,
+All time and size values may be any real ``Num`` — ``int``,
 ``float`` or :class:`fractions.Fraction`.  Exact ``Fraction`` arithmetic is
 used by the adversarial lower-bound constructions so that measured costs
 match the paper's closed-form expressions exactly.
@@ -18,6 +18,7 @@ import numbers
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
 
+from .numeric import Num
 from .validation import (
     DuplicateItemIdError,
     InvalidIntervalError,
@@ -54,9 +55,9 @@ class Item:
         or the adversary phase that emitted the item).
     """
 
-    arrival: numbers.Real
-    departure: numbers.Real
-    size: numbers.Real
+    arrival: Num
+    departure: Num
+    size: Num
     item_id: str = field(default_factory=_fresh_id)
     tag: Any = None
 
@@ -77,21 +78,21 @@ class Item:
             raise InvalidItemSizeError(self.size, item_id=self.item_id)
 
     @property
-    def interval(self) -> tuple[numbers.Real, numbers.Real]:
+    def interval(self) -> tuple[Num, Num]:
         """The active interval ``I(r) = [a(r), d(r)]``."""
         return (self.arrival, self.departure)
 
     @property
-    def length(self) -> numbers.Real:
+    def length(self) -> Num:
         """Interval length ``len(I(r)) = d(r) - a(r)``."""
         return self.departure - self.arrival
 
     @property
-    def demand(self) -> numbers.Real:
+    def demand(self) -> Num:
         """Resource demand ``u(r) = s(r) * len(I(r))``."""
         return self.size * self.length
 
-    def active_at(self, t: numbers.Real) -> bool:
+    def active_at(self, t: Num) -> bool:
         """Whether the item is active at time ``t``.
 
         Following the paper, the active interval is closed on the left and
@@ -101,13 +102,13 @@ class Item:
         """
         return self.arrival <= t < self.departure
 
-    def with_departure(self, departure: numbers.Real) -> "Item":
+    def with_departure(self, departure: Num) -> "Item":
         """A copy of this item with a new departure time."""
         return replace(self, departure=departure)
 
 
 def make_items(
-    triples: Iterable[tuple[numbers.Real, numbers.Real, numbers.Real]],
+    triples: Iterable[tuple[Num, Num, Num]],
     *,
     prefix: str = "item",
 ) -> list[Item]:
@@ -122,7 +123,7 @@ def make_items(
     ]
 
 
-def validate_items(items: Iterable[Item], *, capacity: numbers.Real | None = None) -> list[Item]:
+def validate_items(items: Iterable[Item], *, capacity: Num | None = None) -> list[Item]:
     """Validate a list of items, returning it as a concrete list.
 
     Checks for duplicate ids and, when ``capacity`` is given, that every

@@ -7,10 +7,10 @@ plus derived quantities such as average utilisation of a packing.
 
 from __future__ import annotations
 
-import numbers
 from dataclasses import dataclass
 from typing import Iterable
 
+from .numeric import Num
 from .interval import Interval, union_length
 from .item import Item
 from .result import PackingResult
@@ -34,30 +34,30 @@ def _as_list(items: Iterable[Item]) -> list[Item]:
     return out
 
 
-def min_interval_length(items: Iterable[Item]) -> numbers.Real:
+def min_interval_length(items: Iterable[Item]) -> Num:
     """``Δ = min_r len(I(r))``: the minimum item interval length."""
     return min(it.length for it in _as_list(items))
 
 
-def max_interval_length(items: Iterable[Item]) -> numbers.Real:
+def max_interval_length(items: Iterable[Item]) -> Num:
     """``μΔ = max_r len(I(r))``: the maximum item interval length."""
     return max(it.length for it in _as_list(items))
 
 
-def interval_ratio(items: Iterable[Item]) -> numbers.Real:
+def interval_ratio(items: Iterable[Item]) -> Num:
     """``μ``: the max/min item interval length ratio (≥ 1)."""
     items = _as_list(items)
     return max_interval_length(items) / min_interval_length(items)
 
 
-def trace_span(items: Iterable[Item]) -> numbers.Real:
+def trace_span(items: Iterable[Item]) -> Num:
     """``span(R)``: length of time at least one item is active (Figure 1)."""
     return union_length([Interval(it.arrival, it.departure) for it in _as_list(items)])
 
 
-def total_demand(items: Iterable[Item]) -> numbers.Real:
+def total_demand(items: Iterable[Item]) -> Num:
     """``u(R) = Σ_r s(r)·len(I(r))``: the total resource demand."""
-    total: numbers.Real = 0
+    total: Num = 0
     for it in _as_list(items):
         total = total + it.demand
     return total
@@ -68,18 +68,18 @@ class TraceStats:
     """Summary statistics of an item list."""
 
     num_items: int
-    span: numbers.Real
-    total_demand: numbers.Real
-    min_interval: numbers.Real
-    max_interval: numbers.Real
-    mu: numbers.Real
-    min_size: numbers.Real
-    max_size: numbers.Real
-    first_arrival: numbers.Real
-    last_departure: numbers.Real
+    span: Num
+    total_demand: Num
+    min_interval: Num
+    max_interval: Num
+    mu: Num
+    min_size: Num
+    max_size: Num
+    first_arrival: Num
+    last_departure: Num
 
     @property
-    def packing_period(self) -> numbers.Real:
+    def packing_period(self) -> Num:
         """Length of ``[min_r a(r), max_r d(r)]``."""
         return self.last_departure - self.first_arrival
 

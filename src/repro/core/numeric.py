@@ -1,0 +1,21 @@
+"""The engine's numeric scalar type.
+
+Annotations throughout the engine historically used :class:`numbers.Real`,
+which is the right *runtime* contract (``isinstance`` checks keep using it)
+but is opaque to static type checkers: ``numbers.Real`` supports no
+arithmetic operators in typeshed, so every ``arrival + duration`` would be
+an error under strict mypy.  ``Num`` is the static-analysis-friendly
+equivalent: the union of the concrete scalar types the engine actually
+receives.  :class:`~fractions.Fraction` is included because the adversarial
+constructions (Theorem 1/5 traces) drive the simulator with exact rationals
+to make cost predictions replay exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import TypeAlias, Union
+
+__all__ = ["Num"]
+
+Num: TypeAlias = Union[int, float, Fraction]

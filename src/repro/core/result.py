@@ -10,11 +10,11 @@ the proof artifacts of Figures 4-8.
 
 from __future__ import annotations
 
-import numbers
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
+from .numeric import Num
 from .interval import Interval
 from .item import Item
 
@@ -24,22 +24,22 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["BinRecord", "PackingResult"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinRecord:
     """Immutable record of one bin's complete life."""
 
     index: int
     label: Any
-    opened_at: numbers.Real
-    closed_at: numbers.Real
+    opened_at: Num
+    closed_at: Num
     #: ``(time, item_id)`` placements in chronological order.
-    assignments: tuple[tuple[numbers.Real, str], ...]
+    assignments: tuple[tuple[Num, str], ...]
     #: This bin's own capacity; ``None`` means the packing-wide default
     #: (heterogeneous-fleet algorithms open bins of varying capacity).
-    capacity: numbers.Real | None = None
+    capacity: Num | None = None
 
     @property
-    def usage_length(self) -> numbers.Real:
+    def usage_length(self) -> Num:
         """``len(I_i)``: how long the bin stayed open."""
         return self.closed_at - self.opened_at
 
@@ -52,22 +52,22 @@ class BinRecord:
         return tuple(item_id for _, item_id in self.assignments)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PackingResult:
     """Outcome of packing an item list with an online algorithm."""
 
     algorithm_name: str
-    capacity: numbers.Real
-    cost_rate: numbers.Real
+    capacity: Num
+    cost_rate: Num
     items: tuple[Item, ...]
     #: item_id -> bin index
     assignment: dict[str, int]
     bins: tuple[BinRecord, ...]
-    _profile_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _profile_cache: dict[str, Any] = field(default_factory=dict, repr=False, compare=False)
 
     # ----------------------------------------------------------------- costs
 
-    def total_cost(self, cost_model: "CostModel | None" = None) -> numbers.Real:
+    def total_cost(self, cost_model: "CostModel | None" = None) -> Num:
         """The paper's ``A_total(R)``.
 
         With the default continuous model this is
@@ -76,7 +76,7 @@ class PackingResult:
         alternative pricing.
         """
         if cost_model is None:
-            total: numbers.Real = 0
+            total: Num = 0
             for b in self.bins:
                 total = total + b.usage_length
             return total * self.cost_rate
@@ -86,9 +86,9 @@ class PackingResult:
         return total
 
     @property
-    def total_bin_time(self) -> numbers.Real:
+    def total_bin_time(self) -> Num:
         """``Σ_i len(I_i)``: total bin usage time (cost at unit rate)."""
-        total: numbers.Real = 0
+        total: Num = 0
         for b in self.bins:
             total = total + b.usage_length
         return total
@@ -100,7 +100,7 @@ class PackingResult:
 
     # ------------------------------------------------------------ n(t) curve
 
-    def bin_count_profile(self) -> tuple[list[numbers.Real], list[int]]:
+    def bin_count_profile(self) -> tuple[list[Num], list[int]]:
         """The step function ``A(R,t)``: (breakpoints, counts).
 
         ``counts[i]`` is the number of open bins on ``[times[i],
@@ -110,7 +110,7 @@ class PackingResult:
         """
         if "profile" in self._profile_cache:
             return self._profile_cache["profile"]
-        deltas: dict[numbers.Real, int] = {}
+        deltas: dict[Num, int] = {}
         for b in self.bins:
             deltas[b.opened_at] = deltas.get(b.opened_at, 0) + 1
             deltas[b.closed_at] = deltas.get(b.closed_at, 0) - 1
@@ -123,7 +123,7 @@ class PackingResult:
         self._profile_cache["profile"] = (times, counts)
         return times, counts
 
-    def num_open_bins(self, t: numbers.Real) -> int:
+    def num_open_bins(self, t: Num) -> int:
         """``A(R,t)``: open-bin count at time ``t`` (right-continuous)."""
         times, counts = self.bin_count_profile()
         idx = bisect_right(times, t) - 1
@@ -153,14 +153,14 @@ class PackingResult:
         record = self.bins[bin_index]
         return [self.item_by_id(item_id) for item_id in record.item_ids]
 
-    def bin_capacity(self, record: BinRecord) -> numbers.Real:
+    def bin_capacity(self, record: BinRecord) -> Num:
         """A bin's effective capacity (its own, or the packing default)."""
         return self.capacity if record.capacity is None else record.capacity
 
     @property
-    def total_capacity_time(self) -> numbers.Real:
+    def total_capacity_time(self) -> Num:
         """``Σ_i W_i·len(I_i)``: paid capacity-time (= W·Σlen for uniform bins)."""
-        total: numbers.Real = 0
+        total: Num = 0
         for b in self.bins:
             total = total + self.bin_capacity(b) * b.usage_length
         return total

@@ -29,11 +29,11 @@ path transparently fall back to the classic list scan over an immutable
 
 from __future__ import annotations
 
-import numbers
 from collections.abc import Iterator as _Iterator
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence, cast
 
+from .numeric import Num
 from ..algorithms.base import OPEN_NEW, Arrival, PackingAlgorithm
 from .bin import Bin
 from .bin_index import OpenBinIndex, OpenBinView
@@ -42,7 +42,7 @@ from .item import Item, validate_items
 from .result import BinRecord, PackingResult
 from .validation import InvalidItemSizeError, OversizedItemError
 
-if False:  # pragma: no cover - import cycle guard for type checkers
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .streaming import StreamSummary
     from .telemetry import SimulationObserver
 
@@ -70,7 +70,7 @@ def _indexed_is_authoritative(cls: type) -> bool:
     return False
 
 
-@dataclass
+@dataclass(slots=True)
 class _ActiveItem:
     view: Arrival
     bin: Bin
@@ -108,8 +108,8 @@ class Simulator:
         self,
         algorithm: PackingAlgorithm,
         *,
-        capacity: numbers.Real = 1,
-        cost_rate: numbers.Real = 1,
+        capacity: Num = 1,
+        cost_rate: Num = 1,
         strict: bool = True,
         indexed: bool = True,
         record: bool = True,
@@ -132,18 +132,18 @@ class Simulator:
         self._active: dict[str, _ActiveItem] = {}
         self._finalized: list[Item] = []
         self._assignment: dict[str, int] = {}
-        self._now: numbers.Real | None = None
+        self._now: Num | None = None
         self._auto_id = 0
         self._bins_opened = 0
         self._peak_open = 0
         self._items_arrived = 0
-        self._closed_bin_time: numbers.Real = 0
+        self._closed_bin_time: Num = 0
         algorithm.reset(capacity)
 
     # ------------------------------------------------------------- inspection
 
     @property
-    def now(self) -> numbers.Real | None:
+    def now(self) -> Num | None:
         """Time of the last processed event (``None`` before the first)."""
         return self._now
 
@@ -178,7 +178,7 @@ class Simulator:
 
     # ------------------------------------------------------------ transitions
 
-    def _advance(self, time: numbers.Real) -> None:
+    def _advance(self, time: Num) -> None:
         if self._now is not None and time < self._now:
             raise SimulationError(
                 f"event at time {time} precedes current time {self._now}"
@@ -187,8 +187,8 @@ class Simulator:
 
     def arrive(
         self,
-        time: numbers.Real,
-        size: numbers.Real,
+        time: Num,
+        size: Num,
         item_id: str | None = None,
         tag: Any = None,
     ) -> Bin:
@@ -229,7 +229,7 @@ class Simulator:
             )
             opened = True
         else:
-            target = choice  # type: ignore[assignment]
+            target = choice
             opened = False
             if self.strict:
                 if not isinstance(target, Bin) or not target.is_open or target not in self._bins:
@@ -263,7 +263,7 @@ class Simulator:
             observer.on_arrival(time, view, target, opened)
         return target
 
-    def depart(self, item_id: str, time: numbers.Real) -> Bin:
+    def depart(self, item_id: str, time: Num) -> Bin:
         """Remove an active item at ``time``; returns its (possibly closed) bin."""
         self._advance(time)
         try:
@@ -296,7 +296,7 @@ class Simulator:
             )
         return target
 
-    def fail_bin(self, target: Bin, time: numbers.Real) -> list[Arrival]:
+    def fail_bin(self, target: Bin, time: Num) -> list[Arrival]:
         """Revoke an open bin at ``time`` (server failure), evicting its items.
 
         The bin's usage period ends immediately — its rental is billed up to
@@ -315,7 +315,9 @@ class Simulator:
                 f"cannot fail bin {getattr(target, 'index', target)!r}: not an "
                 "open bin of this simulation"
             )
-        evicted = target.force_close(time)
+        # The simulator only ever stores Arrival views in bins, so the
+        # protocol-typed eviction list narrows back losslessly.
+        evicted = cast("list[Arrival]", target.force_close(time))
         for view in evicted:
             del self._active[view.item_id]
             if self._record:
@@ -363,8 +365,11 @@ class Simulator:
                 "finish_summary()"
             )
         self._require_all_departed()
-        records = tuple(
-            BinRecord(
+
+        def record_of(b: Bin) -> BinRecord:
+            # All items departed, so every recorded bin has a complete life.
+            assert b.opened_at is not None and b.closed_at is not None
+            return BinRecord(
                 index=b.index,
                 label=b.label,
                 opened_at=b.opened_at,
@@ -372,8 +377,8 @@ class Simulator:
                 assignments=tuple((a.time, a.item.item_id) for a in b.assignments),
                 capacity=b.capacity,
             )
-            for b in self._all_bins
-        )
+
+        records = tuple(record_of(b) for b in self._all_bins)
         # _assignment's insertion order is arrival issue order.
         issue_order = {item_id: i for i, item_id in enumerate(self._assignment)}
         finalized = sorted(self._finalized, key=lambda it: issue_order[it.item_id])
@@ -421,13 +426,13 @@ def simulate(
     items: Iterable[Item],
     algorithm: PackingAlgorithm,
     *,
-    capacity: numbers.Real = 1,
-    cost_rate: numbers.Real = 1,
+    capacity: Num = 1,
+    cost_rate: Num = 1,
     strict: bool = True,
     check: bool = False,
     indexed: bool = True,
     observers: Sequence["SimulationObserver"] = (),
-    max_bin_capacity: numbers.Real | None = None,
+    max_bin_capacity: Num | None = None,
 ) -> PackingResult:
     """Replay a complete item list against an online packing algorithm.
 
@@ -503,7 +508,7 @@ def simulate(
 
 
 def _validated_stream(
-    items: Iterable[Item], capacity: numbers.Real | None
+    items: Iterable[Item], capacity: Num | None
 ) -> Iterable[Item]:
     """Per-item validation for streamed traces (duplicate ids are caught by
     the simulator against active/assigned items)."""

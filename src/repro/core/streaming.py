@@ -19,17 +19,17 @@ raises :class:`~repro.core.events.EventOrderError`.
 from __future__ import annotations
 
 import heapq
-import numbers
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
+from .numeric import Num
 from ..algorithms.base import PackingAlgorithm
 from .events import EventKind, EventOrderError, iter_events
 from .item import Item
 from .simulator import Simulator
 from .validation import OversizedItemError
 
-if False:  # pragma: no cover - import cycle guard for type checkers
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .checkpoint import StreamCheckpoint
     from .telemetry import SimulationObserver
 
@@ -41,8 +41,8 @@ class StreamSummary:
     """Aggregate outcome of a streamed simulation (no per-item history)."""
 
     algorithm_name: str
-    capacity: numbers.Real
-    cost_rate: numbers.Real
+    capacity: Num
+    cost_rate: Num
     #: Items that arrived (and departed — the stream must drain fully).
     num_items: int
     #: Bins ever opened, the paper's ``n`` in ``b_1..b_n``.
@@ -50,11 +50,11 @@ class StreamSummary:
     #: Largest number of simultaneously open bins.
     peak_open_bins: int
     #: Total bin usage time ``sum_i len(I_i)``.
-    total_bin_time: numbers.Real
+    total_bin_time: Num
     #: The MinTotal objective ``A_total = C * sum_i len(I_i)``.
-    total_cost: numbers.Real
+    total_cost: Num
     #: Time of the last event (``None`` for an empty stream).
-    end_time: numbers.Real | None
+    end_time: Num | None
 
     @property
     def cost_per_item(self) -> float:
@@ -65,8 +65,8 @@ def simulate_stream(
     items: Iterable[Item],
     algorithm: PackingAlgorithm,
     *,
-    capacity: numbers.Real = 1,
-    cost_rate: numbers.Real = 1,
+    capacity: Num = 1,
+    cost_rate: Num = 1,
     strict: bool = True,
     indexed: bool = True,
     observers: Sequence["SimulationObserver"] = (),
@@ -146,8 +146,8 @@ def _simulate_stream_checkpointed(
     items: Iterable[Item],
     algorithm: PackingAlgorithm,
     *,
-    capacity: numbers.Real,
-    cost_rate: numbers.Real,
+    capacity: Num,
+    cost_rate: Num,
     strict: bool,
     indexed: bool,
     observers: Sequence["SimulationObserver"],
@@ -206,6 +206,7 @@ def _simulate_stream_checkpointed(
 
     def ship_checkpoint() -> None:
         if checkpoint_every is not None and events % checkpoint_every == 0:
+            assert on_checkpoint is not None  # validated above: given together
             on_checkpoint(
                 StreamCheckpoint.capture(sim, pending, consumed, events, last_arrival)
             )
@@ -240,7 +241,7 @@ def _simulate_stream_checkpointed(
     return sim.finish_summary()
 
 
-def _validated(items: Iterable[Item], capacity: numbers.Real) -> Iterable[Item]:
+def _validated(items: Iterable[Item], capacity: Num) -> Iterable[Item]:
     for item in items:
         if item.size > capacity:
             raise OversizedItemError(item.size, capacity, item_id=item.item_id)

@@ -10,9 +10,10 @@ against the post-hoc result in the tests.
 
 from __future__ import annotations
 
-import numbers
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
+
+from .numeric import Num
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..algorithms.base import Arrival
@@ -24,14 +25,14 @@ __all__ = ["SimulationObserver", "TelemetryCollector"]
 class SimulationObserver:
     """Base observer: override any subset of the hooks."""
 
-    def on_arrival(self, time: numbers.Real, item: "Arrival", bin: "Bin", opened: bool) -> None:
+    def on_arrival(self, time: Num, item: "Arrival", bin: "Bin", opened: bool) -> None:
         """Item placed into ``bin``; ``opened`` if the bin is brand new."""
 
-    def on_departure(self, time: numbers.Real, item_id: str, bin: "Bin", closed: bool) -> None:
+    def on_departure(self, time: Num, item_id: str, bin: "Bin", closed: bool) -> None:
         """Item left ``bin``; ``closed`` if the bin emptied and closed."""
 
     def on_server_failure(
-        self, time: numbers.Real, bin: "Bin", evicted: Sequence["Arrival"]
+        self, time: Num, bin: "Bin", evicted: Sequence["Arrival"]
     ) -> None:
         """``bin`` was revoked at ``time`` (server failure), evicting items.
 
@@ -63,7 +64,7 @@ class TelemetryCollector(SimulationObserver):
     their full usage, open bins their usage so far.
     """
 
-    cost_rate: numbers.Real = 1
+    cost_rate: Num = 1
 
     num_arrivals: int = 0
     num_departures: int = 0
@@ -78,13 +79,13 @@ class TelemetryCollector(SimulationObserver):
     peak_open_bins: int = 0
     peak_active_items: int = 0
     #: (time, open-bin count) breakpoints, appended when the count changes.
-    open_bins_series: list[tuple[numbers.Real, int]] = field(default_factory=list)
-    _closed_bin_time: numbers.Real = 0
-    _open_since: dict[int, numbers.Real] = field(default_factory=dict)
+    open_bins_series: list[tuple[Num, int]] = field(default_factory=list)
+    _closed_bin_time: Num = 0
+    _open_since: dict[int, Num] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ hooks
 
-    def on_arrival(self, time, item, bin, opened) -> None:
+    def on_arrival(self, time: Num, item: "Arrival", bin: "Bin", opened: bool) -> None:
         self.num_arrivals += 1
         self.active_items += 1
         self.peak_active_items = max(self.peak_active_items, self.active_items)
@@ -95,7 +96,7 @@ class TelemetryCollector(SimulationObserver):
             self._open_since[bin.index] = time
             self._record(time)
 
-    def on_departure(self, time, item_id, bin, closed) -> None:
+    def on_departure(self, time: Num, item_id: str, bin: "Bin", closed: bool) -> None:
         self.num_departures += 1
         self.active_items -= 1
         if closed:
@@ -105,7 +106,9 @@ class TelemetryCollector(SimulationObserver):
             self._closed_bin_time = self._closed_bin_time + (time - opened_at)
             self._record(time)
 
-    def on_server_failure(self, time, bin, evicted) -> None:
+    def on_server_failure(
+        self, time: Num, bin: "Bin", evicted: Sequence["Arrival"]
+    ) -> None:
         self.servers_failed += 1
         self.sessions_evicted += len(evicted)
         self.active_items -= len(evicted)
@@ -114,12 +117,12 @@ class TelemetryCollector(SimulationObserver):
         self._closed_bin_time = self._closed_bin_time + (time - opened_at)
         self._record(time)
 
-    def _record(self, time: numbers.Real) -> None:
+    def _record(self, time: Num) -> None:
         self.open_bins_series.append((time, self.open_bins))
 
     # ----------------------------------------------------------- checkpointing
 
-    def checkpoint_state(self) -> dict:
+    def checkpoint_state(self) -> dict[str, Any]:
         return {
             "num_arrivals": self.num_arrivals,
             "num_departures": self.num_departures,
@@ -136,7 +139,7 @@ class TelemetryCollector(SimulationObserver):
             "open_since": {str(k): v for k, v in self._open_since.items()},
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         for name in (
             "num_arrivals",
             "num_departures",
@@ -150,15 +153,15 @@ class TelemetryCollector(SimulationObserver):
             "peak_active_items",
         ):
             setattr(self, name, state[name])
-        self.open_bins_series = [tuple(p) for p in state["open_bins_series"]]
+        self.open_bins_series = [(p[0], p[1]) for p in state["open_bins_series"]]
         self._closed_bin_time = state["closed_bin_time"]
         self._open_since = {int(k): v for k, v in state["open_since"].items()}
 
     # ---------------------------------------------------------------- queries
 
-    def accrued_cost(self, now: numbers.Real) -> numbers.Real:
+    def accrued_cost(self, now: Num) -> Num:
         """Exact cost accrued up to ``now`` (open bins billed to ``now``)."""
-        running: numbers.Real = 0
+        running: Num = 0
         for opened_at in self._open_since.values():
             running = running + (now - opened_at)
         return (self._closed_bin_time + running) * self.cost_rate

@@ -13,8 +13,8 @@ ValueError`` call sites (and tests) keep working unchanged.
 """
 
 from __future__ import annotations
+from .numeric import Num
 
-import numbers
 
 __all__ = [
     "TraceValidationError",
@@ -41,7 +41,7 @@ class TraceValidationError(ValueError):
 class InvalidItemSizeError(TraceValidationError):
     """An item size that is not a positive real number (≤ 0 or NaN)."""
 
-    def __init__(self, size: numbers.Real, *, item_id: str | None = None) -> None:
+    def __init__(self, size: Num, *, item_id: str | None = None) -> None:
         super().__init__(
             f"item{f' {item_id!r}' if item_id else ''} size must be positive, "
             f"got {size}",
@@ -55,8 +55,8 @@ class InvalidIntervalError(TraceValidationError):
 
     def __init__(
         self,
-        arrival: numbers.Real,
-        departure: numbers.Real,
+        arrival: Num,
+        departure: Num,
         *,
         item_id: str | None = None,
     ) -> None:
@@ -74,8 +74,8 @@ class OversizedItemError(TraceValidationError):
 
     def __init__(
         self,
-        size: numbers.Real,
-        capacity: numbers.Real,
+        size: Num,
+        capacity: Num,
         *,
         item_id: str | None = None,
     ) -> None:

@@ -100,8 +100,8 @@ def run(
                 if rate == 0:
                     exact = exact and (
                         report.summary == baseline.summary
-                        and report.continuous_cost == baseline.continuous_cost
-                        and report.billed_cost == baseline.billed_cost
+                        and report.continuous_cost == baseline.continuous_cost  # dbp: noqa[DBP003] -- rate=0 differential oracle: faulty path must replay the baseline bit-for-bit
+                        and report.billed_cost == baseline.billed_cost  # dbp: noqa[DBP003] -- rate=0 differential oracle: float == is the assertion, not a tolerance shortcut
                         and report.num_servers_rented == baseline.num_servers_rented
                     )
                 else:

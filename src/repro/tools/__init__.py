@@ -1,1 +1,1 @@
-"""Developer tooling (API doc generation)."""
+"""Developer tooling: API doc generation and the determinism linter."""

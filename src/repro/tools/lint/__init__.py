@@ -1,0 +1,57 @@
+"""Determinism-and-invariant static analysis for the reproduction.
+
+The reproduction's headline claims — exact bin-time cost accounting
+(Theorems 1-5), byte-identical seeded :class:`~repro.cloud.faults.FaultReport`
+output, float-identical checkpoint/resume — rest on invariants that ordinary
+linters do not check:
+
+* the engine never reads wall-clock time or unseeded randomness,
+* accumulated costs are never compared with float ``==`` outside sanctioned
+  exact-replay assertions,
+* frozen trace/item objects are never mutated,
+* observer hooks never mutate bin state,
+* hot-path dataclasses carry ``slots=True``.
+
+``repro.tools.lint`` is an AST-based analyzer (stdlib :mod:`ast`, no runtime
+dependencies) enforcing exactly these invariants.  Each rule has a ``DBPnnn``
+code, rules are path-scoped (engine-only rules apply to ``repro.core``,
+``repro.algorithms`` and ``repro.cloud``; trace-purity rules to all of
+``src``; hygiene rules everywhere), and individual lines may be suppressed
+with a justification::
+
+    x = a == b  # dbp: noqa[DBP003] -- exact-replay oracle, values are replayed bit-for-bit
+
+Run it as a module::
+
+    python -m repro.tools.lint src tests
+    python -m repro.tools.lint --format json src
+    python -m repro.tools.lint --list-rules
+
+See ``docs/LINT.md`` for the rule catalogue and the rationale tying each
+rule to the paper's exactness claims.
+"""
+
+from __future__ import annotations
+
+from .config import DEFAULT_ENGINE_PACKAGES, LintConfig, module_name_for, scope_applies
+from .noqa import Suppression, scan_suppressions
+from .rules import RULES, Rule, all_codes, iter_rules
+from .runner import LintReport, lint_paths, lint_source
+from .violations import Violation
+
+__all__ = [
+    "DEFAULT_ENGINE_PACKAGES",
+    "LintConfig",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Suppression",
+    "Violation",
+    "all_codes",
+    "iter_rules",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "scan_suppressions",
+    "scope_applies",
+]

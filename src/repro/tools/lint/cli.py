@@ -1,0 +1,116 @@
+"""Command-line interface: ``python -m repro.tools.lint src tests``.
+
+Exit codes: 0 — clean; 1 — violations (or unparsable files) found;
+2 — usage error (unknown rule code, no such path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .config import DEFAULT_ENGINE_PACKAGES, LintConfig
+from .rules import all_codes, iter_rules
+from .runner import lint_paths
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.lint",
+        description="Determinism-and-invariant static analysis for the DBP reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule violation counts to human output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _parse_codes(raw: str | None, parser: argparse.ArgumentParser) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    codes = frozenset(token.strip().upper() for token in raw.split(",") if token.strip())
+    unknown = codes - set(all_codes())
+    if unknown:
+        parser.error(
+            f"unknown rule code(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(all_codes())})"
+        )
+    return codes
+
+
+def _print_rules() -> None:
+    print("Rules (scope 'engine' = " + ", ".join(DEFAULT_ENGINE_PACKAGES) + "):")
+    for rule in iter_rules():
+        print(f"  {rule.code}  {rule.name:<32} [{rule.scope:>6}]  {rule.summary}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.tools.lint src tests)")
+
+    for raw in args.paths:
+        if not Path(raw).exists():
+            parser.error(f"no such file or directory: {raw}")
+
+    config = LintConfig(
+        select=_parse_codes(args.select, parser),
+        ignore=_parse_codes(args.ignore, parser) or frozenset(),
+    )
+    report = lint_paths(args.paths, config)
+
+    if args.format == "json":
+        print(json.dumps(report.as_json(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+
+    for path, message in report.errors:
+        print(f"{path}: PARSE ERROR {message}", file=sys.stderr)
+    for violation in report.violations:
+        print(violation.render())
+    if args.statistics and report.violations:
+        print()
+        for code, count in report.statistics().items():
+            print(f"{count:>5}  {code}")
+    summary = (
+        f"checked {report.files_checked} files: "
+        f"{len(report.violations)} violation(s), {report.suppressed} suppressed"
+    )
+    if report.errors:
+        summary += f", {len(report.errors)} parse error(s)"
+    print(summary)
+    return 0 if report.ok else 1

@@ -1,0 +1,757 @@
+"""The rule registry and the AST rules themselves.
+
+Every rule is a function taking a :class:`FileContext` and yielding
+:class:`~repro.tools.lint.violations.Violation` objects, registered with a
+stable ``DBPnnn`` code, a kebab-case name, and a path scope (see
+:mod:`repro.tools.lint.config`).  Rules are pure AST analyses — no imports
+of the linted code are performed, so fixtures with unresolvable imports and
+deliberately broken snippets lint fine.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from .config import LintConfig
+from .noqa import Suppression
+from .violations import Violation
+
+__all__ = ["FileContext", "Rule", "RULES", "register_rule", "iter_rules", "all_codes"]
+
+
+@dataclass(slots=True)
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str  # display path (as given on the command line)
+    module: str  # dotted module name (drives scoping)
+    tree: ast.Module
+    lines: list[str]
+    suppressions: dict[int, Suppression]
+    #: Names of dataclasses declared ``frozen=True`` (and ``NamedTuple``
+    #: subclasses) across *all* linted files — mutation targets for DBP004.
+    frozen_classes: frozenset[str]
+    config: LintConfig
+
+
+RuleFn = Callable[[FileContext], Iterator[Violation]]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A registered rule: code, name, scope, summary and implementation."""
+
+    code: str
+    name: str
+    scope: str  # "engine" | "src" | "all"
+    summary: str
+    check: RuleFn
+
+
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(code: str, name: str, scope: str, summary: str) -> Callable[[RuleFn], RuleFn]:
+    """Decorator adding a rule function to the registry."""
+
+    def deco(fn: RuleFn) -> RuleFn:
+        if code in RULES:
+            raise ValueError(f"rule code {code} already registered")
+        RULES[code] = Rule(code=code, name=name, scope=scope, summary=summary, check=fn)
+        return fn
+
+    return deco
+
+
+def iter_rules() -> list[Rule]:
+    return [RULES[code] for code in sorted(RULES)]
+
+
+def all_codes() -> list[str]:
+    return sorted(RULES)
+
+
+# --------------------------------------------------------------------------
+# Shared AST helpers
+
+
+def _violation(ctx: FileContext, node: ast.AST, code: str, message: str) -> Violation:
+    rule = RULES[code]
+    return Violation(
+        path=ctx.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        rule=rule.name,
+        message=message,
+        end_line=getattr(node, "end_lineno", None),
+    )
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The leftmost Name of an attribute/subscript chain (``a`` in ``a.b[c].d``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _annotation_names(ann: ast.expr | None) -> set[str]:
+    """Every identifier mentioned in an annotation (handles string annotations)."""
+    if ann is None:
+        return set()
+    names: set[str] = set()
+    for node in ast.walk(ann):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.update(_IDENT_RE.findall(node.value))
+    return names
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    """The ``@dataclass``/``@dataclasses.dataclass`` decorator, if any."""
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        dotted = _dotted(target)
+        if dotted in ("dataclass", "dataclasses.dataclass"):
+            return deco
+    return None
+
+
+def _decorator_keyword_true(deco: ast.expr, keyword: str) -> bool:
+    if not isinstance(deco, ast.Call):
+        return False
+    for kw in deco.keywords:
+        if kw.arg == keyword:
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def collect_frozen_classes(trees: Iterable[ast.Module]) -> frozenset[str]:
+    """Names of frozen dataclasses / NamedTuples across the linted files."""
+    frozen: set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            deco = _dataclass_decorator(node)
+            if deco is not None and _decorator_keyword_true(deco, "frozen"):
+                frozen.add(node.name)
+            elif any(
+                (_dotted(base) or "").rsplit(".", 1)[-1] == "NamedTuple"
+                for base in node.bases
+            ):
+                frozen.add(node.name)
+    return frozenset(frozen)
+
+
+class _Imports:
+    """Module aliases relevant to the randomness/wall-clock rules."""
+
+    __slots__ = ("random", "numpy", "numpy_random", "time", "datetime_mod", "datetime_cls")
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.random: set[str] = set()
+        self.numpy: set[str] = set()
+        self.numpy_random: set[str] = set()
+        self.time: set[str] = set()
+        self.datetime_mod: set[str] = set()
+        self.datetime_cls: set[str] = set()  # datetime/date classes by local name
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    if alias.name == "random":
+                        self.random.add(bound)
+                    elif alias.name == "numpy":
+                        self.numpy.add(bound)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.numpy_random.add(alias.asname)
+                        else:
+                            self.numpy.add(bound)
+                    elif alias.name == "time":
+                        self.time.add(bound)
+                    elif alias.name == "datetime":
+                        self.datetime_mod.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.numpy_random.add(alias.asname or "random")
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            self.datetime_cls.add(alias.asname or alias.name)
+
+
+# --------------------------------------------------------------------------
+# DBP001 — unseeded randomness in the engine
+
+
+#: numpy.random attributes that are fine: explicitly-seeded construction APIs.
+_NP_RANDOM_OK = frozenset(
+    {"Generator", "SeedSequence", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+)
+#: Constructors that are fine *when given a seed argument*.
+_SEEDABLE_CTORS = frozenset({"Random", "SystemRandom", "default_rng", "RandomState"})
+
+
+@register_rule(
+    "DBP001",
+    "unseeded-randomness",
+    "engine",
+    "Engine code must draw randomness from an explicitly seeded generator",
+)
+def check_unseeded_randomness(ctx: FileContext) -> Iterator[Violation]:
+    """Global-RNG calls (``random.random()``, ``np.random.rand()``) and
+    seedless generator construction (``random.Random()``,
+    ``np.random.default_rng()``) are nondeterministic: they break seeded
+    ``FaultReport`` byte-stability and every exact-replay oracle.  Pass an
+    explicit seed and thread the generator through."""
+    imports = _Imports(ctx.tree)
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module == "random":
+            for alias in node.names:
+                if alias.name not in ("Random", "SystemRandom"):
+                    yield _violation(
+                        ctx,
+                        node,
+                        "DBP001",
+                        f"'from random import {alias.name}' binds the global RNG; "
+                        "construct a seeded random.Random instead",
+                    )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        parts = dotted.split(".")
+        attr: str | None = None
+        origin = "random"
+        if len(parts) == 2 and parts[0] in imports.random:
+            attr = parts[1]
+            origin = "random"
+        elif len(parts) == 2 and parts[0] in imports.numpy_random:
+            attr = parts[1]
+            origin = "numpy.random"
+        elif len(parts) == 3 and parts[0] in imports.numpy and parts[1] == "random":
+            attr = parts[2]
+            origin = "numpy.random"
+        if attr is None:
+            continue
+        if attr in _NP_RANDOM_OK:
+            continue
+        if attr in _SEEDABLE_CTORS:
+            if not node.args and not node.keywords:
+                yield _violation(
+                    ctx,
+                    node,
+                    "DBP001",
+                    f"{origin}.{attr}() without a seed is nondeterministic; "
+                    "pass an explicit seed",
+                )
+            continue
+        yield _violation(
+            ctx,
+            node,
+            "DBP001",
+            f"{origin}.{attr}() uses the global RNG; draw from an explicitly "
+            "seeded generator instead",
+        )
+
+
+# --------------------------------------------------------------------------
+# DBP002 — wall-clock time in the engine
+
+
+_WALLCLOCK_TIME_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+    }
+)
+_WALLCLOCK_DT_FNS = frozenset({"now", "utcnow", "today"})
+
+
+@register_rule(
+    "DBP002",
+    "wall-clock-time",
+    "engine",
+    "Engine code must not read the wall clock; simulation time is the only clock",
+)
+def check_wall_clock(ctx: FileContext) -> Iterator[Violation]:
+    """``time.time()``/``perf_counter()``/``datetime.now()`` in the engine
+    couples results to the host machine: bin-time accounting must depend
+    only on trace timestamps so that every run replays bit-for-bit.
+    Benchmarks and experiment harnesses (outside the engine) may time
+    themselves freely."""
+    imports = _Imports(ctx.tree)
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module == "time":
+            for alias in node.names:
+                if alias.name in _WALLCLOCK_TIME_FNS:
+                    yield _violation(
+                        ctx,
+                        node,
+                        "DBP002",
+                        f"'from time import {alias.name}' imports a wall-clock "
+                        "reader into engine code",
+                    )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] in imports.time and parts[1] in _WALLCLOCK_TIME_FNS:
+            yield _violation(
+                ctx, node, "DBP002", f"{dotted}() reads the wall clock inside the engine"
+            )
+        elif (
+            len(parts) == 2
+            and parts[0] in imports.datetime_cls
+            and parts[1] in _WALLCLOCK_DT_FNS
+        ):
+            yield _violation(
+                ctx, node, "DBP002", f"{dotted}() reads the wall clock inside the engine"
+            )
+        elif (
+            len(parts) == 3
+            and parts[0] in imports.datetime_mod
+            and parts[1] in ("datetime", "date")
+            and parts[2] in _WALLCLOCK_DT_FNS
+        ):
+            yield _violation(
+                ctx, node, "DBP002", f"{dotted}() reads the wall clock inside the engine"
+            )
+
+
+# --------------------------------------------------------------------------
+# DBP003 — float equality on accumulated costs
+
+
+_COST_NAME_RE = re.compile(
+    r"(?:^|_)(?:costs?|bin_time|billed|lost_work|redispatch_work)(?:$|_)", re.IGNORECASE
+)
+
+
+def _is_cost_operand(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name) and _COST_NAME_RE.search(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and _COST_NAME_RE.search(node.attr):
+        return node.attr
+    if isinstance(node, ast.Call):
+        dotted = _dotted(node.func)
+        if dotted is not None and _COST_NAME_RE.search(dotted.rsplit(".", 1)[-1]):
+            return dotted
+    return None
+
+
+@register_rule(
+    "DBP003",
+    "float-eq-on-cost",
+    "src",
+    "Accumulated costs must not be compared with == / != in library code",
+)
+def check_float_eq_on_cost(ctx: FileContext) -> Iterator[Violation]:
+    """Costs and bin-times are accumulated with float addition, which is
+    order-sensitive; ``==`` on them silently encodes 'the summation orders
+    happen to agree'.  Library code must compare with an explicit tolerance
+    — or, for the sanctioned exact-replay oracles, suppress with a
+    justification naming the replay argument."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        for operand in operands:
+            name = _is_cost_operand(operand)
+            if name is not None:
+                yield _violation(
+                    ctx,
+                    node,
+                    "DBP003",
+                    f"equality comparison on cost-like value {name!r}; use an "
+                    "explicit tolerance, or suppress citing the exact-replay "
+                    "argument",
+                )
+                break
+
+
+# --------------------------------------------------------------------------
+# DBP004 — mutation of frozen objects
+
+
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__setstate__"})
+
+
+@register_rule(
+    "DBP004",
+    "frozen-mutation",
+    "engine",
+    "Frozen trace/item objects must not be mutated (or bypassed via object.__setattr__)",
+)
+def check_frozen_mutation(ctx: FileContext) -> Iterator[Violation]:
+    """Items, arrivals, events and reports are frozen dataclasses *because*
+    downstream accounting assumes they never change after validation.
+    ``object.__setattr__`` outside ``__init__``/``__post_init__`` and
+    attribute stores on values annotated with a frozen class defeat that
+    guarantee without tripping the dataclass machinery visibly."""
+    frozen = ctx.frozen_classes
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.found: list[Violation] = []
+            self._func_stack: list[str] = []
+            self._class_stack: list[str] = []
+            #: variable name -> annotation identifiers, per function scope
+            self._ann_stack: list[dict[str, set[str]]] = []
+
+        # -- scope tracking
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            self._class_stack.append(node.name)
+            self.generic_visit(node)
+            self._class_stack.pop()
+
+        def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+            annotations: dict[str, set[str]] = {}
+            args = node.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                annotations[arg.arg] = _annotation_names(arg.annotation)
+            self._func_stack.append(node.name)
+            self._ann_stack.append(annotations)
+            self.generic_visit(node)
+            self._ann_stack.pop()
+            self._func_stack.pop()
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+
+        def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+            if self._ann_stack and isinstance(node.target, ast.Name):
+                self._ann_stack[-1][node.target.id] = _annotation_names(node.annotation)
+            self.generic_visit(node)
+
+        # -- checks
+
+        def _frozen_var(self, name: str) -> bool:
+            for scope in reversed(self._ann_stack):
+                if name in scope:
+                    return bool(scope[name] & frozen)
+            return False
+
+        def _in_frozen_class_init(self) -> bool:
+            return bool(self._func_stack) and self._func_stack[-1] in _INIT_METHODS
+
+        def _check_target(self, target: ast.expr, node: ast.AST) -> None:
+            if not isinstance(target, ast.Attribute):
+                return
+            base = target.value
+            if isinstance(base, ast.Name):
+                if base.id == "self":
+                    if (
+                        self._class_stack
+                        and self._class_stack[-1] in frozen
+                        and not self._in_frozen_class_init()
+                    ):
+                        self.found.append(
+                            _violation(
+                                ctx,
+                                node,
+                                "DBP004",
+                                f"assignment to attribute {target.attr!r} of frozen "
+                                f"class {self._class_stack[-1]!r} outside __init__/"
+                                "__post_init__",
+                            )
+                        )
+                elif self._frozen_var(base.id):
+                    self.found.append(
+                        _violation(
+                            ctx,
+                            node,
+                            "DBP004",
+                            f"assignment to attribute {target.attr!r} of "
+                            f"{base.id!r}, which is annotated with a frozen class",
+                        )
+                    )
+
+        def visit_Assign(self, node: ast.Assign) -> None:
+            for target in node.targets:
+                self._check_target(target, node)
+            self.generic_visit(node)
+
+        def visit_AugAssign(self, node: ast.AugAssign) -> None:
+            self._check_target(node.target, node)
+            self.generic_visit(node)
+
+        def visit_Delete(self, node: ast.Delete) -> None:
+            for target in node.targets:
+                self._check_target(target, node)
+            self.generic_visit(node)
+
+        def visit_Call(self, node: ast.Call) -> None:
+            if _dotted(node.func) == "object.__setattr__" and not self._in_frozen_class_init():
+                self.found.append(
+                    _violation(
+                        ctx,
+                        node,
+                        "DBP004",
+                        "object.__setattr__ outside __init__/__post_init__ bypasses "
+                        "frozen-dataclass protection",
+                    )
+                )
+            self.generic_visit(node)
+
+    visitor = Visitor()
+    visitor.visit(ctx.tree)
+    yield from visitor.found
+
+
+# --------------------------------------------------------------------------
+# DBP005 — observer hooks must not mutate simulation state
+
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "remove",
+        "force_close",
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "clear",
+        "update",
+        "discard",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _observer_class(node: ast.ClassDef) -> bool:
+    return any(
+        (_dotted(base) or "").rsplit(".", 1)[-1].endswith("Observer") for base in node.bases
+    )
+
+
+@register_rule(
+    "DBP005",
+    "observer-purity",
+    "engine",
+    "Observer hooks may mutate only their own state, never the bins/items they observe",
+)
+def check_observer_purity(ctx: FileContext) -> Iterator[Violation]:
+    """Telemetry and billing observers receive live engine objects.  A hook
+    that mutates its ``bin``/``item`` argument changes packing decisions —
+    the run is no longer the algorithm's run, and telemetry-on vs
+    telemetry-off produce different costs.  Hooks must treat every argument
+    except ``self`` as read-only."""
+    for klass in ast.walk(ctx.tree):
+        if not isinstance(klass, ast.ClassDef) or not _observer_class(klass):
+            continue
+        for method in klass.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not method.name.startswith("on_"):
+                continue
+            args = method.args
+            params = {
+                arg.arg for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            } - {"self"}
+            if not params:
+                continue
+            for node in ast.walk(method):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                elif isinstance(node, ast.Delete):
+                    targets = list(node.targets)
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root = _root_name(target)
+                        if root in params:
+                            yield _violation(
+                                ctx,
+                                node,
+                                "DBP005",
+                                f"observer hook {method.name!r} writes to its "
+                                f"argument {root!r}; hooks must not mutate "
+                                "observed state",
+                            )
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    if node.func.attr in _MUTATOR_METHODS:
+                        root = _root_name(node.func.value)
+                        if root in params:
+                            yield _violation(
+                                ctx,
+                                node,
+                                "DBP005",
+                                f"observer hook {method.name!r} calls mutating "
+                                f"method .{node.func.attr}() on its argument "
+                                f"{root!r}",
+                            )
+
+
+# --------------------------------------------------------------------------
+# DBP006 — mutable default arguments
+
+
+_MUTABLE_CTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
+
+
+@register_rule(
+    "DBP006",
+    "mutable-default-arg",
+    "all",
+    "Default argument values must be immutable",
+)
+def check_mutable_default(ctx: FileContext) -> Iterator[Violation]:
+    """A mutable default is created once and shared across calls — state
+    leaks between supposedly independent simulations, the classic source of
+    works-once-then-diverges bugs.  Default to ``None`` (or a tuple) and
+    construct inside the function."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+            )
+            if not mutable and isinstance(default, ast.Call):
+                dotted = _dotted(default.func)
+                mutable = (
+                    dotted is not None and dotted.rsplit(".", 1)[-1] in _MUTABLE_CTORS
+                )
+            if mutable:
+                where = getattr(node, "name", "<lambda>")
+                yield _violation(
+                    ctx,
+                    default,
+                    "DBP006",
+                    f"mutable default argument in {where!r}; use None (or a "
+                    "tuple) and construct per call",
+                )
+
+
+# --------------------------------------------------------------------------
+# DBP007 — hot-path dataclasses should carry slots=True
+
+
+@register_rule(
+    "DBP007",
+    "missing-slots-on-hot-dataclass",
+    "engine",
+    "Engine dataclasses must declare slots=True (per-event allocations are hot)",
+)
+def check_missing_slots(ctx: FileContext) -> Iterator[Violation]:
+    """Engine dataclasses are allocated per event (items, events,
+    assignments) or hold per-bin state touched on every placement; a
+    ``__dict__`` per instance costs memory and lookup time at 10^6-item
+    scale, and an open ``__dict__`` invites ad-hoc attribute injection that
+    checkpoints would silently drop.  Base-class-free dataclasses in the
+    engine must declare ``slots=True`` (subclassing dataclasses are exempt:
+    slots interact with inherited ``__dict__`` anyway)."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef) or node.bases:
+            continue
+        deco = _dataclass_decorator(node)
+        if deco is None:
+            continue
+        if not _decorator_keyword_true(deco, "slots"):
+            yield _violation(
+                ctx,
+                node,
+                "DBP007",
+                f"dataclass {node.name!r} in an engine module lacks slots=True",
+            )
+
+
+# --------------------------------------------------------------------------
+# DBP008 — suppressions must be scoped and justified
+
+
+@register_rule(
+    "DBP008",
+    "unjustified-suppression",
+    "all",
+    "dbp: noqa comments must name rule codes and carry a justification",
+)
+def check_suppression_hygiene(ctx: FileContext) -> Iterator[Violation]:
+    """A suppression is a recorded decision to deviate from an invariant;
+    without the code list and the one-line why, the next refactor cannot
+    tell a sanctioned deviation from a silenced bug."""
+    for suppression in ctx.suppressions.values():
+        if suppression.well_formed:
+            continue
+        if not suppression.codes:
+            message = (
+                "dbp: noqa must name the suppressed rule codes, e.g. "
+                "'# dbp: noqa[DBP003] -- why'"
+            )
+        else:
+            message = (
+                "dbp: noqa lacks a justification; append '-- <why this "
+                "deviation is sound>'"
+            )
+        yield Violation(
+            path=ctx.path,
+            line=suppression.line,
+            col=0,
+            code="DBP008",
+            rule=RULES["DBP008"].name,
+            message=message,
+            end_line=suppression.line,
+        )

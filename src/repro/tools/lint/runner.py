@@ -1,0 +1,188 @@
+"""File discovery, rule execution, and suppression application."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .config import LintConfig, module_name_for, scope_applies
+from .noqa import Suppression, scan_suppressions
+from .rules import RULES, FileContext, collect_frozen_classes
+from .violations import Violation
+
+__all__ = ["LintReport", "lint_paths", "lint_source"]
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Outcome of one analyzer run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    #: Files that could not be parsed, as ``(path, message)`` pairs.
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+    def statistics(self) -> dict[str, int]:
+        """Violation counts per rule code (sorted by code)."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_json(self) -> dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "violations": [v.as_json() for v in self.violations],
+            "errors": [{"path": p, "message": m} for p, m in self.errors],
+            "statistics": self.statistics(),
+            "ok": self.ok,
+        }
+
+
+def iter_python_files(paths: Sequence[Path], config: LintConfig) -> Iterator[Path]:
+    """Expand files/directories into the `.py` files to lint, in sorted order."""
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not config.is_excluded(candidate):
+                    yield candidate
+        elif path.suffix == ".py" and not config.is_excluded(path):
+            yield path
+
+
+@dataclass(slots=True)
+class _ParsedFile:
+    path: str
+    module: str
+    tree: ast.Module
+    lines: list[str]
+    suppressions: dict[int, Suppression]
+
+
+def _parse(display_path: str, source: str) -> ast.Module:
+    return ast.parse(source, filename=display_path)
+
+
+def _apply_suppressions(
+    violations: Iterable[Violation], suppressions: dict[int, Suppression]
+) -> tuple[list[Violation], int]:
+    """Drop violations whose ``[line, end_line]`` span holds a matching noqa."""
+    if not suppressions:
+        ordered = sorted(violations, key=Violation.sort_key)
+        return ordered, 0
+    kept: list[Violation] = []
+    dropped = 0
+    for violation in violations:
+        end = violation.end_line or violation.line
+        span = range(violation.line, end + 1)
+        if any(
+            lineno in suppressions and suppressions[lineno].suppresses(violation.code)
+            for lineno in span
+        ):
+            dropped += 1
+        else:
+            kept.append(violation)
+    kept.sort(key=Violation.sort_key)
+    return kept, dropped
+
+
+def _check_file(parsed: _ParsedFile, config: LintConfig, frozen: frozenset[str]) -> tuple[list[Violation], int]:
+    ctx = FileContext(
+        path=parsed.path,
+        module=parsed.module,
+        tree=parsed.tree,
+        lines=parsed.lines,
+        suppressions=parsed.suppressions,
+        frozen_classes=frozen,
+        config=config,
+    )
+    raw: list[Violation] = []
+    for rule in RULES.values():
+        if not config.rule_enabled(rule.code):
+            continue
+        if not scope_applies(rule.scope, parsed.module, config):
+            continue
+        raw.extend(rule.check(ctx))
+    return _apply_suppressions(raw, parsed.suppressions)
+
+
+def lint_paths(paths: Sequence[str | Path], config: LintConfig | None = None) -> LintReport:
+    """Lint files and directory trees; the CLI is a thin wrapper over this."""
+    config = config or LintConfig()
+    report = LintReport()
+    parsed_files: list[_ParsedFile] = []
+    for path in iter_python_files([Path(p) for p in paths], config):
+        display = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = _parse(display, source)
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.errors.append((display, str(exc)))
+            continue
+        lines = source.splitlines()
+        parsed_files.append(
+            _ParsedFile(
+                path=display,
+                module=module_name_for(path),
+                tree=tree,
+                lines=lines,
+                suppressions=scan_suppressions(lines),
+            )
+        )
+    # Pass 1: frozen-class registry across the whole linted set, so DBP004
+    # sees dataclasses frozen in *other* modules than the mutation site.
+    frozen = collect_frozen_classes(p.tree for p in parsed_files)
+    # Pass 2: rules per file.
+    for parsed in parsed_files:
+        kept, dropped = _check_file(parsed, config, frozen)
+        report.violations.extend(kept)
+        report.suppressed += dropped
+        report.files_checked += 1
+    report.violations.sort(key=Violation.sort_key)
+    return report
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str = "repro.core._inline",
+    path: str = "<string>",
+    config: LintConfig | None = None,
+    extra_frozen: Iterable[str] = (),
+) -> LintReport:
+    """Lint a source string under an explicit module name.
+
+    This is the test harness's entry point: fixtures live under
+    ``tests/lint_fixtures/`` (excluded from tree lints) and are linted via
+    this function with a fake engine module name so engine-scoped rules
+    apply.  ``extra_frozen`` simulates frozen classes defined elsewhere.
+    """
+    config = config or LintConfig()
+    report = LintReport()
+    try:
+        tree = _parse(path, source)
+    except SyntaxError as exc:
+        report.errors.append((path, str(exc)))
+        return report
+    lines = source.splitlines()
+    parsed = _ParsedFile(
+        path=path,
+        module=module,
+        tree=tree,
+        lines=lines,
+        suppressions=scan_suppressions(lines),
+    )
+    frozen = collect_frozen_classes([tree]) | frozenset(extra_frozen)
+    kept, dropped = _check_file(parsed, config, frozen)
+    report.violations = kept
+    report.suppressed = dropped
+    report.files_checked = 1
+    return report

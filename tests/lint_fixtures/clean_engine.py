@@ -1,0 +1,25 @@
+"""Fixture: a clean engine module — every rule passes."""
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    at: float
+    value: float
+
+
+def seeded_jitter(seed: int) -> float:
+    return random.Random(seed).random()
+
+
+def accrue(measurements, *, tolerance: float = 1e-9):
+    total = 0.0
+    for m in measurements:
+        total += m.value
+    return total
+
+
+def costs_close(total_cost: float, expected: float, tolerance: float = 1e-9) -> bool:
+    return abs(total_cost - expected) <= tolerance

@@ -1,0 +1,25 @@
+"""Fixture: wall-clock reads (DBP002).  Linted as an engine module."""
+
+import time
+import datetime
+from time import perf_counter  # DBP002: wall-clock import
+
+
+def bad_time():
+    return time.time()  # DBP002
+
+
+def bad_monotonic():
+    return time.monotonic()  # DBP002
+
+
+def bad_datetime_now():
+    return datetime.datetime.now()  # DBP002
+
+
+def good_simulation_clock(now):
+    return now + 1.0
+
+
+def good_strftime(stamp):
+    return time.strftime("%H:%M", stamp)

@@ -1,0 +1,25 @@
+"""Fixture: float equality on costs (DBP003).  Linted as a src module."""
+
+
+def bad_cost_eq(total_cost, expected):
+    return total_cost == expected  # DBP003
+
+
+def bad_bin_time_ne(report, baseline):
+    return report.total_bin_time != baseline.total_bin_time  # DBP003
+
+
+def bad_billed(meter):
+    return meter.billed == 12.0  # DBP003
+
+
+def good_tolerance(total_cost, expected):
+    return abs(total_cost - expected) < 1e-9
+
+
+def good_count_eq(num_bins, expected):
+    return num_bins == expected
+
+
+def good_name_eq(algorithm_name):
+    return algorithm_name == "first-fit"

@@ -1,0 +1,30 @@
+"""Fixture: frozen-object mutation (DBP004).  Linted as an engine module."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Record:  # dbp: noqa[DBP007] -- fixture targets DBP004, slots irrelevant
+    value: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", abs(self.value))  # allowed: init
+
+    def bump(self):
+        object.__setattr__(self, "value", self.value + 1)  # DBP004
+
+    def sneak(self):
+        self.value = 0  # DBP004: frozen self-assign outside init
+
+
+def mutate_param(record: Record):
+    record.value = 99  # DBP004: annotated frozen parameter
+
+
+def mutate_local():
+    record: Record = Record(1)
+    record.value += 1  # DBP004: annotated frozen local
+
+
+def fine_unfrozen(plain):
+    plain.value = 1

@@ -1,0 +1,31 @@
+"""Fixture: observer hooks mutating observed state (DBP005).  Engine scope."""
+
+
+class SimulationObserver:
+    pass
+
+
+class BadObserver(SimulationObserver):
+    def __init__(self):
+        self.count = 0
+
+    def on_arrival(self, time, item, bin, opened):
+        bin.label = "traced"  # DBP005: writes to observed bin
+        self.count += 1  # fine: own state
+
+    def on_departure(self, time, item_id, bin, closed):
+        bin.force_close(time)  # DBP005: mutator call on argument
+
+    def on_server_failure(self, time, bin, evicted):
+        evicted.clear()  # DBP005: mutator call on argument
+
+
+class GoodObserver(SimulationObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_arrival(self, time, item, bin, opened):
+        self.events.append((time, bin.index))
+
+    def helper(self, bin):
+        bin.label = "not a hook"  # fine: not an on_* method

@@ -1,0 +1,28 @@
+"""Fixture: mutable default arguments (DBP006).  Applies everywhere."""
+
+from collections import deque
+
+
+def bad_list(history=[]):  # DBP006
+    history.append(1)
+    return history
+
+
+def bad_dict(cache={}):  # DBP006
+    return cache
+
+
+def bad_ctor(queue=deque()):  # DBP006
+    return queue
+
+
+def bad_kwonly(*, seen=set()):  # DBP006
+    return seen
+
+
+def good_none(history=None):
+    return history or []
+
+
+def good_tuple(points=(0, 0)):
+    return points

@@ -1,0 +1,30 @@
+"""Fixture: engine dataclasses without slots (DBP007).  Engine scope."""
+
+from dataclasses import dataclass
+
+import dataclasses
+
+
+@dataclass
+class NoSlots:  # DBP007
+    x: int
+
+
+@dataclass(frozen=True)
+class FrozenNoSlots:  # DBP007
+    x: int
+
+
+@dataclasses.dataclass(eq=False)
+class DottedNoSlots:  # DBP007
+    x: int
+
+
+@dataclass(slots=True)
+class HasSlots:
+    x: int
+
+
+@dataclass
+class Subclassing(HasSlots):  # exempt: has a base class
+    y: int = 0

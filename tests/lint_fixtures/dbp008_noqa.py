@@ -1,0 +1,17 @@
+"""Fixture: suppression hygiene (DBP008).  Applies everywhere."""
+
+
+def bare_noqa(total_cost, expected):
+    return total_cost == expected  # dbp: noqa
+
+
+def no_justification(total_cost, expected):
+    return total_cost == expected  # dbp: noqa[DBP003]
+
+
+def bad_code_token(total_cost, expected):
+    return total_cost == expected  # dbp: noqa[DBP3] -- codes must be DBPnnn
+
+
+def well_formed(total_cost, expected):
+    return total_cost == expected  # dbp: noqa[DBP003] -- fixture: sanctioned exact comparison
