@@ -14,6 +14,10 @@ so future PRs can track engine throughput:
 * The largest size runs **streamed**: a generator trace through the lazy
   heap-merge event stream with recording off, tracemalloc-audited to show
   the full event list (and trace) is never materialized.
+* An **observability overhead** pass re-runs one streamed size with the
+  full ``repro.obs`` stack attached (metrics registry + probe counting +
+  lifecycle tracer writing JSONL to disk) and records the wall-time ratio
+  against the uninstrumented run — the acceptance bar is <= 2x.
 
 Also runnable under pytest (tiny sizes) as a smoke test.
 """
@@ -22,16 +26,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import time
 import tracemalloc
 from pathlib import Path
 
 from repro import BestFit, FirstFit, simulate
 from repro.core.streaming import simulate_stream
+from repro.obs import observe_stream
 from repro.workloads import Clipped, Exponential, Uniform, stream_trace
 
 DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
 DEFAULT_SCAN_LIMIT = 100_000
+DEFAULT_OBS_SIZE = 100_000
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -50,8 +57,51 @@ def _algorithms():
     return [("first-fit", FirstFit), ("best-fit", BestFit)]
 
 
+def run_observability_overhead(n_items: int, seed: int = 0) -> list[dict]:
+    """Streamed run with and without the full observability stack attached.
+
+    The observed run carries everything a production dispatch would: the
+    metrics registry fed by :class:`~repro.obs.MetricsObserver`, the
+    probe-counting algorithm wrapper, and a lifecycle tracer writing JSONL
+    to a real file (the dominant cost — several records per session).
+    """
+    rows = []
+    for name, algo_cls in _algorithms():
+        t0 = time.perf_counter()
+        plain = simulate_stream(workload(n_items, seed), algo_cls())
+        plain_s = time.perf_counter() - t0
+
+        with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=True) as sink:
+            t0 = time.perf_counter()
+            observed, _session = observe_stream(
+                workload(n_items, seed), algo_cls(), trace=sink.name
+            )
+            observed_s = time.perf_counter() - t0
+        if observed != plain:
+            raise AssertionError(
+                f"{name} observed run changed the packing at {n_items}"
+            )
+        overhead = observed_s / plain_s
+        rows.append(
+            {
+                "algorithm": name,
+                "n_items": n_items,
+                "plain_seconds": round(plain_s, 3),
+                "observed_seconds": round(observed_s, 3),
+                "overhead": round(overhead, 2),
+                "within_2x": overhead <= 2.0,
+            }
+        )
+        print(
+            f"{name:>10} n={n_items:>9,}: plain {plain_s:.2f}s, "
+            f"observed {observed_s:.2f}s (metrics+trace), "
+            f"overhead {overhead:.2f}x"
+        )
+    return rows
+
+
 def run_baseline(
-    sizes=DEFAULT_SIZES, scan_limit=DEFAULT_SCAN_LIMIT, seed=0
+    sizes=DEFAULT_SIZES, scan_limit=DEFAULT_SCAN_LIMIT, seed=0, obs_size=None
 ) -> dict:
     results = []
     speedups: dict[str, dict[str, float]] = {}
@@ -123,6 +173,9 @@ def run_baseline(
                     f"peak mem {peak_bytes/1e6:,.0f} MB "
                     f"({summary.num_bins_used:,} bins, peak {summary.peak_open_bins:,} open)"
                 )
+    if obs_size is None:
+        obs_size = min(DEFAULT_OBS_SIZE, max(sizes))
+    observability = run_observability_overhead(obs_size, seed)
     return {
         "workload": {
             "arrival_rate": 100.0,
@@ -134,6 +187,7 @@ def run_baseline(
         "scan_limit": scan_limit,
         "results": results,
         "speedups": speedups,
+        "observability": observability,
     }
 
 
@@ -154,13 +208,23 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--obs-size",
+        type=int,
+        default=None,
+        help="streamed size for the observability-overhead pass "
+        f"(default: min({DEFAULT_OBS_SIZE}, largest size))",
+    )
+    parser.add_argument(
         "--write",
         action="store_true",
         help=f"record the baseline to {OUTPUT.name}",
     )
     args = parser.parse_args(argv)
     baseline = run_baseline(
-        sizes=tuple(args.sizes), scan_limit=args.scan_limit, seed=args.seed
+        sizes=tuple(args.sizes),
+        scan_limit=args.scan_limit,
+        seed=args.seed,
+        obs_size=args.obs_size,
     )
     if args.write:
         OUTPUT.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -176,6 +240,12 @@ def test_engine_baseline_smoke():
     engines = {r["engine"] for r in baseline["results"]}
     assert engines == {"indexed", "listscan", "indexed-streamed"}
     assert baseline["speedups"]["first-fit"]["500"] > 0
+    assert {row["algorithm"] for row in baseline["observability"]} == {
+        "first-fit",
+        "best-fit",
+    }
+    for row in baseline["observability"]:
+        assert row["overhead"] > 0
 
 
 if __name__ == "__main__":

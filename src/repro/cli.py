@@ -8,6 +8,8 @@ Usage::
     python -m repro algorithms
     python -m repro generate --kind gaming --seed 7 --out day.json
     python -m repro dispatch day.json --algorithm best-fit
+    python -m repro dispatch day.json --trace-out day.trace.jsonl --metrics obs/
+    python -m repro verify-trace day.trace.jsonl
     python -m repro viz day.json --algorithm first-fit --width 72
 """
 
@@ -69,6 +71,31 @@ def build_parser() -> argparse.ArgumentParser:
     disp_p.add_argument(
         "--quantum", type=float, default=None, help="billing quantum (e.g. 60 for hourly)"
     )
+    disp_p.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write a lifecycle trace (JSONL) to this path; switches to "
+        "streamed dispatch",
+    )
+    disp_p.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        help="write metrics.json / metrics.prom / manifest.json into this "
+        "directory; switches to streamed dispatch",
+    )
+    disp_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile hot paths (adds profile.json to --metrics, prints a "
+        "phase report); switches to streamed dispatch",
+    )
+
+    vt_p = sub.add_parser(
+        "verify-trace", help="replay a lifecycle trace and check its summary"
+    )
+    vt_p.add_argument("trace", type=Path, help="JSONL trace written by --trace-out")
 
     report_p = sub.add_parser("report", help="run experiments and write a markdown report")
     report_p.add_argument(
@@ -144,9 +171,68 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     server = ServerType(
         gpu_capacity=args.capacity, rate=args.rate, billing_quantum=args.quantum
     )
+    if args.trace_out is not None or args.metrics is not None or args.profile:
+        return _dispatch_observed(args, trace, algo, server)
     report = dispatch_trace(trace, algo, server_type=server)
     for key, value in report.summary_row().items():
         print(f"{key:14s} {value}")
+    return 0
+
+
+def _dispatch_observed(args: argparse.Namespace, trace, algo, server) -> int:
+    """Streamed dispatch with the repro.obs observability stack attached."""
+    from .cloud import dispatch_stream
+    from .obs import ObservationSession
+
+    session = ObservationSession(
+        algo,
+        capacity=server.gpu_capacity,
+        cost_rate=server.rate,
+        trace=args.trace_out,
+        profile=args.profile,
+        workload={"trace_file": args.trace.name, "num_items": len(trace)},
+        extra={"billing_quantum": server.billing_quantum},
+    )
+    # Streamed dispatch requires arrival order; trace files may be unsorted.
+    items = iter(sorted(trace.items, key=lambda it: it.arrival))
+    report = dispatch_stream(
+        items, session.instrumented, server_type=server, observers=session.observers
+    )
+    session.finish(report.summary)
+    print(f"{'algorithm':14s} {report.algorithm_name}")
+    print(f"{'sessions':14s} {report.num_sessions}")
+    print(f"{'servers':14s} {report.num_servers_rented}")
+    print(f"{'peak':14s} {report.peak_concurrent_servers}")
+    print(f"{'cost(cont)':14s} {float(report.continuous_cost)}")
+    print(f"{'cost(billed)':14s} {float(report.billed_cost)}")
+    if args.trace_out is not None:
+        print(f"trace written to {args.trace_out} ({session.tracer.records_written} records)")
+    if args.metrics is not None:
+        written = session.write_artifacts(args.metrics)
+        for name in sorted(written):
+            print(f"{name} written to {written[name]}")
+    if args.profile and session.profiler is not None:
+        for phase, row in session.profiler.report().items():
+            print(
+                f"phase {phase}: {int(row['count'])} timings, "
+                f"total {row['total_seconds']:.6g}s, mean {row['mean_seconds']:.3g}s"
+            )
+    return 0
+
+
+def _cmd_verify_trace(args: argparse.Namespace) -> int:
+    from .obs import TraceReplayError, verify_trace
+
+    try:
+        summary = verify_trace(args.trace)
+    except (TraceReplayError, OSError, ValueError) as exc:
+        print(f"trace verification FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"trace OK: {summary.algorithm_name}, {summary.num_items} items, "
+        f"{summary.num_bins_used} bins, total cost {float(summary.total_cost):.6g} "
+        "(replay matches the recorded summary exactly)"
+    )
     return 0
 
 
@@ -188,6 +274,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_generate(args)
     if args.command == "dispatch":
         return _cmd_dispatch(args)
+    if args.command == "verify-trace":
+        return _cmd_verify_trace(args)
     if args.command == "viz":
         return _cmd_viz(args)
     if args.command == "report":

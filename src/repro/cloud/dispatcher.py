@@ -163,6 +163,7 @@ def dispatch_stream(
     algorithm: PackingAlgorithm,
     *,
     server_type: ServerType | None = None,
+    observers: Sequence[SimulationObserver] = (),
     checkpoint_every: int | None = None,
     on_checkpoint: "Callable[[StreamCheckpoint], None] | None" = None,
     resume_from: "StreamCheckpoint | None" = None,
@@ -173,6 +174,12 @@ def dispatch_stream(
     :func:`repro.workloads.generators.stream_trace` — yielding items with
     non-decreasing arrival times.  Billing is metered as servers are
     released, so million-session traces never materialize.
+
+    ``observers`` attach additional :class:`SimulationObserver` instances
+    (e.g. a :class:`repro.obs.MetricsObserver` or lifecycle tracer) after
+    the internal billing meter; the order is stable, so checkpoints —
+    whose observer states are positional — resume correctly as long as
+    the resuming call passes the same observers.
 
     Checkpoint/resume works as in
     :func:`repro.core.streaming.simulate_stream`; the billing meter's
@@ -186,7 +193,7 @@ def dispatch_stream(
         algorithm,
         capacity=server_type.gpu_capacity,
         cost_rate=server_type.rate,
-        observers=(meter,),
+        observers=(meter, *observers),
         checkpoint_every=checkpoint_every,
         on_checkpoint=on_checkpoint,
         resume_from=resume_from,
@@ -223,6 +230,7 @@ class CloudGamingDispatcher:
         algorithm: PackingAlgorithm,
         *,
         server_type: ServerType | None = None,
+        observers: Sequence[SimulationObserver] = (),
     ) -> None:
         self.server_type = server_type or ServerType()
         self._algorithm = algorithm
@@ -230,6 +238,7 @@ class CloudGamingDispatcher:
             algorithm,
             capacity=self.server_type.gpu_capacity,
             cost_rate=self.server_type.rate,
+            observers=observers,
         )
 
     @property

@@ -417,12 +417,15 @@ def dispatch_faulty_stream(
     injector: FaultInjector,
     recovery: str = RECONNECT,
     server_type: ServerType | None = None,
+    observers: Sequence[SimulationObserver] = (),
 ) -> FaultyDispatchReport:
     """Serve a session stream on failure-prone servers and settle the bill.
 
     The billing meter settles each server when it releases *or fails* —
     a revoked server is billed up to the revocation instant (the
     spot-market rule), so every rented server is billed exactly once.
+    ``observers`` attach additional observers after the internal meter,
+    as in :func:`repro.cloud.dispatcher.dispatch_stream`.
     """
     server_type = server_type or ServerType()
     meter = _BillingMeter(server_type.billed_model())
@@ -433,7 +436,7 @@ def dispatch_faulty_stream(
         recovery=recovery,
         capacity=server_type.gpu_capacity,
         cost_rate=server_type.rate,
-        observers=(meter,),
+        observers=(meter, *observers),
     )
     summary = result.summary
     return FaultyDispatchReport(

@@ -122,6 +122,7 @@ def _ensure_loaded() -> None:
         fleet_mix,
         mff_experiment,
         migration_gap,
+        observability,
         offline_gaps,
         prediction_noise,
         synthetic_eval,

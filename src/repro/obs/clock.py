@@ -1,0 +1,69 @@
+"""Injectable clocks for profiling instrumentation.
+
+The engine is wall-clock-free by construction (lint rule DBP002): bin-time
+accounting depends only on trace timestamps, so every run replays bit for
+bit.  Profiling, however, *wants* wall time — how long a fit query takes,
+how many events per second the loop sustains.  This module keeps the two
+worlds separate: the engine never reads a clock, and the observability
+layer receives one through injection.
+
+:class:`MonotonicClock` is the production clock (``time.monotonic``);
+:class:`ManualClock` is the deterministic test double, advanced explicitly,
+so profiling output itself can be asserted byte for byte in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "ManualClock", "MonotonicClock"]
+
+
+class Clock(Protocol):
+    """Anything with a monotonic ``now()`` in (fractional) seconds."""
+
+    def now(self) -> float:
+        """Current reading; consecutive calls never go backwards."""
+        ...
+
+
+class MonotonicClock:
+    """The host's monotonic clock — wall-time profiling for real runs."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock:
+    """A deterministic clock advanced explicitly by the caller.
+
+    >>> clock = ManualClock()
+    >>> clock.advance(0.25)
+    >>> clock.now()
+    0.25
+
+    With ``tick`` set, every ``now()`` call also advances the clock by
+    that amount *after* returning — so a timed section spanning two reads
+    measures exactly ``tick``, which makes profiling histograms exactly
+    predictable in tests.
+    """
+
+    __slots__ = ("_now", "tick")
+
+    def __init__(self, start: float = 0.0, *, tick: float = 0.0) -> None:
+        self._now = float(start)
+        self.tick = float(tick)
+
+    def now(self) -> float:
+        reading = self._now
+        if self.tick:
+            self._now += self.tick
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"clocks only move forward, got {seconds}")
+        self._now += seconds

@@ -1,0 +1,97 @@
+"""Run manifests: the provenance half of a reproducible artifact set.
+
+A metrics snapshot or trace file answers *what happened*; the manifest
+answers *what produced it* — algorithm, capacity, cost rate, seed,
+workload parameters, and the interpreter/package versions that ran it.
+Together they make a run re-executable: feed the manifest's config back to
+the CLI and byte-compare the fresh artifacts against the old ones.
+
+By default the manifest contains **no timestamps and no hostnames**, so
+identically-configured runs produce byte-identical manifests — the same
+determinism contract the metrics registry keeps.  Pass
+``environment=True`` to :func:`build_manifest` to append a clearly
+separated, non-deterministic environment block when provenance matters
+more than byte-stability.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["RunManifest", "build_manifest"]
+
+#: Manifest layout version.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class RunManifest:
+    """Everything needed to name, rerun, and byte-compare a run."""
+
+    algorithm: str
+    capacity: Any
+    cost_rate: Any
+    seed: int | None = None
+    workload: Mapping[str, Any] = field(default_factory=dict)
+    extra: Mapping[str, Any] = field(default_factory=dict)
+    environment: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "algorithm": self.algorithm,
+            "capacity": self.capacity,
+            "cost_rate": self.cost_rate,
+            "seed": self.seed,
+            "workload": dict(self.workload),
+            "extra": dict(self.extra),
+        }
+        if self.environment:
+            out["environment"] = dict(self.environment)
+        return out
+
+    def to_json(self) -> str:
+        """Byte-stable compact JSON (keys sorted, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def _environment_block() -> dict[str, Any]:
+    """Interpreter and platform identification (non-deterministic across hosts)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+    }
+
+
+def build_manifest(
+    *,
+    algorithm: str,
+    capacity: Any = 1,
+    cost_rate: Any = 1,
+    seed: int | None = None,
+    workload: Mapping[str, Any] | None = None,
+    extra: Mapping[str, Any] | None = None,
+    environment: bool = False,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` for one run.
+
+    ``workload`` holds the generator parameters (name, rates, sizes,
+    event counts); ``extra`` anything run-specific (experiment name,
+    fault profile).  ``environment=True`` appends the interpreter/platform
+    block — omit it (the default) when manifests must be byte-stable
+    across machines.
+    """
+    return RunManifest(
+        algorithm=algorithm,
+        capacity=capacity,
+        cost_rate=cost_rate,
+        seed=seed,
+        workload=dict(workload) if workload else {},
+        extra=dict(extra) if extra else {},
+        environment=_environment_block() if environment else {},
+    )

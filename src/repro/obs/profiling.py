@@ -1,0 +1,295 @@
+"""Deterministic-friendly profiling for the streaming engine's hot paths.
+
+Two kinds of instrumentation live here, deliberately routed to *different*
+registries:
+
+* **Wall-clock timings** (:class:`Profiler`) — per-phase latency
+  histograms and an event-throughput report.  Wall time is inherently
+  nondeterministic, so these land in the profiler's own registry and
+  never contaminate the byte-stable metrics snapshot.  The clock is
+  injected (:mod:`repro.obs.clock`), so the engine stays DBP002-clean
+  and tests can drive a :class:`~repro.obs.clock.ManualClock` for exactly
+  predictable output.
+* **Fit-probe counts** (:class:`InstrumentedAlgorithm`) — how many
+  candidate bins a placement decision examined.  Probe counts are a pure
+  function of the event sequence, so they feed the *deterministic*
+  ``dbp_fit_probes`` histogram that :class:`~repro.obs.observer.MetricsObserver`
+  pre-declares.  On the classic list-scan path a probe is a bin yielded to
+  the algorithm's scan; on the indexed path a probe is one O(log n) fit
+  query against the :class:`~repro.core.bin_index.OpenBinIndex` — the
+  histogram therefore doubles as a direct visualization of the PR 1
+  scan-to-index speedup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence as _SequenceABC
+from types import NotImplementedType, TracebackType
+from typing import Any, Iterator, Sequence
+
+from ..algorithms.base import Arrival, PackingAlgorithm, _OpenNew
+from ..core.bin import Bin
+from ..core.bin_index import ANY_LABEL, OpenBinIndex
+from ..core.numeric import Num
+from .clock import Clock, MonotonicClock
+from .metrics import (
+    LATENCY_SECONDS_BUCKETS,
+    PROBE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = ["InstrumentedAlgorithm", "Profiler", "instrument_algorithm"]
+
+
+class _Timer:
+    """Context manager timing one section into a phase histogram."""
+
+    __slots__ = ("_profiler", "_phase", "_start")
+
+    def __init__(self, profiler: "Profiler", phase: str) -> None:
+        self._profiler = profiler
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._profiler.clock.now()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self._profiler.observe(self._phase, self._profiler.clock.now() - self._start)
+
+
+class Profiler:
+    """Per-phase wall-clock latency histograms with a throughput report.
+
+    Phases are named lazily: the first ``time("fit_query")`` creates a
+    ``prof_fit_query_seconds`` histogram (log-spaced microsecond-to-second
+    buckets) in the profiler's registry.  Use one profiler per run and
+    keep its registry separate from the deterministic metrics registry —
+    :meth:`report` summarizes it as plain numbers for benchmark tables.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        clock: Clock | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self._phases: dict[str, Histogram] = {}
+
+    def phase(self, name: str) -> Histogram:
+        """The latency histogram for ``name`` (created on first use)."""
+        hist = self._phases.get(name)
+        if hist is None:
+            hist = self.registry.histogram(
+                f"prof_{name}_seconds",
+                f"Wall-clock duration of the {name} phase",
+                buckets=LATENCY_SECONDS_BUCKETS,
+            )
+            self._phases[name] = hist
+        return hist
+
+    def time(self, name: str) -> _Timer:
+        """Context manager: ``with profiler.time("fit_query"): ...``."""
+        self.phase(name)
+        return _Timer(self, name)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one already-measured duration for phase ``name``."""
+        self.phase(name).observe(seconds)
+
+    def phases(self) -> list[str]:
+        return sorted(self._phases)
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Per-phase summary: count, total/mean seconds, rate per second."""
+        out: dict[str, dict[str, float]] = {}
+        for name in sorted(self._phases):
+            hist = self._phases[name]
+            total = hist.sum
+            count = hist.count
+            out[name] = {
+                "count": count,
+                "total_seconds": total,
+                "mean_seconds": total / count if count else 0.0,
+                "per_second": count / total if total > 0 else 0.0,
+            }
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Fit-probe counting
+
+
+class _CountingBinView(_SequenceABC):
+    """Wraps the simulator's open-bin view, counting bins handed to the scan."""
+
+    __slots__ = ("_inner", "_owner")
+
+    def __init__(self, inner: Sequence[Bin], owner: "InstrumentedAlgorithm") -> None:
+        self._inner = inner
+        self._owner = owner
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __iter__(self) -> Iterator[Bin]:
+        for bin in self._inner:
+            self._owner._probes += 1
+            yield bin
+
+    def __getitem__(self, pos: Any) -> Any:
+        got = self._inner[pos]
+        self._owner._probes += len(got) if isinstance(pos, slice) else 1
+        return got
+
+    def __contains__(self, bin: object) -> bool:
+        return bin in self._inner
+
+
+class _CountingIndex:
+    """Wraps :class:`OpenBinIndex`, counting fit queries as probes."""
+
+    __slots__ = ("_inner", "_owner")
+
+    def __init__(self, inner: OpenBinIndex, owner: "InstrumentedAlgorithm") -> None:
+        self._inner = inner
+        self._owner = owner
+
+    def first_fit(self, size: Num, label: Any = ANY_LABEL) -> Bin | None:
+        self._owner._probes += 1
+        return self._inner.first_fit(size, label)
+
+    def best_fit(self, size: Num, label: Any = ANY_LABEL) -> Bin | None:
+        self._owner._probes += 1
+        return self._inner.best_fit(size, label)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __iter__(self) -> Iterator[Bin]:
+        return iter(self._inner)
+
+    def __contains__(self, bin: object) -> bool:
+        return bin in self._inner
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class InstrumentedAlgorithm(PackingAlgorithm):
+    """Transparent wrapper adding probe counts and choose-phase timings.
+
+    Placement decisions are delegated unchanged to the wrapped algorithm —
+    the differential guarantees (indexed path makes exactly the list
+    scan's choice) are preserved because this wrapper changes *what is
+    observed*, never *what is chosen*.  Per placement it:
+
+    * observes the number of fit probes into the deterministic
+      ``dbp_fit_probes`` histogram of ``registry``;
+    * times the decision into the ``fit_query`` phase of ``profiler``
+      (when one is given).
+
+    The wrapper defines both ``choose_bin`` and ``choose_bin_indexed``, so
+    the simulator's authoritative-override check keeps offering the
+    indexed path; a wrapped algorithm without one falls back to the list
+    scan exactly as it would unwrapped.
+    """
+
+    def __init__(
+        self,
+        inner: PackingAlgorithm,
+        registry: MetricsRegistry,
+        *,
+        profiler: Profiler | None = None,
+    ) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.profiler = profiler
+        self._probe_hist = registry.histogram(
+            "dbp_fit_probes",
+            "Candidate bins examined per placement decision",
+            buckets=PROBE_BUCKETS,
+        )
+        self._probes = 0
+        # The simulator hands back the same view/index objects every call;
+        # reuse one counting wrapper instead of allocating per placement.
+        self._bin_view: _CountingBinView | None = None
+        self._index_view: _CountingIndex | None = None
+
+    # ----------------------------------------------------------- selection
+
+    def choose_bin(
+        self, item: Arrival, open_bins: Sequence[Bin]
+    ) -> Bin | _OpenNew | None:
+        self._probes = 0
+        view = self._bin_view
+        if view is None or view._inner is not open_bins:
+            view = self._bin_view = _CountingBinView(open_bins, self)
+        if self.profiler is not None:
+            with self.profiler.time("fit_query"):
+                choice = self.inner.choose_bin(item, view)
+        else:
+            choice = self.inner.choose_bin(item, view)
+        self._probe_hist.observe(self._probes)
+        return choice
+
+    def choose_bin_indexed(
+        self, item: Arrival, index: OpenBinIndex
+    ) -> Bin | _OpenNew | None | NotImplementedType:
+        self._probes = 0
+        counting = self._index_view
+        if counting is None or counting._inner is not index:
+            counting = self._index_view = _CountingIndex(index, self)
+        if self.profiler is not None:
+            with self.profiler.time("fit_query"):
+                choice = self.inner.choose_bin_indexed(item, counting)  # type: ignore[arg-type]
+        else:
+            choice = self.inner.choose_bin_indexed(item, counting)  # type: ignore[arg-type]
+        if choice is NotImplemented:
+            # Fall back without recording: the simulator will re-ask via
+            # choose_bin, which observes the real scan.
+            return NotImplemented
+        self._probe_hist.observe(self._probes)
+        return choice
+
+    # ---------------------------------------------------------- delegation
+
+    def reset(self, capacity: Num) -> None:
+        self.inner.reset(capacity)
+
+    def new_bin_capacity(self, item: Arrival) -> Num | None:
+        return self.inner.new_bin_capacity(item)
+
+    def on_bin_opened(self, bin: Bin, item: Arrival) -> None:
+        self.inner.on_bin_opened(bin, item)
+
+    def on_item_departed(self, item_id: str, bin: Bin) -> None:
+        self.inner.on_item_departed(item_id, bin)
+
+    def checkpoint_state(self) -> Any:
+        return self.inner.checkpoint_state()
+
+    def restore_state(self, state: Any, open_bins: dict[int, Bin]) -> None:
+        self.inner.restore_state(state, open_bins)
+
+    def __repr__(self) -> str:
+        return f"InstrumentedAlgorithm({self.inner!r})"
+
+
+def instrument_algorithm(
+    algorithm: PackingAlgorithm,
+    registry: MetricsRegistry,
+    *,
+    profiler: Profiler | None = None,
+) -> InstrumentedAlgorithm:
+    """Wrap ``algorithm`` so placements record probe counts (and timings)."""
+    return InstrumentedAlgorithm(algorithm, registry, profiler=profiler)

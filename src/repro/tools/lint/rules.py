@@ -755,3 +755,83 @@ def check_suppression_hygiene(ctx: FileContext) -> Iterator[Violation]:
             message=message,
             end_line=suppression.line,
         )
+
+
+# --------------------------------------------------------------------------
+# DBP009 — side-channel I/O in the engine
+
+
+@register_rule(
+    "DBP009",
+    "engine-side-channel-io",
+    "engine",
+    "Engine code must not print or log; observers are the only output channel",
+)
+def check_engine_io(ctx: FileContext) -> Iterator[Violation]:
+    """The engine reports through :class:`SimulationObserver` hooks and
+    returned results — a structured, checkpointable, byte-stable channel.
+    ``print()`` / ``logging`` calls (and raw ``sys.stdout``/``stderr``
+    writes) in engine paths are a side channel: they interleave
+    nondeterministically with artifact streams, cost wall time per event on
+    hot paths, and cannot survive a checkpoint/resume.  Route diagnostics
+    through an observer (see :mod:`repro.obs`) instead.  Wall-clock
+    *reads* are the sibling rule DBP002."""
+    logging_aliases: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "logging" or alias.name.startswith("logging."):
+                    logging_aliases.add(alias.asname or alias.name.split(".", 1)[0])
+                    yield _violation(
+                        ctx,
+                        node,
+                        "DBP009",
+                        "engine code imports 'logging'; emit through observer "
+                        "hooks instead",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "logging" or (node.module or "").startswith("logging."):
+                for alias in node.names:
+                    logging_aliases.add(alias.asname or alias.name)
+                yield _violation(
+                    ctx,
+                    node,
+                    "DBP009",
+                    "engine code imports from 'logging'; emit through observer "
+                    "hooks instead",
+                )
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted == "print":
+            yield _violation(
+                ctx,
+                node,
+                "DBP009",
+                "print() in engine code writes to a side channel; emit through "
+                "observer hooks instead",
+            )
+        elif dotted is not None:
+            root = dotted.split(".", 1)[0]
+            if root in logging_aliases:
+                yield _violation(
+                    ctx,
+                    node,
+                    "DBP009",
+                    f"{dotted}() logs from engine code; emit through observer "
+                    "hooks instead",
+                )
+            elif dotted in (
+                "sys.stdout.write",
+                "sys.stderr.write",
+                "sys.stdout.writelines",
+                "sys.stderr.writelines",
+            ):
+                yield _violation(
+                    ctx,
+                    node,
+                    "DBP009",
+                    f"{dotted}() writes to a standard stream from engine code; "
+                    "emit through observer hooks instead",
+                )

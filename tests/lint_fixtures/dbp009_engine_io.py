@@ -1,0 +1,40 @@
+"""Fixture: side-channel I/O (DBP009).  Linted as an engine module."""
+
+import sys
+import logging  # DBP009: logging import
+from logging import getLogger  # DBP009: logging import
+
+log = logging.getLogger(__name__)  # DBP009
+
+
+def bad_print(bin_index):
+    print("opened bin", bin_index)  # DBP009
+
+
+def bad_print_kwargs(message):
+    print(message, file=sys.stderr)  # DBP009
+
+
+def bad_logging(level):
+    logging.info("placed item at level %s", level)  # DBP009
+
+
+def bad_logger_call():
+    lg = getLogger("engine")  # DBP009
+    return lg
+
+
+def bad_stream_write(text):
+    sys.stderr.write(text)  # DBP009
+
+
+def good_observer_emit(observer, time, item, bin, opened):
+    observer.on_arrival(time, item, bin, opened)
+
+
+def good_formatting(value):
+    return "{:.3f}".format(value)
+
+
+def good_write_elsewhere(handle, text):
+    handle.write(text)

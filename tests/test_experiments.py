@@ -30,6 +30,7 @@ EXPECTED = {
     "capacity-cap",
     "prediction-noise",
     "anomalies",
+    "observability",
 }
 
 
@@ -159,3 +160,7 @@ def test_flash_crowd_small():
             burst_factors=(1.0, 8.0), seeds=(0, 1), horizon=200.0
         )
     )
+
+
+def test_observability_small():
+    _assert_experiment(get_experiment("observability")(n_items=150, seed=1))

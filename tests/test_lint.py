@@ -66,8 +66,8 @@ def lines_fired(source: str, code: str, module: str = ENGINE_MODULE) -> set[int]
 
 
 class TestRegistry:
-    def test_eight_rules_with_sequential_codes(self):
-        assert all_codes() == [f"DBP00{i}" for i in range(1, 9)]
+    def test_nine_rules_with_sequential_codes(self):
+        assert all_codes() == [f"DBP00{i}" for i in range(1, 10)]
 
     def test_rules_carry_scope_name_summary_and_doc(self):
         for rule in iter_rules():
@@ -93,6 +93,7 @@ FIXTURE_CASES = [
     ("dbp005_observer.py", "DBP005"),
     ("dbp006_mutable_default.py", "DBP006"),
     ("dbp007_slots.py", "DBP007"),
+    ("dbp009_engine_io.py", "DBP009"),
 ]
 
 
@@ -196,6 +197,11 @@ class TestScoping:
     def test_engine_rules_skip_non_engine_src(self):
         source = fixture_source("dbp002_wallclock.py")
         assert lines_fired(source, "DBP002", module="repro.experiments.timing") == set()
+
+    def test_engine_io_rule_skips_cli_and_tools(self):
+        source = fixture_source("dbp009_engine_io.py")
+        assert lines_fired(source, "DBP009", module="repro.cli") == set()
+        assert lines_fired(source, "DBP009", module="repro.tools.lint.cli") == set()
 
     def test_src_rules_cover_experiments_but_not_tests(self):
         source = fixture_source("dbp003_float_eq.py")

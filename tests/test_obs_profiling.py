@@ -1,0 +1,190 @@
+"""Tests for clocks, the profiler, and probe-counting instrumentation."""
+
+import pytest
+
+from repro import BestFit, FirstFit, make_items, simulate
+from repro.algorithms.base import PackingAlgorithm
+from repro.core.streaming import simulate_stream
+from repro.obs import (
+    InstrumentedAlgorithm,
+    ManualClock,
+    MetricsObserver,
+    MetricsRegistry,
+    MonotonicClock,
+    Profiler,
+    instrument_algorithm,
+)
+from repro.workloads import Clipped, Exponential, Uniform
+from repro.workloads.generators import stream_trace
+
+
+def busy_stream(n=200, seed=8):
+    return stream_trace(
+        arrival_rate=8.0,
+        duration=Clipped(Exponential(25.0), 5.0, 90.0),
+        size=Uniform(0.2, 0.6),
+        n_items=n,
+        seed=seed,
+    )
+
+
+class TestClocks:
+    def test_manual_clock_advances_explicitly(self):
+        clock = ManualClock()
+        assert clock.now() == 0.0
+        clock.advance(0.25)
+        assert clock.now() == 0.25
+
+    def test_manual_clock_rejects_backwards_motion(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+    def test_tick_auto_advances_after_each_reading(self):
+        clock = ManualClock(tick=0.5)
+        assert clock.now() == 0.0
+        assert clock.now() == 0.5
+        assert clock.now() == 1.0
+
+    def test_monotonic_clock_never_goes_backwards(self):
+        clock = MonotonicClock()
+        a, b = clock.now(), clock.now()
+        assert b >= a
+
+
+class TestProfiler:
+    def test_timed_sections_with_manual_clock_are_exact(self):
+        prof = Profiler(clock=ManualClock(tick=0.01))
+        for _ in range(3):
+            with prof.time("fit_query"):
+                pass
+        hist = prof.registry["prof_fit_query_seconds"]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(0.03)
+
+    def test_phases_are_lazy_and_sorted(self):
+        prof = Profiler(clock=ManualClock())
+        assert prof.phases() == []
+        prof.observe("zeta", 0.1)
+        prof.observe("alpha", 0.2)
+        assert prof.phases() == ["alpha", "zeta"]
+        assert "prof_alpha_seconds" in prof.registry
+
+    def test_report_summarizes_count_mean_and_rate(self):
+        prof = Profiler(clock=ManualClock())
+        prof.observe("loop", 2.0)
+        prof.observe("loop", 2.0)
+        report = prof.report()["loop"]
+        assert report["count"] == 2
+        assert report["total_seconds"] == 4.0
+        assert report["mean_seconds"] == 2.0
+        assert report["per_second"] == 0.5
+
+    def test_empty_phase_reports_zeros(self):
+        prof = Profiler(clock=ManualClock())
+        prof.phase("idle")
+        report = prof.report()["idle"]
+        assert report == {
+            "count": 0,
+            "total_seconds": 0,
+            "mean_seconds": 0.0,
+            "per_second": 0.0,
+        }
+
+    def test_profiler_registry_is_separate(self):
+        deterministic = MetricsRegistry()
+        prof = Profiler(clock=ManualClock(tick=0.001))
+        with prof.time("fit_query"):
+            pass
+        assert "prof_fit_query_seconds" not in deterministic
+        assert prof.registry is not deterministic
+
+
+class ScanningOnly(PackingAlgorithm):
+    """A first-fit that only implements the list scan (no indexed path)."""
+
+    name = "scanning-only"
+
+    def choose_bin(self, item, open_bins):
+        for bin in open_bins:
+            if bin.fits(item):
+                return bin
+        return None
+
+
+class TestInstrumentedAlgorithm:
+    def test_wrapper_preserves_name_and_choices(self):
+        plain = simulate_stream(busy_stream(), FirstFit())
+        reg = MetricsRegistry()
+        wrapped = instrument_algorithm(FirstFit(), reg)
+        assert wrapped.name == "first-fit"
+        assert "InstrumentedAlgorithm" in repr(wrapped)
+        instrumented = simulate_stream(busy_stream(), wrapped)
+        assert instrumented == plain  # identical StreamSummary, cost included
+
+    def test_indexed_path_counts_one_probe_per_query(self):
+        reg = MetricsRegistry()
+        summary = simulate_stream(
+            busy_stream(), instrument_algorithm(FirstFit(), reg), indexed=True
+        )
+        probes = reg["dbp_fit_probes"]
+        assert probes.count == summary.num_items
+        assert probes.sum == summary.num_items  # exactly 1 per placement
+
+    def test_list_scan_counts_bins_examined(self):
+        reg = MetricsRegistry()
+        summary = simulate_stream(
+            busy_stream(), instrument_algorithm(FirstFit(), reg), indexed=False
+        )
+        probes = reg["dbp_fit_probes"]
+        assert probes.count == summary.num_items
+        # Scans walk many candidate bins; strictly more work than the index.
+        assert probes.sum > summary.num_items
+
+    def test_scan_only_algorithm_falls_back_without_double_counting(self):
+        reg = MetricsRegistry()
+        wrapped = instrument_algorithm(ScanningOnly(), reg)
+        summary = simulate_stream(busy_stream(n=100), wrapped, indexed=True)
+        probes = reg["dbp_fit_probes"]
+        # NotImplemented pass-through: exactly one observation per placement
+        # (the real scan), not one for the indexed attempt plus one more.
+        assert probes.count == summary.num_items
+
+    def test_scan_only_choices_match_unwrapped(self):
+        plain = simulate_stream(busy_stream(n=100), ScanningOnly())
+        wrapped = simulate_stream(
+            busy_stream(n=100), instrument_algorithm(ScanningOnly(), MetricsRegistry())
+        )
+        assert wrapped == plain
+
+    def test_best_fit_indexed_probes(self):
+        reg = MetricsRegistry()
+        summary = simulate_stream(
+            busy_stream(), instrument_algorithm(BestFit(), reg), indexed=True
+        )
+        assert reg["dbp_fit_probes"].sum == summary.num_items
+
+    def test_fit_query_phase_is_timed_when_profiling(self):
+        prof = Profiler(clock=ManualClock(tick=0.001))
+        reg = MetricsRegistry()
+        simulate(
+            make_items([(0, 4, 0.5), (1, 3, 0.4)]),
+            instrument_algorithm(FirstFit(), reg, profiler=prof),
+        )
+        hist = prof.registry["prof_fit_query_seconds"]
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(0.002)
+
+    def test_registry_shared_with_metrics_observer(self):
+        # Observer pre-declares dbp_fit_probes; the wrapper re-requests it
+        # idempotently — one histogram, fed by the wrapper.
+        reg = MetricsRegistry()
+        obs = MetricsObserver(reg)
+        wrapped = instrument_algorithm(FirstFit(), reg)
+        summary = simulate_stream(busy_stream(n=50), wrapped, observers=[obs])
+        assert reg["dbp_fit_probes"].count == summary.num_items
+        assert wrapped._probe_hist is reg["dbp_fit_probes"]
+
+    def test_checkpoint_state_delegates_to_inner(self):
+        inner = FirstFit()
+        wrapped = InstrumentedAlgorithm(inner, MetricsRegistry())
+        assert wrapped.checkpoint_state() == inner.checkpoint_state()

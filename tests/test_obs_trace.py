@@ -1,0 +1,257 @@
+"""Tests for lifecycle tracing and exact replay (`repro.obs.tracing`)."""
+
+import io
+import json
+
+import pytest
+
+from repro import FirstFit, Simulator, make_items, simulate
+from repro.core.streaming import simulate_stream
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceWriter,
+    LifecycleTracer,
+    TraceReplayError,
+    iter_trace_records,
+    replay_summary,
+    verify_trace,
+)
+from repro.workloads import Clipped, Exponential, Uniform
+from repro.workloads.generators import stream_trace
+
+
+def traced_stream(n=400, seed=2, **tracer_kw):
+    sink = io.StringIO()
+    tracer = LifecycleTracer(sink, algorithm="first-fit", **tracer_kw)
+    items = stream_trace(
+        arrival_rate=5.0,
+        duration=Clipped(Exponential(18.0), 2.0, 60.0),
+        size=Uniform(0.2, 0.6),
+        n_items=n,
+        seed=seed,
+    )
+    summary = simulate_stream(items, FirstFit(), observers=[tracer])
+    tracer.finish(summary)
+    return summary, sink.getvalue()
+
+
+def records_of(text):
+    return [json.loads(line) for line in text.splitlines()]
+
+
+class TestWriter:
+    def test_canonical_line_rendering(self):
+        sink = io.StringIO()
+        writer = JsonlTraceWriter(sink)
+        writer.write({"b": 2, "a": 1})
+        writer.close()
+        assert sink.getvalue() == '{"a":1,"b":2}\n'
+        assert writer.records_written == 1
+
+    def test_path_target_is_opened_and_closed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = JsonlTraceWriter(path)
+        writer.write({"kind": "header"})
+        writer.close()
+        assert path.read_bytes() == b'{"kind":"header"}\n'
+
+
+class TestRecordStream:
+    def test_header_is_lazy_and_first(self):
+        sink = io.StringIO()
+        tracer = LifecycleTracer(sink, algorithm="first-fit", capacity=2, cost_rate=3)
+        assert sink.getvalue() == ""  # nothing until the first event
+        simulate(
+            make_items([(0, 4, 0.5)]),
+            FirstFit(),
+            capacity=2,
+            observers=[tracer],
+        )
+        recs = records_of(sink.getvalue())
+        assert recs[0] == {
+            "kind": "header",
+            "schema": TRACE_SCHEMA_VERSION,
+            "algorithm": "first-fit",
+            "capacity": 2,
+            "cost_rate": 3,
+        }
+
+    def test_span_structure_of_a_tiny_run(self):
+        sink = io.StringIO()
+        tracer = LifecycleTracer(sink, algorithm="first-fit")
+        simulate(
+            make_items([(0, 4, 0.5), (1, 3, 0.4)], prefix="s"),
+            FirstFit(),
+            observers=[tracer],
+        )
+        kinds = [r["kind"] for r in records_of(sink.getvalue())]
+        assert kinds == ["header", "open", "place", "place", "depart", "depart", "close"]
+        recs = records_of(sink.getvalue())
+        opens = [r for r in recs if r["kind"] == "open"]
+        places = [r for r in recs if r["kind"] == "place"]
+        closes = [r for r in recs if r["kind"] == "close"]
+        assert opens[0]["span"] == "bin:0"
+        assert places[0]["span"] == "session:s-0"
+        assert places[0]["parent"] == "bin:0"
+        assert closes[0] == {
+            "kind": "close",
+            "t": 4,
+            "bin": 0,
+            "opened_at": 0,
+            "reason": "drain",
+            "span": "bin:0",
+        }
+
+    def test_failure_emits_eviction_spans_and_failure_close(self):
+        sink = io.StringIO()
+        tracer = LifecycleTracer(sink, algorithm="first-fit")
+        sim = Simulator(FirstFit(), record=False, observers=[tracer])
+        sim.arrive(0, 0.5, item_id="a")
+        sim.arrive(1, 0.3, item_id="b")
+        sim.fail_bin(sim.open_bins[0], 5)
+        recs = records_of(sink.getvalue())
+        kinds = [r["kind"] for r in recs]
+        assert kinds == ["header", "open", "place", "place", "failure", "evict", "evict", "close"]
+        failure = recs[4]
+        assert failure["evicted"] == ["a", "b"]
+        assert recs[-1]["reason"] == "failure"
+        assert recs[-1]["opened_at"] == 0
+
+    def test_tag_is_recorded_only_when_present(self):
+        sink = io.StringIO()
+        tracer = LifecycleTracer(sink, algorithm="first-fit")
+        sim = Simulator(FirstFit(), record=False, observers=[tracer])
+        sim.arrive(0, 0.4, item_id="plain")
+        sim.arrive(1, 0.4, item_id="tagged", tag="eu-west")
+        recs = records_of(sink.getvalue())
+        places = {r["item"]: r for r in recs if r["kind"] == "place"}
+        assert "tag" not in places["plain"]
+        assert places["tagged"]["tag"] == "eu-west"
+
+    def test_finish_writes_trailer_once(self):
+        summary, text = traced_stream(n=30)
+        recs = records_of(text)
+        trailer = recs[-1]
+        assert trailer["kind"] == "summary"
+        assert trailer["algorithm_name"] == summary.algorithm_name
+        assert trailer["total_cost"] == summary.total_cost
+        # finish() is idempotent: no second trailer from a double call.
+        assert [r["kind"] for r in recs].count("summary") == 1
+
+    def test_checkpoint_records_are_opt_in(self):
+        sink = io.StringIO()
+        tracer = LifecycleTracer(sink, algorithm="first-fit", log_checkpoints=True)
+        simulate(make_items([(0, 4, 0.5)]), FirstFit(), observers=[tracer])
+        tracer.checkpoint_state()
+        assert records_of(sink.getvalue())[-1] == {"kind": "checkpoint", "n": 1}
+
+        silent = LifecycleTracer(io.StringIO(), algorithm="first-fit")
+        state = silent.checkpoint_state()
+        assert state["checkpoints"] == 1
+        assert state["records"] == 0
+
+
+class TestReplay:
+    def test_replay_reconstructs_summary_exactly(self):
+        summary, text = traced_stream()
+        replayed, recorded = replay_summary(text.splitlines())
+        assert replayed == summary  # whole-summary equality: floats included
+        assert recorded == summary
+
+    def test_verify_trace_returns_the_summary(self):
+        summary, text = traced_stream(n=50)
+        assert verify_trace(text.splitlines()) == summary
+
+    def test_replay_from_path_and_from_file(self, tmp_path):
+        summary, text = traced_stream(n=40)
+        path = tmp_path / "run.jsonl"
+        path.write_text(text, encoding="utf-8")
+        assert verify_trace(path) == summary
+        with open(path, encoding="utf-8") as handle:
+            assert verify_trace(handle) == summary
+        assert len(list(iter_trace_records(path))) == text.count("\n")
+
+    def test_identical_seeds_produce_identical_bytes(self):
+        _, first = traced_stream(n=60, seed=4)
+        _, second = traced_stream(n=60, seed=4)
+        assert first == second
+
+    def test_checkpoint_records_are_ignored_by_replay(self):
+        summary, text = traced_stream(n=40, log_checkpoints=True)
+        lines = text.splitlines()
+        lines.insert(5, '{"kind":"checkpoint","n":1}')
+        assert verify_trace(lines) == summary
+
+
+class TestReplayErrors:
+    def test_missing_header(self):
+        with pytest.raises(TraceReplayError, match="no header"):
+            replay_summary(['{"kind":"open","t":0,"bin":0}'])
+        with pytest.raises(TraceReplayError, match="no header"):
+            replay_summary([])
+
+    def test_unsupported_schema(self):
+        bad = json.dumps({"kind": "header", "schema": 999, "algorithm": "x",
+                          "capacity": 1, "cost_rate": 1})
+        with pytest.raises(TraceReplayError, match="schema"):
+            replay_summary([bad])
+
+    def test_unknown_record_kind(self):
+        _, text = traced_stream(n=10)
+        lines = text.splitlines()
+        lines.insert(2, '{"kind":"mystery","t":1}')
+        with pytest.raises(TraceReplayError, match="unknown"):
+            replay_summary(lines)
+
+    def test_truncated_trace_leaves_open_spans(self):
+        _, text = traced_stream(n=10)
+        lines = text.splitlines()
+        truncated = [line for line in lines if '"kind":"close"' not in line]
+        with pytest.raises(TraceReplayError, match="still open"):
+            replay_summary(truncated)
+
+    def test_missing_trailer_fails_verification(self):
+        _, text = traced_stream(n=10)
+        lines = [line for line in text.splitlines() if '"kind":"summary"' not in line]
+        with pytest.raises(TraceReplayError, match="trailer"):
+            verify_trace(lines)
+
+    def test_tampered_close_time_names_the_field(self):
+        _, text = traced_stream(n=10)
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            record = json.loads(line)
+            if record["kind"] == "close":
+                record["t"] = record["t"] + 1.0
+                lines[i] = json.dumps(record, sort_keys=True, separators=(",", ":"))
+                break
+        with pytest.raises(TraceReplayError, match="total_bin_time"):
+            verify_trace(lines)
+
+
+class TestCheckpointing:
+    def test_restore_suppresses_duplicate_header(self):
+        first_sink = io.StringIO()
+        tracer = LifecycleTracer(first_sink, algorithm="first-fit")
+        sim = Simulator(FirstFit(), record=False, observers=[tracer])
+        sim.arrive(0, 0.5, item_id="a")
+        state = json.loads(json.dumps(tracer.checkpoint_state()))
+
+        second_sink = io.StringIO()
+        resumed = LifecycleTracer(second_sink, algorithm="first-fit")
+        resumed.restore_state(state)
+        sim2 = Simulator(FirstFit(), record=False, observers=[resumed])
+        sim2.arrive(0, 0.5, item_id="a")
+        sim2.depart("a", 3)
+        recs = records_of(second_sink.getvalue())
+        assert all(r["kind"] != "header" for r in recs)
+        # opened_at survived the round trip: the close record knows t=0.
+        close = [r for r in recs if r["kind"] == "close"]
+        assert close and close[0]["opened_at"] == 0
+
+    def test_records_count_supports_prefix_concatenation(self):
+        sink = io.StringIO()
+        tracer = LifecycleTracer(sink, algorithm="first-fit")
+        simulate(make_items([(0, 4, 0.5)]), FirstFit(), observers=[tracer])
+        state = tracer.checkpoint_state()
+        assert state["records"] == len(records_of(sink.getvalue()))

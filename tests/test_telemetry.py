@@ -101,3 +101,70 @@ def test_telemetry_consistent_on_random_traces(items):
     assert tel.bins_opened == result.num_bins_used
     end = max(it.departure for it in items)
     assert tel.accrued_cost(end) == result.total_cost()
+
+
+class TestFailureSettlement:
+    """``on_server_failure`` must settle the failed bin's rental in one stroke:
+    the usual ``closed=True`` departure never fires for a revoked server."""
+
+    def _sim(self, cost_rate=1):
+        from repro import Simulator
+
+        tel = TelemetryCollector(cost_rate=cost_rate)
+        sim = Simulator(FirstFit(), cost_rate=cost_rate, record=False, observers=[tel])
+        return tel, sim
+
+    def test_failed_bin_is_billed_to_the_failure_instant(self):
+        tel, sim = self._sim()
+        sim.arrive(0, 0.6, item_id="a")
+        sim.arrive(1, 0.6, item_id="b")  # second bin
+        evicted = sim.fail_bin(sim.open_bins[0], 4)
+        assert [v.item_id for v in evicted] == ["a"]
+        # bin0 settled at 4-0; bin1 still open, billed to the query instant
+        assert tel.accrued_cost(5) == 4 + 4
+        sim.depart("b", 7)
+        assert tel.accrued_cost(7) == 4 + 6
+
+    def test_settlement_matches_engine_summary_exactly(self):
+        tel, sim = self._sim(cost_rate=3)
+        sim.arrive(0, 0.6, item_id="a")
+        sim.arrive(1, 0.6, item_id="b")
+        sim.fail_bin(sim.open_bins[0], 4)
+        sim.depart("b", 7)
+        summary = sim.finish_summary()
+        assert tel.accrued_cost(7) == summary.total_cost
+        assert tel.accrued_cost(summary.end_time) == summary.total_cost
+
+    def test_failure_counters_stay_disjoint_from_drain_closes(self):
+        tel, sim = self._sim()
+        sim.arrive(0, 0.4, item_id="a")
+        sim.arrive(0.5, 0.4, item_id="b")
+        sim.arrive(1, 0.9, item_id="c")  # second bin
+        sim.fail_bin(sim.open_bins[0], 3)  # evicts a and b together
+        sim.depart("c", 6)  # natural drain close
+        assert tel.servers_failed == 1
+        assert tel.sessions_evicted == 2
+        assert tel.bins_opened == 2
+        assert tel.bins_closed == 1  # only c's bin closed by drain
+        assert tel.open_bins == 0
+        assert tel.active_items == 0
+        assert tel.num_departures == 1  # evictions are not departures
+
+    def test_failure_settlement_survives_checkpoint_round_trip(self):
+        import json
+
+        tel, sim = self._sim()
+        sim.arrive(0, 0.6, item_id="a")
+        sim.arrive(1, 0.6, item_id="b")
+        sim.fail_bin(sim.open_bins[0], 4)
+        state = json.loads(json.dumps(tel.checkpoint_state()))
+
+        restored = TelemetryCollector()
+        restored.restore_state(state)
+        assert restored.servers_failed == 1
+        assert restored.sessions_evicted == 1
+        assert restored.accrued_cost(6) == tel.accrued_cost(6)
+        # The open bin's meter keeps running after restore, same as the original.
+        restored.on_departure(7, "b", sim.open_bins[0], True)
+        tel.on_departure(7, "b", sim.open_bins[0], True)
+        assert restored.accrued_cost(7) == tel.accrued_cost(7)
