@@ -18,6 +18,11 @@ so future PRs can track engine throughput:
   full ``repro.obs`` stack attached (metrics registry + probe counting +
   lifecycle tracer writing JSONL to disk) and records the wall-time ratio
   against the uninstrumented run — the acceptance bar is <= 2x.
+* A **workers scaling** pass runs the same multi-seed sweep serially and
+  sharded across ``--workers`` processes (``repro.parallel``), asserts the
+  rows are identical (the determinism contract), and records both
+  wall-clocks plus the speedup and the machine's core count — the
+  acceptance bar is >= 2x at 4 workers on a 4-core runner.
 
 Also runnable under pytest (tiny sizes) as a smoke test.
 """
@@ -26,12 +31,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import tempfile
 import time
 import tracemalloc
+from functools import partial
 from pathlib import Path
 
 from repro import BestFit, FirstFit, simulate
+from repro.analysis.sweep import grid, run_sweep
 from repro.core.streaming import simulate_stream
 from repro.obs import observe_stream
 from repro.workloads import Clipped, Exponential, Uniform, stream_trace
@@ -39,6 +47,9 @@ from repro.workloads import Clipped, Exponential, Uniform, stream_trace
 DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
 DEFAULT_SCAN_LIMIT = 100_000
 DEFAULT_OBS_SIZE = 100_000
+DEFAULT_SWEEP_SEEDS = 8
+DEFAULT_SWEEP_ITEMS = 20_000
+DEFAULT_WORKERS = 4
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -100,8 +111,72 @@ def run_observability_overhead(n_items: int, seed: int = 0) -> list[dict]:
     return rows
 
 
+def _sweep_replication(replicate: int, seed: int, n_items: int) -> dict:
+    """One multi-seed sweep point: pack a freshly generated workload.
+
+    Module-level so the sharded path can pickle it; ``seed`` arrives via
+    the sweep's root-seed derivation, so serial and parallel runs see the
+    same seed for the same point by construction.
+    """
+    summary = simulate_stream(workload(n_items, seed), FirstFit())
+    return {
+        "replicate": replicate,
+        "seed": seed,
+        "bins": summary.num_bins_used,
+        "cost": float(summary.total_cost),
+    }
+
+
+def run_workers_scaling(
+    n_seeds: int = DEFAULT_SWEEP_SEEDS,
+    n_items: int = DEFAULT_SWEEP_ITEMS,
+    workers: int = DEFAULT_WORKERS,
+    root_seed: int = 0,
+) -> dict:
+    """Serial vs sharded wall-clock for a multi-seed sweep.
+
+    The sweep is the paper-table shape: ``n_seeds`` independent seeded
+    replications of a streamed First Fit packing.  Rows must be identical
+    between the two runs — the benchmark asserts it — so the recorded
+    speedup is for *bit-exact* parallelism, not a relaxed variant.
+    """
+    points = grid(replicate=list(range(n_seeds)))
+    fn = partial(_sweep_replication, n_items=n_items)
+    t0 = time.perf_counter()
+    serial = run_sweep(fn, points, root_seed=root_seed)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_sweep(fn, points, root_seed=root_seed, workers=workers)
+    parallel_s = time.perf_counter() - t0
+    if parallel != serial:
+        raise AssertionError("parallel sweep rows diverged from the serial run")
+    speedup = serial_s / parallel_s
+    row = {
+        "n_seeds": n_seeds,
+        "n_items": n_items,
+        "workers": workers,
+        "cores": os.cpu_count(),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(speedup, 2),
+        "rows_identical": True,
+    }
+    print(
+        f"parallel sweep n_seeds={n_seeds}, n_items={n_items:,}: "
+        f"serial {serial_s:.2f}s, {workers} workers {parallel_s:.2f}s "
+        f"(speedup {speedup:.2f}x on {os.cpu_count()} core(s), rows identical)"
+    )
+    return row
+
+
 def run_baseline(
-    sizes=DEFAULT_SIZES, scan_limit=DEFAULT_SCAN_LIMIT, seed=0, obs_size=None
+    sizes=DEFAULT_SIZES,
+    scan_limit=DEFAULT_SCAN_LIMIT,
+    seed=0,
+    obs_size=None,
+    sweep_seeds=DEFAULT_SWEEP_SEEDS,
+    sweep_items=DEFAULT_SWEEP_ITEMS,
+    workers=DEFAULT_WORKERS,
 ) -> dict:
     results = []
     speedups: dict[str, dict[str, float]] = {}
@@ -176,6 +251,9 @@ def run_baseline(
     if obs_size is None:
         obs_size = min(DEFAULT_OBS_SIZE, max(sizes))
     observability = run_observability_overhead(obs_size, seed)
+    parallel_sweep = run_workers_scaling(
+        n_seeds=sweep_seeds, n_items=sweep_items, workers=workers, root_seed=seed
+    )
     return {
         "workload": {
             "arrival_rate": 100.0,
@@ -188,6 +266,7 @@ def run_baseline(
         "results": results,
         "speedups": speedups,
         "observability": observability,
+        "parallel_sweep": parallel_sweep,
     }
 
 
@@ -215,6 +294,24 @@ def main(argv=None) -> int:
         f"(default: min({DEFAULT_OBS_SIZE}, largest size))",
     )
     parser.add_argument(
+        "--sweep-seeds",
+        type=int,
+        default=DEFAULT_SWEEP_SEEDS,
+        help="replications in the workers-scaling sweep",
+    )
+    parser.add_argument(
+        "--sweep-items",
+        type=int,
+        default=DEFAULT_SWEEP_ITEMS,
+        help="items per replication in the workers-scaling sweep",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        help="worker count for the parallel-sweep pass",
+    )
+    parser.add_argument(
         "--write",
         action="store_true",
         help=f"record the baseline to {OUTPUT.name}",
@@ -225,6 +322,9 @@ def main(argv=None) -> int:
         scan_limit=args.scan_limit,
         seed=args.seed,
         obs_size=args.obs_size,
+        sweep_seeds=args.sweep_seeds,
+        sweep_items=args.sweep_items,
+        workers=args.workers,
     )
     if args.write:
         OUTPUT.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -236,7 +336,9 @@ def main(argv=None) -> int:
 
 def test_engine_baseline_smoke():
     """Tiny-size smoke run: both engines agree and the report is complete."""
-    baseline = run_baseline(sizes=(500, 2000), scan_limit=500)
+    baseline = run_baseline(
+        sizes=(500, 2000), scan_limit=500, sweep_seeds=4, sweep_items=500, workers=2
+    )
     engines = {r["engine"] for r in baseline["results"]}
     assert engines == {"indexed", "listscan", "indexed-streamed"}
     assert baseline["speedups"]["first-fit"]["500"] > 0
@@ -246,6 +348,10 @@ def test_engine_baseline_smoke():
     }
     for row in baseline["observability"]:
         assert row["overhead"] > 0
+    sweep = baseline["parallel_sweep"]
+    assert sweep["rows_identical"] is True
+    assert sweep["n_seeds"] == 4 and sweep["workers"] == 2
+    assert sweep["serial_seconds"] > 0 and sweep["parallel_seconds"] > 0
 
 
 if __name__ == "__main__":

@@ -50,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--out", type=Path, default=None, help="also write results as JSON to this path"
     )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard experiments across N worker processes (results are "
+        "identical to the serial run; progress goes to stderr)",
+    )
 
     gen_p = sub.add_parser("generate", help="generate a synthetic trace file")
     gen_p.add_argument(
@@ -65,7 +72,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     disp_p = sub.add_parser("dispatch", help="serve a trace file with one algorithm")
     disp_p.add_argument("trace", type=Path, help=".json or .csv trace file")
-    disp_p.add_argument("--algorithm", default="first-fit", help="registry name")
+    disp_p.add_argument(
+        "--algorithm",
+        default="first-fit",
+        help="registry name, or a comma-separated list to compare several",
+    )
+    disp_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="with a list of algorithms: dispatch them across N worker "
+        "processes (the comparison table is identical to the serial run)",
+    )
     disp_p.add_argument("--capacity", type=float, default=1.0, help="bin capacity W")
     disp_p.add_argument("--rate", type=float, default=1.0, help="cost rate C")
     disp_p.add_argument(
@@ -163,11 +181,42 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch_task(task: dict) -> dict:
+    """Worker-side shard body for ``dispatch --workers``: one algorithm.
+
+    Receives only plain data (trace path and server parameters), reloads
+    the trace in the worker, and returns the summary row — so shards stay
+    cheap to pickle and fully independent.
+    """
+    from .cloud import ServerType, dispatch_trace
+
+    trace = _load_trace(Path(task["trace"]))
+    server = ServerType(
+        gpu_capacity=task["capacity"],
+        rate=task["rate"],
+        billing_quantum=task["quantum"],
+    )
+    report = dispatch_trace(trace, get_algorithm(task["algorithm"]), server_type=server)
+    return dict(report.summary_row())
+
+
 def _cmd_dispatch(args: argparse.Namespace) -> int:
     from .cloud import ServerType, dispatch_trace
 
+    algorithms = [name.strip() for name in args.algorithm.split(",") if name.strip()]
+    for name in algorithms:
+        get_algorithm(name)  # fail fast on unknown names
+    if len(algorithms) > 1:
+        if args.trace_out is not None or args.metrics is not None or args.profile:
+            print(
+                "dispatch: --trace-out/--metrics/--profile need a single "
+                "--algorithm",
+                file=sys.stderr,
+            )
+            return 2
+        return _dispatch_compare(args, algorithms)
     trace = _load_trace(args.trace)
-    algo = get_algorithm(args.algorithm)
+    algo = get_algorithm(algorithms[0])
     server = ServerType(
         gpu_capacity=args.capacity, rate=args.rate, billing_quantum=args.quantum
     )
@@ -176,6 +225,41 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     report = dispatch_trace(trace, algo, server_type=server)
     for key, value in report.summary_row().items():
         print(f"{key:14s} {value}")
+    return 0
+
+
+def _dispatch_compare(args: argparse.Namespace, algorithms: list[str]) -> int:
+    """Dispatch one trace under several algorithms, optionally sharded."""
+    from .analysis.tables import render_table
+    from .parallel import progress_printer, run_tasks
+
+    tasks = [
+        {
+            "trace": str(args.trace),
+            "algorithm": name,
+            "capacity": args.capacity,
+            "rate": args.rate,
+            "quantum": args.quantum,
+        }
+        for name in algorithms
+    ]
+    if args.workers > 1:
+        rows = run_tasks(
+            _dispatch_task,
+            tasks,
+            workers=args.workers,
+            on_progress=progress_printer(sys.stderr, label="dispatch"),
+        )
+    else:
+        rows = [_dispatch_task(task) for task in tasks]
+    headers = list(rows[0])
+    print(
+        render_table(
+            headers,
+            [[row.get(h) for h in headers] for row in rows],
+            title=f"dispatch comparison: {args.trace.name}",
+        )
+    )
     return 0
 
 
@@ -292,8 +376,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     names = available_experiments() if args.experiment == "all" else [args.experiment]
     ok = True
     collected: list = []
-    for name in names:
-        ok = _run_one(name, args.precision, collected) and ok
+    if args.workers > 1 and len(names) > 1:
+        from .experiments import run_experiments
+        from .parallel import progress_printer
+
+        collected = run_experiments(
+            names,
+            parallel=args.workers,
+            on_progress=progress_printer(sys.stderr, label="experiments"),
+        )
+        for result in collected:
+            print(result.render(precision=args.precision))
+            print()
+            ok = result.all_claims_hold and ok
+    else:
+        for name in names:
+            ok = _run_one(name, args.precision, collected) and ok
     if args.out is not None:
         from .experiments.io import results_to_json
 

@@ -38,6 +38,7 @@ from .streaming import StreamSummary, simulate_stream
 from .telemetry import SimulationObserver, TelemetryCollector
 from .validation import (
     DuplicateItemIdError,
+    EmptySweepError,
     InvalidIntervalError,
     InvalidItemSizeError,
     OversizedItemError,
@@ -90,6 +91,7 @@ __all__ = [
     "InvalidIntervalError",
     "OversizedItemError",
     "DuplicateItemIdError",
+    "EmptySweepError",
     "TraceStats",
     "trace_stats",
     "trace_span",

@@ -22,6 +22,7 @@ __all__ = [
     "InvalidIntervalError",
     "OversizedItemError",
     "DuplicateItemIdError",
+    "EmptySweepError",
 ]
 
 
@@ -93,3 +94,17 @@ class DuplicateItemIdError(TraceValidationError):
 
     def __init__(self, item_id: str) -> None:
         super().__init__(f"duplicate item id: {item_id!r}", item_id=item_id)
+
+
+class EmptySweepError(ValueError):
+    """A sweep or sharded run invoked with zero grid points.
+
+    Subclasses :class:`ValueError` (the error's historical spelling in
+    :func:`repro.analysis.sweep.run_sweep`) so existing ``except
+    ValueError`` call sites keep working; raised identically by the serial
+    and parallel execution paths before any work is scheduled.
+    """
+
+    def __init__(self, what: str = "sweep") -> None:
+        super().__init__(f"empty {what}: no grid points to run")
+        self.what = what

@@ -7,6 +7,7 @@ from .registry import (
     experiment_info,
     get_experiment,
     register_experiment,
+    run_experiments,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "get_experiment",
     "available_experiments",
     "experiment_info",
+    "run_experiments",
 ]

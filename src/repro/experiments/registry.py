@@ -9,9 +9,10 @@ plus a list of claim checks — and are runnable from the CLI
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from ..analysis.sweep import SweepResult
+from ..core.validation import EmptySweepError
 
 __all__ = [
     "ClaimCheck",
@@ -20,6 +21,7 @@ __all__ = [
     "get_experiment",
     "available_experiments",
     "experiment_info",
+    "run_experiments",
 ]
 
 
@@ -67,20 +69,29 @@ class _Entry:
     fn: Callable[..., ExperimentResult]
     display: str  # which paper display it reproduces
     description: str
+    deterministic: bool  # rows are a pure function of parameters (no wall clock)
 
 
 _REGISTRY: dict[str, _Entry] = {}
 
 
 def register_experiment(
-    name: str, *, display: str, description: str
+    name: str, *, display: str, description: str, deterministic: bool = True
 ) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
-    """Decorator registering an experiment ``run`` function."""
+    """Decorator registering an experiment ``run`` function.
+
+    ``deterministic=False`` marks experiments whose *rows* include wall-clock
+    measurements (throughput columns); their claim checks must still be
+    deterministic.  The parallel differential suite byte-compares full
+    results only for deterministic experiments.
+    """
 
     def deco(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
         if name in _REGISTRY:
             raise ValueError(f"experiment {name!r} already registered")
-        _REGISTRY[name] = _Entry(fn=fn, display=display, description=description)
+        _REGISTRY[name] = _Entry(
+            fn=fn, display=display, description=description, deterministic=deterministic
+        )
         return fn
 
     return deco
@@ -104,7 +115,71 @@ def available_experiments() -> list[str]:
 def experiment_info(name: str) -> dict[str, Any]:
     _ensure_loaded()
     entry = _REGISTRY[name]
-    return {"name": name, "display": entry.display, "description": entry.description}
+    return {
+        "name": name,
+        "display": entry.display,
+        "description": entry.description,
+        "deterministic": entry.deterministic,
+    }
+
+
+def _run_experiment_task(name: str) -> ExperimentResult:
+    """Worker-side shard body: run one registered experiment by name.
+
+    Module-level (hence picklable) and addressed by registry *name*, so a
+    spawned worker re-imports the catalogue and resolves the same function
+    the coordinator would — no code objects cross the process boundary.
+    """
+    return get_experiment(name)()
+
+
+def run_experiments(
+    names: Sequence[str] | None = None,
+    *,
+    parallel: int | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    chunk_size: int | None = None,
+    metrics: Any = None,
+    on_progress: Callable[[int, int], None] | None = None,
+) -> list[ExperimentResult]:
+    """Run a batch of experiments, optionally sharded across processes.
+
+    ``names`` defaults to the whole catalogue (in registry order).
+    ``parallel`` is the worker count; ``None``/``0``/``1`` runs serially in
+    this process.  Every experiment is deterministic given its default
+    parameters, and results are returned in ``names`` order whatever the
+    completion order, so the parallel path returns results equal to the
+    serial path — the differential suite byte-compares their JSON exports.
+
+    Unknown names raise ``KeyError`` up front (before any worker starts);
+    worker failures surface as :class:`repro.parallel.ShardExecutionError`
+    with the experiment name attached to each failure record.
+    """
+    batch = list(names) if names is not None else available_experiments()
+    if not batch:
+        raise EmptySweepError("experiment batch")
+    for name in batch:
+        get_experiment(name)  # fail fast on unknown names
+    if parallel is not None and parallel > 1:
+        from ..parallel.pool import run_tasks
+
+        return run_tasks(
+            _run_experiment_task,
+            batch,
+            workers=parallel,
+            timeout=timeout,
+            retries=retries,
+            chunk_size=chunk_size,
+            metrics=metrics,
+            on_progress=on_progress,
+        )
+    results = []
+    for index, name in enumerate(batch):
+        results.append(_run_experiment_task(name))
+        if on_progress is not None:
+            on_progress(index + 1, len(batch))
+    return results
 
 
 def _ensure_loaded() -> None:

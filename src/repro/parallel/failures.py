@@ -1,0 +1,89 @@
+"""Typed failure surface of the parallel execution layer.
+
+A worker task can fail three ways — raise, exceed its per-task timeout, or
+take its whole worker process down — and all three must surface as data,
+not as a hung pool or a bare string.  :class:`ShardFailure` records one
+task's terminal failure (after its bounded retries are exhausted) with the
+offending payload attached; :class:`ShardExecutionError` aggregates every
+failure of a run *after the pool has drained*, so callers always get either
+a complete result set or a complete account of what failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "FAILURE_KINDS",
+    "ShardFailure",
+    "ShardExecutionError",
+    "UnpicklableTaskError",
+]
+
+#: The three ways a task terminally fails.
+FAILURE_KINDS: tuple[str, ...] = ("error", "timeout", "crash")
+
+
+@dataclass(frozen=True, slots=True)
+class ShardFailure:
+    """One task's terminal failure, with enough context to reproduce it.
+
+    ``kind`` is ``"error"`` (the task raised), ``"timeout"`` (it exceeded
+    the per-task deadline and its worker was killed), or ``"crash"`` (its
+    worker process died underneath it).  ``task`` is the original payload —
+    for sweeps, the offending grid point — and ``attempts`` counts every
+    execution attempt including retries.
+    """
+
+    index: int
+    task: Any
+    kind: str
+    attempts: int
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"shard {self.index} ({self.kind} after {self.attempts} "
+            f"attempt{'s' if self.attempts != 1 else ''}): {self.message} "
+            f"[task={self.task!r}]"
+        )
+
+
+class ShardExecutionError(RuntimeError):
+    """Raised once the pool has drained if any task terminally failed.
+
+    Carries the full tuple of :class:`ShardFailure` records (sorted by task
+    index, so the rendering is deterministic) plus the results of every
+    task that *did* succeed, indexed by task position — partial progress is
+    never silently discarded.
+    """
+
+    def __init__(
+        self,
+        failures: tuple[ShardFailure, ...],
+        *,
+        completed: dict[int, Any] | None = None,
+    ) -> None:
+        failures = tuple(sorted(failures, key=lambda f: f.index))
+        lines = [f"{len(failures)} shard(s) failed:"]
+        lines.extend(f"  - {f}" for f in failures)
+        super().__init__("\n".join(lines))
+        self.failures = failures
+        self.completed = dict(completed or {})
+
+
+class UnpicklableTaskError(TypeError):
+    """The task function or a payload cannot cross a process boundary.
+
+    Raised *before* any worker starts, naming the offending object, so a
+    bad closure fails fast instead of as a cryptic mid-run pickling error.
+    """
+
+    def __init__(self, what: str, obj: Any, cause: Exception) -> None:
+        super().__init__(
+            f"{what} {obj!r} cannot be pickled for worker processes "
+            f"({type(cause).__name__}: {cause}); use a module-level function "
+            "and plain-data payloads"
+        )
+        self.obj = obj

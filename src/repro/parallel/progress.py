@@ -1,0 +1,62 @@
+"""Progress and provenance wiring into the ``repro.obs`` surface.
+
+The pool itself only counts (:class:`~repro.parallel.pool.PoolCounters`);
+this module turns those counts into the observability artifacts the rest
+of the system already speaks: deterministic ``dbp_parallel_*`` metrics in
+a :class:`~repro.obs.MetricsRegistry` and a byte-stable
+:class:`~repro.obs.RunManifest` naming the sharded run (kind, task count,
+worker count, chunking, root seed) so a parallel artifact set can be
+re-executed and byte-compared exactly like a serial one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, TextIO
+
+__all__ = ["parallel_manifest", "progress_printer"]
+
+
+def parallel_manifest(
+    *,
+    kind: str,
+    tasks: int,
+    workers: int,
+    root_seed: int | None = None,
+    chunk_size: int | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> Any:
+    """Build the :class:`~repro.obs.RunManifest` for one sharded run.
+
+    ``kind`` names what was sharded (``"sweep"``, ``"experiments"``,
+    ``"dispatch"``); worker count and chunking are recorded as provenance
+    even though, by the determinism contract, they cannot affect results.
+    """
+    from ..obs import build_manifest
+
+    return build_manifest(
+        algorithm=f"parallel/{kind}",
+        seed=root_seed,
+        workload={"tasks": tasks},
+        extra={
+            "workers": workers,
+            "chunk_size": chunk_size,
+            **(dict(extra) if extra else {}),
+        },
+    )
+
+
+def progress_printer(
+    stream: TextIO, *, label: str, every: int = 1
+) -> Callable[[int, int], None]:
+    """An ``on_progress`` callback printing ``label: k/n`` lines.
+
+    Writes to ``stream`` (point it at stderr: stdout stays byte-identical
+    to the serial run) and throttles to every ``every``-th completion plus
+    the final one.
+    """
+
+    def on_progress(completed: int, total: int) -> None:
+        if completed % every == 0 or completed == total:
+            print(f"{label}: {completed}/{total}", file=stream, flush=True)
+
+    return on_progress

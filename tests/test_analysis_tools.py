@@ -45,6 +45,11 @@ class TestGridAndSweep:
         assert res.column("sum") == [11, 12]
 
     def test_run_sweep_empty_rejected(self):
+        from repro.core.validation import EmptySweepError
+
+        with pytest.raises(EmptySweepError):
+            run_sweep(lambda: {}, [])
+        # Still catchable as the historical bare ValueError.
         with pytest.raises(ValueError):
             run_sweep(lambda: {}, [])
 

@@ -1,0 +1,161 @@
+"""Differential suite: parallel execution is byte-identical to serial.
+
+The determinism contract of :mod:`repro.parallel`, checked end-to-end:
+for **every registered experiment**, running the catalogue sharded across
+2 and 4 workers yields tables, claim checks, and exported JSON artifacts
+exactly equal to the serial run; the same holds for ``run_sweep`` over a
+seeded grid.  CI re-runs this module as the ``parallel-smoke`` job and
+byte-diffs a seeded artifact on disk.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import FirstFit, simulate
+from repro.analysis.sweep import grid, run_sweep, seeded_points
+from repro.experiments import available_experiments, experiment_info, run_experiments
+from repro.experiments.io import result_to_dict, results_to_json
+from repro.workloads import Clipped, Exponential, Uniform, generate_trace
+
+WORKER_COUNTS = (2, 4)
+
+
+def _is_deterministic(name: str) -> bool:
+    return experiment_info(name)["deterministic"]
+
+
+# --------------------------------------------------------------- experiments
+
+
+@pytest.fixture(scope="module")
+def serial_catalogue():
+    """Every registered experiment, run serially once per test session."""
+    names = available_experiments()
+    return names, run_experiments(names)
+
+
+@pytest.fixture(scope="module")
+def parallel_catalogues(serial_catalogue):
+    """The full catalogue run once per tested worker count."""
+    names, _ = serial_catalogue
+    return {workers: run_experiments(names, parallel=workers) for workers in WORKER_COUNTS}
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_every_experiment_matches_serial(serial_catalogue, parallel_catalogues, workers):
+    names, serial = serial_catalogue
+    parallel = parallel_catalogues[workers]
+    assert len(parallel) == len(serial)
+    for name, expected, got in zip(names, serial, parallel):
+        assert got.name == expected.name == name
+        assert got.table.headers == expected.table.headers, name
+        assert got.checks == expected.checks, name
+        assert got.notes == expected.notes, name
+        if _is_deterministic(name):
+            assert got.table.rows == expected.table.rows, name
+            # The exported artifact is byte-identical, not merely equal.
+            assert json.dumps(result_to_dict(got), sort_keys=True) == json.dumps(
+                result_to_dict(expected), sort_keys=True
+            ), name
+        else:
+            # Wall-clock columns (engine-scaling throughput) may move, but
+            # the table shape and every claim verdict must not.
+            assert len(got.table.rows) == len(expected.table.rows), name
+
+
+def test_catalogue_artifact_bytes_match_serial(serial_catalogue, parallel_catalogues):
+    names, serial = serial_catalogue
+    for workers in WORKER_COUNTS:
+        serial_subset = [r for r in serial if _is_deterministic(r.name)]
+        parallel_subset = [
+            r for r in parallel_catalogues[workers] if _is_deterministic(r.name)
+        ]
+        assert (
+            results_to_json(parallel_subset).encode()
+            == results_to_json(serial_subset).encode()
+        )
+
+
+# Fast deterministic experiments, enough to exercise multi-chunk scheduling.
+FAST_EXPERIMENTS = [
+    "bounds-sandwich",
+    "capacity-cap",
+    "flash-crowd",
+    "fleet-mix",
+    "mff",
+    "offline-gaps",
+]
+
+
+def test_experiment_order_is_input_order_not_completion_order(serial_catalogue):
+    _, serial = serial_catalogue
+    # A deliberately shuffled batch comes back in the shuffled order —
+    # results follow the request, never worker scheduling.
+    shuffled = list(reversed(FAST_EXPERIMENTS))
+    parallel = run_experiments(shuffled, parallel=2, chunk_size=1)
+    assert [r.name for r in parallel] == shuffled
+    by_name = {r.name: r for r in serial}
+    for result in parallel:
+        assert result.table.rows == by_name[result.name].table.rows
+
+
+# --------------------------------------------------------------- run_sweep
+
+
+def _packing_row(rate, mean_duration, seed):
+    """One grid point: generate a seeded workload, pack it, report costs."""
+    trace = generate_trace(
+        arrival_rate=rate,
+        horizon=60.0,
+        duration=Clipped(Exponential(mean_duration), 2.0, 40.0),
+        size=Uniform(0.1, 0.6),
+        seed=seed,
+    )
+    result = simulate(trace.items, FirstFit())
+    return {
+        "rate": rate,
+        "mean_duration": mean_duration,
+        "seed": seed,
+        "items": len(trace),
+        "bins": result.num_bins_used,
+        "cost": float(result.total_cost()),
+    }
+
+
+SWEEP_GRID = grid(rate=[0.5, 1.0, 2.0], mean_duration=[5.0, 15.0])
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_run_sweep_seeded_grid_matches_serial(workers):
+    serial = run_sweep(_packing_row, SWEEP_GRID, root_seed=42)
+    parallel = run_sweep(_packing_row, SWEEP_GRID, root_seed=42, workers=workers)
+    assert parallel.headers == serial.headers
+    assert parallel.rows == serial.rows
+    assert parallel == serial
+
+
+def test_run_sweep_explicit_seeds_match_serial():
+    points = grid(rate=[1.0, 2.0], mean_duration=[5.0], seed=[3, 9])
+    serial = run_sweep(_packing_row, points)
+    parallel = run_sweep(_packing_row, points, workers=2)
+    assert parallel == serial
+
+
+def test_derived_seeds_are_scheduling_independent():
+    # The seed column of a parallel sweep equals the derived seeds computed
+    # up front — worker identity and completion order never leak in.
+    expected = [p["seed"] for p in seeded_points(SWEEP_GRID, 42)]
+    parallel = run_sweep(_packing_row, SWEEP_GRID, root_seed=42, workers=4)
+    assert parallel.column("seed") == expected
+
+
+def test_chunking_is_unobservable_in_sweep_results():
+    serial = run_sweep(_packing_row, SWEEP_GRID, root_seed=7)
+    for chunk_size in (1, 3, 6):
+        parallel = run_sweep(
+            _packing_row, SWEEP_GRID, root_seed=7, workers=2, chunk_size=chunk_size
+        )
+        assert parallel == serial

@@ -8,10 +8,15 @@ respect every applicable theorem bound, and structural algorithm properties
 at every single placement.
 """
 
+import json
+import os
+import subprocess
+import sys
 from fractions import Fraction
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import (
     AnyFitAlgorithm,
@@ -29,8 +34,10 @@ from repro.analysis.bounds import (
     theorem4_bound,
     theorem5_bound,
 )
+from repro.analysis.sweep import SweepResult
 from repro.core.metrics import trace_stats
 from repro.opt.lower_bounds import opt_total_lower_bound
+from repro.parallel import SEED_BITS, derive_seed, merge_indexed, point_key
 from tests.conftest import exact_items, float_items, small_exact_items
 
 
@@ -166,3 +173,122 @@ def test_deterministic_algorithms_are_reproducible(items):
         a = simulate(items, algo_cls()).assignment
         b = simulate(items, algo_cls()).assignment
         assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Parallel sharding: seed derivation and order-independent merge
+# (the determinism contract of repro.parallel, as properties)
+
+point_values = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+    st.booleans(),
+    st.fractions(max_denominator=50),
+)
+
+points = st.dictionaries(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="_"),
+        min_size=1,
+        max_size=8,
+    ),
+    point_values,
+    max_size=5,
+)
+
+
+@given(points)
+@settings(max_examples=100, deadline=None)
+def test_point_key_is_order_insensitive_and_pure(point):
+    """The key is a pure function of the point, not of dict insertion order."""
+    reversed_insertion = dict(reversed(list(point.items())))
+    assert point_key(point) == point_key(reversed_insertion)
+    assert point_key(point) == point_key(dict(point))
+
+
+@given(st.lists(points, min_size=1, max_size=20), st.integers(0, 2**32))
+@settings(max_examples=100, deadline=None)
+def test_seed_derivation_is_injective_over_point_keys(batch, root_seed):
+    """Distinct point keys receive distinct seeds; equal keys equal seeds."""
+    keys = [point_key(p) for p in batch]
+    seeds = [derive_seed(root_seed, k) for k in keys]
+    assert len(set(seeds)) == len(set(keys))
+    for key, seed in zip(keys, seeds):
+        assert derive_seed(root_seed, key) == seed  # pure: recomputation agrees
+        assert 0 <= seed < 2**SEED_BITS
+
+
+@given(points, st.integers(0, 2**32), st.integers(0, 2**32))
+@settings(max_examples=100, deadline=None)
+def test_distinct_root_seeds_decouple_replications(point, root_a, root_b):
+    key = point_key(point)
+    if root_a != root_b:
+        assert derive_seed(root_a, key) != derive_seed(root_b, key)
+    else:
+        assert derive_seed(root_a, key) == derive_seed(root_b, key)
+
+
+def test_seed_derivation_is_stable_across_process_boundaries():
+    """A fresh interpreter with a different ``PYTHONHASHSEED`` derives the
+    same seeds — nothing in the scheme touches Python's randomized hash."""
+    sample = [
+        {"k": 2, "mu": 10.5, "algo": "first-fit"},
+        {"k": 4, "mu": 0.1, "algo": "best-fit", "strict": True},
+        {"rate": Fraction(1, 3), "label": "bursty"},
+        {},
+    ]
+    local = [derive_seed(1234, point_key(p)) for p in sample]
+    script = (
+        "import json, sys\n"
+        "from fractions import Fraction\n"
+        "from repro.parallel import derive_seed, point_key\n"
+        "sample = [\n"
+        "    {'k': 2, 'mu': 10.5, 'algo': 'first-fit'},\n"
+        "    {'k': 4, 'mu': 0.1, 'algo': 'best-fit', 'strict': True},\n"
+        "    {'rate': Fraction(1, 3), 'label': 'bursty'},\n"
+        "    {},\n"
+        "]\n"
+        "print(json.dumps([derive_seed(1234, point_key(p)) for p in sample]))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "99"  # force a different str-hash randomization
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert json.loads(out.stdout) == local
+
+
+row_lists = st.lists(
+    st.fixed_dictionaries(
+        {"x": st.integers(-100, 100), "y": st.floats(allow_nan=False, width=32)}
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(row_lists, st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_merge_is_permutation_invariant(rows, rng):
+    """Shuffled shard completion order yields an identical SweepResult."""
+    indexed = list(enumerate(rows))
+    shuffled = list(indexed)
+    rng.shuffle(shuffled)
+    merged = merge_indexed(shuffled, len(rows))
+    assert merged == rows  # input order restored regardless of completion order
+
+    headers = list(rows[0])
+    in_order = SweepResult(headers=headers)
+    for row in rows:
+        in_order.add(row)
+    from_shuffle = SweepResult(headers=headers)
+    for row in merged:
+        from_shuffle.add(row)
+    assert from_shuffle == in_order

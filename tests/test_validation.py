@@ -125,3 +125,24 @@ class TestHierarchy:
         ]
         with pytest.raises(OversizedItemError):
             simulate(items, FirstFit(), capacity=1)
+
+
+class TestEmptySweepError:
+    """The empty-sweep error is typed, attributed, and raised consistently."""
+
+    def test_is_a_value_error_with_context(self):
+        from repro.core.validation import EmptySweepError
+
+        err = EmptySweepError("experiment batch")
+        assert isinstance(err, ValueError)
+        assert err.what == "experiment batch"
+        assert "empty experiment batch" in str(err)
+
+    def test_registry_rejects_empty_batch_on_both_paths(self):
+        from repro.core.validation import EmptySweepError
+        from repro.experiments import run_experiments
+
+        with pytest.raises(EmptySweepError):
+            run_experiments([])
+        with pytest.raises(EmptySweepError):
+            run_experiments([], parallel=4)
