@@ -23,6 +23,14 @@ so future PRs can track engine throughput:
   rows are identical (the determinism contract), and records both
   wall-clocks plus the speedup and the machine's core count — the
   acceptance bar is >= 2x at 4 workers on a 4-core runner.
+* A **vector** pass packs correlated 2-D and 4-D demand vectors with
+  First Fit through the per-dimension candidate-intersection index and
+  through the list scan on the same trace, asserting the packings agree.
+  The acceptance gate is *relative to the scalar engine*: the vector
+  indexed path must stay within 3x of the scalar indexed path's per-item
+  cost at the same trace size (``within_3x_of_scalar``), so extra
+  dimensions degrade throughput gracefully instead of silently falling
+  back to the O(n²) scan.
 
 Also runnable under pytest (tiny sizes) as a smoke test.
 """
@@ -42,7 +50,13 @@ from repro import BestFit, FirstFit, simulate
 from repro.analysis.sweep import grid, run_sweep
 from repro.core.streaming import simulate_stream
 from repro.obs import observe_stream
-from repro.workloads import Clipped, Exponential, Uniform, stream_trace
+from repro.workloads import (
+    Clipped,
+    Exponential,
+    Uniform,
+    generate_vector_trace,
+    stream_trace,
+)
 
 DEFAULT_SIZES = (10_000, 100_000, 1_000_000)
 DEFAULT_SCAN_LIMIT = 100_000
@@ -50,6 +64,8 @@ DEFAULT_OBS_SIZE = 100_000
 DEFAULT_SWEEP_SEEDS = 8
 DEFAULT_SWEEP_ITEMS = 20_000
 DEFAULT_WORKERS = 4
+DEFAULT_VECTOR_SIZE = 100_000
+DEFAULT_VECTOR_DIMS = (2, 4)
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -66,6 +82,95 @@ def workload(n_items: int, seed: int = 0):
 
 def _algorithms():
     return [("first-fit", FirstFit), ("best-fit", BestFit)]
+
+
+def vector_workload(n_items: int, dims: int, seed: int = 0):
+    """Correlated d-dimensional trace with the same session shape.
+
+    ``generate_vector_trace`` is horizon-driven (Poisson arrivals), so the
+    realised item count is ~``n_items``; rows record the exact count.
+    """
+    return generate_vector_trace(
+        arrival_rate=100.0,
+        horizon=n_items / 100.0,
+        duration=Clipped(Exponential(100.0), 20.0, 200.0),
+        sizes=[Uniform(0.3, 0.9)] * dims,
+        correlation=0.5,
+        seed=seed,
+        name=f"bench-vector-{dims}d",
+    )
+
+
+def run_vector_baseline(
+    n_items: int = DEFAULT_VECTOR_SIZE,
+    dims_list=DEFAULT_VECTOR_DIMS,
+    scan_limit: int = DEFAULT_SCAN_LIMIT,
+    seed: int = 0,
+    scalar_indexed_ips: float | None = None,
+) -> list[dict]:
+    """Vector First Fit through the candidate-intersection index vs scan.
+
+    ``scalar_indexed_ips`` is the scalar First Fit indexed throughput at
+    the same trace size; when provided, each row records the slowdown of
+    the vector index against it and whether it clears the <= 3x gate.
+    """
+    rows = []
+    for dims in dims_list:
+        items = list(vector_workload(n_items, dims, seed))
+        n = len(items)
+        t0 = time.perf_counter()
+        indexed = simulate(items, FirstFit())
+        indexed_s = time.perf_counter() - t0
+        indexed_ips = n / indexed_s
+        row = {
+            "algorithm": "first-fit",
+            "dims": dims,
+            "n_items": n,
+            "engine": "vector-indexed",
+            "seconds": round(indexed_s, 3),
+            "items_per_sec": round(indexed_ips),
+            "bins": indexed.num_bins_used,
+            "peak_open": indexed.max_bins_used,
+        }
+        if scalar_indexed_ips is not None:
+            vs_scalar = scalar_indexed_ips / indexed_ips
+            row["vs_scalar_indexed"] = round(vs_scalar, 2)
+            row["within_3x_of_scalar"] = vs_scalar <= 3.0
+        rows.append(row)
+        msg = (
+            f"vector-ff {dims}d n={n:>9,}: indexed {indexed_ips:>10,.0f} it/s"
+        )
+        if n_items <= scan_limit:
+            t0 = time.perf_counter()
+            scan = simulate(items, FirstFit(), indexed=False)
+            scan_s = time.perf_counter() - t0
+            if indexed != scan:
+                raise AssertionError(
+                    f"vector {dims}d indexed/list-scan packings diverge at {n}"
+                )
+            rows.append(
+                {
+                    "algorithm": "first-fit",
+                    "dims": dims,
+                    "n_items": n,
+                    "engine": "vector-listscan",
+                    "seconds": round(scan_s, 3),
+                    "items_per_sec": round(n / scan_s),
+                    "bins": scan.num_bins_used,
+                    "peak_open": scan.max_bins_used,
+                }
+            )
+            msg += (
+                f", listscan {n/scan_s:>8,.0f} it/s, "
+                f"speedup {scan_s/indexed_s:.1f}x"
+            )
+        if "vs_scalar_indexed" in row:
+            msg += (
+                f", {row['vs_scalar_indexed']:.2f}x scalar indexed "
+                f"({'within' if row['within_3x_of_scalar'] else 'OVER'} 3x gate)"
+            )
+        print(msg)
+    return rows
 
 
 def run_observability_overhead(n_items: int, seed: int = 0) -> list[dict]:
@@ -177,9 +282,12 @@ def run_baseline(
     sweep_seeds=DEFAULT_SWEEP_SEEDS,
     sweep_items=DEFAULT_SWEEP_ITEMS,
     workers=DEFAULT_WORKERS,
+    vector_size=None,
+    vector_dims=DEFAULT_VECTOR_DIMS,
 ) -> dict:
     results = []
     speedups: dict[str, dict[str, float]] = {}
+    scalar_indexed_ips: dict[int, float] = {}
     for name, algo_cls in _algorithms():
         for n_items in sizes:
             if n_items <= scan_limit:
@@ -194,6 +302,8 @@ def run_baseline(
                     raise AssertionError(
                         f"{name} indexed/list-scan packings diverge at {n_items}"
                     )
+                if name == "first-fit":
+                    scalar_indexed_ips[n_items] = n_items / indexed_s
                 results.append(
                     {
                         "algorithm": name,
@@ -250,6 +360,15 @@ def run_baseline(
                 )
     if obs_size is None:
         obs_size = min(DEFAULT_OBS_SIZE, max(sizes))
+    if vector_size is None:
+        vector_size = min(DEFAULT_VECTOR_SIZE, max(sizes))
+    vector = run_vector_baseline(
+        n_items=vector_size,
+        dims_list=vector_dims,
+        scan_limit=scan_limit,
+        seed=seed,
+        scalar_indexed_ips=scalar_indexed_ips.get(vector_size),
+    )
     observability = run_observability_overhead(obs_size, seed)
     parallel_sweep = run_workers_scaling(
         n_seeds=sweep_seeds, n_items=sweep_items, workers=workers, root_seed=seed
@@ -265,6 +384,16 @@ def run_baseline(
         "scan_limit": scan_limit,
         "results": results,
         "speedups": speedups,
+        "vector": {
+            "workload": {
+                "arrival_rate": 100.0,
+                "duration": "Clipped(Exponential(100), 20, 200)",
+                "sizes": "Uniform(0.3, 0.9) per dimension",
+                "correlation": 0.5,
+                "seed": seed,
+            },
+            "results": vector,
+        },
         "observability": observability,
         "parallel_sweep": parallel_sweep,
     }
@@ -312,6 +441,20 @@ def main(argv=None) -> int:
         help="worker count for the parallel-sweep pass",
     )
     parser.add_argument(
+        "--vector-size",
+        type=int,
+        default=None,
+        help="trace size for the vector pass "
+        f"(default: min({DEFAULT_VECTOR_SIZE}, largest size))",
+    )
+    parser.add_argument(
+        "--vector-dims",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_VECTOR_DIMS),
+        help="dimensionalities for the vector pass",
+    )
+    parser.add_argument(
         "--write",
         action="store_true",
         help=f"record the baseline to {OUTPUT.name}",
@@ -325,6 +468,8 @@ def main(argv=None) -> int:
         sweep_seeds=args.sweep_seeds,
         sweep_items=args.sweep_items,
         workers=args.workers,
+        vector_size=args.vector_size,
+        vector_dims=tuple(args.vector_dims),
     )
     if args.write:
         OUTPUT.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -337,11 +482,26 @@ def main(argv=None) -> int:
 def test_engine_baseline_smoke():
     """Tiny-size smoke run: both engines agree and the report is complete."""
     baseline = run_baseline(
-        sizes=(500, 2000), scan_limit=500, sweep_seeds=4, sweep_items=500, workers=2
+        sizes=(500, 2000),
+        scan_limit=500,
+        sweep_seeds=4,
+        sweep_items=500,
+        workers=2,
+        vector_size=500,
+        vector_dims=(2, 3),
     )
     engines = {r["engine"] for r in baseline["results"]}
     assert engines == {"indexed", "listscan", "indexed-streamed"}
     assert baseline["speedups"]["first-fit"]["500"] > 0
+    vector_rows = baseline["vector"]["results"]
+    assert {r["engine"] for r in vector_rows} == {
+        "vector-indexed",
+        "vector-listscan",
+    }
+    assert {r["dims"] for r in vector_rows} == {2, 3}
+    for row in vector_rows:
+        if row["engine"] == "vector-indexed":
+            assert "within_3x_of_scalar" in row
     assert {row["algorithm"] for row in baseline["observability"]} == {
         "first-fit",
         "best-fit",

@@ -30,9 +30,12 @@ from .core import (
     Item,
     OpenBinIndex,
     OpenBinView,
+    InvalidItemTypeError,
     OversizedItemError,
     PackingResult,
     QuantizedCost,
+    ResourceDimensionError,
+    Resources,
     SimulationError,
     SimulationObserver,
     Simulator,
@@ -46,6 +49,7 @@ from .core import (
     parse_configuration,
     simulate,
     simulate_stream,
+    size_fits,
     span,
     total_demand,
     trace_span,
@@ -61,6 +65,8 @@ from .algorithms import (
     FirstFit,
     HarmonicFit,
     LastFit,
+    BalancedInterleaveFit,
+    MinWeightedRemainingFit,
     ModifiedFirstFit,
     NewBinPerItem,
     NextFit,
@@ -79,6 +85,8 @@ __all__ = [
     "Item",
     "make_items",
     "validate_items",
+    "Resources",
+    "size_fits",
     "Interval",
     "span",
     "Bin",
@@ -96,7 +104,9 @@ __all__ = [
     "OpenBinView",
     "SimulationError",
     "TraceValidationError",
+    "InvalidItemTypeError",
     "InvalidItemSizeError",
+    "ResourceDimensionError",
     "InvalidIntervalError",
     "OversizedItemError",
     "DuplicateItemIdError",
@@ -125,6 +135,8 @@ __all__ = [
     "NewBinPerItem",
     "HarmonicFit",
     "ModifiedFirstFit",
+    "MinWeightedRemainingFit",
+    "BalancedInterleaveFit",
     "get_algorithm",
     "available_algorithms",
 ]

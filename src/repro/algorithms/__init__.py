@@ -22,6 +22,7 @@ from .first_fit import FirstFit
 from .harmonic import HarmonicFit
 from .modified_best_fit import ModifiedBestFit
 from .modified_first_fit import LARGE, SMALL, ModifiedFirstFit
+from .vector_fit import BalancedInterleaveFit, MinWeightedRemainingFit
 
 __all__ = [
     "PackingAlgorithm",
@@ -42,6 +43,8 @@ __all__ = [
     "HarmonicFit",
     "ModifiedFirstFit",
     "ModifiedBestFit",
+    "MinWeightedRemainingFit",
+    "BalancedInterleaveFit",
     "LARGE",
     "SMALL",
 ]

@@ -19,6 +19,7 @@ import random
 from typing import Callable, Sequence
 
 from ..core.bin import Bin
+from ..core.resources import Resources, scalarize_max
 from .base import AnyFitAlgorithm, Arrival, register_algorithm
 
 __all__ = ["WorstFit", "LastFit", "RandomFit", "AnyFit"]
@@ -30,6 +31,13 @@ class WorstFit(AnyFitAlgorithm):
 
     def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
         best = fitting_bins[0]
+        if isinstance(best.residual, Resources):
+            best_key = scalarize_max(best.residual)
+            for candidate in fitting_bins[1:]:
+                key = scalarize_max(candidate.residual)
+                if key > best_key:
+                    best, best_key = candidate, key
+            return best
         for candidate in fitting_bins[1:]:
             if candidate.residual > best.residual:
                 best = candidate

@@ -22,6 +22,7 @@ from typing import Any, Callable, Sequence
 from ..core.numeric import Num
 from ..core.bin import Bin
 from ..core.bin_index import OpenBinIndex
+from ..core.resources import Size
 
 __all__ = [
     "Arrival",
@@ -43,7 +44,7 @@ class Arrival:
     """
 
     item_id: str
-    size: Num
+    size: Size
     arrival: Num
     tag: Any = None
 
@@ -71,7 +72,7 @@ class PackingAlgorithm(ABC):
     #: Registry name; subclasses set this via :func:`register_algorithm`.
     name: str = "abstract"
 
-    def reset(self, capacity: Num) -> None:
+    def reset(self, capacity: Size) -> None:
         """Called once at simulation start; override to clear state."""
 
     @abstractmethod
@@ -102,7 +103,7 @@ class PackingAlgorithm(ABC):
         """
         return NotImplemented
 
-    def new_bin_capacity(self, item: Arrival) -> Num | None:
+    def new_bin_capacity(self, item: Arrival) -> Size | None:
         """Capacity for a bin opened for ``item``; ``None`` = simulator default.
 
         Override to model heterogeneous fleets (multiple VM flavours).  The

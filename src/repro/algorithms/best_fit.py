@@ -11,14 +11,25 @@ Ties (equal levels) are broken towards the earliest-opened bin, which is the
 deterministic choice the paper's Theorem 2 construction assumes ("the bin
 with the highest level in the system" is unique there, so the tiebreak never
 fires in that instance).
+
+Vector runs need a *scalarisation* to rank residual vectors ("smallest
+residual" is ambiguous under dominance): the default max-dimension rule
+ranks by the tightest worst dimension and reduces to the scalar rule in
+1-D; ``BestFit(scalarization="sum")`` or ``("weighted", weights)`` pick
+alternatives.  Only the canonical max rule has an indexed path — the bin
+index keys its ordered list on it — so other scalarisations fall back to
+the list scan.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from types import NotImplementedType
+from typing import Callable, Sequence
 
 from ..core.bin import Bin
 from ..core.bin_index import OpenBinIndex
+from ..core.numeric import Num
+from ..core.resources import Resources, Size, get_scalarization
 from .base import OPEN_NEW, AnyFitAlgorithm, Arrival, _OpenNew, register_algorithm
 
 __all__ = ["BestFit"]
@@ -26,19 +37,55 @@ __all__ = ["BestFit"]
 
 @register_algorithm("best-fit")
 class BestFit(AnyFitAlgorithm):
-    """Place each item into the fitting bin with the least residual capacity."""
+    """Place each item into the fitting bin with the least residual capacity.
+
+    Parameters
+    ----------
+    scalarization:
+        How vector residuals are ranked: ``"max"`` (default, canonical),
+        ``"sum"``, ``"weighted"`` (requires ``weights``), or any callable
+        mapping a size to a ``Num``.  Ignored for scalar runs, which always
+        compare residuals directly.
+    weights:
+        Per-dimension weights for the ``"weighted"`` scalarisation.
+    """
+
+    def __init__(
+        self,
+        scalarization: "str | Callable[[Size], Num]" = "max",
+        weights: Sequence[Num] | None = None,
+    ) -> None:
+        self._scal = get_scalarization(scalarization, weights=weights)
+        self._canonical = scalarization == "max"
+        self._spec = scalarization
 
     def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
         best = fitting_bins[0]
+        if not isinstance(best.residual, Resources):
+            for candidate in fitting_bins[1:]:
+                if candidate.residual < best.residual:
+                    best = candidate
+            return best
+        best_key = self._scal(best.residual)
         for candidate in fitting_bins[1:]:
-            if candidate.residual < best.residual:
-                best = candidate
+            key = self._scal(candidate.residual)
+            if key < best_key:
+                best, best_key = candidate, key
         return best
 
     def choose_bin_indexed(
         self, item: Arrival, index: OpenBinIndex
-    ) -> Bin | _OpenNew | None:
+    ) -> Bin | _OpenNew | None | NotImplementedType:
         # Tightest fit by binary search on the ordered residual index;
         # residual ties resolve to the earliest-opened bin, as in select().
+        # The index ranks vector residuals by the canonical max rule only,
+        # so other scalarisations take the list scan.
+        if not self._canonical and isinstance(item.size, Resources):
+            return NotImplemented
         target = index.best_fit(item.size)
         return target if target is not None else OPEN_NEW
+
+    def __repr__(self) -> str:
+        if self._canonical:
+            return "BestFit()"
+        return f"BestFit(scalarization={self._spec!r})"

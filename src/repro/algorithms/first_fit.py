@@ -32,7 +32,8 @@ class FirstFit(AnyFitAlgorithm):
     def choose_bin_indexed(
         self, item: Arrival, index: OpenBinIndex
     ) -> Bin | _OpenNew | None:
-        # Lowest-index bin with sufficient residual, via segment-tree descent.
+        # Lowest-index bin with sufficient residual: segment-tree descent
+        # for scalar sizes, candidate-intersection sweep for vectors.
         target = index.first_fit(item.size)
         return target if target is not None else OPEN_NEW
 

@@ -20,6 +20,7 @@ from typing import Sequence
 
 from ..core.numeric import Num
 from ..core.bin import Bin
+from ..core.resources import Size, exceeds_threshold
 from .base import Arrival, OPEN_NEW, PackingAlgorithm, register_algorithm
 
 __all__ = ["HarmonicFit"]
@@ -40,18 +41,23 @@ class HarmonicFit(PackingAlgorithm):
         if num_classes < 1:
             raise ValueError(f"need at least one class, got {num_classes}")
         self.num_classes = num_classes
-        self._capacity: Num | None = None
+        self._capacity: Size | None = None
 
-    def reset(self, capacity: Num) -> None:
+    def reset(self, capacity: Size) -> None:
         self._capacity = capacity
 
     def classify(self, item: Arrival) -> int:
-        """Harmonic class of an item: smallest j with size > W/(j+1), capped at M."""
+        """Harmonic class of an item: smallest j with size > W/(j+1), capped at M.
+
+        Vector items classify by their *heaviest* dimension relative to
+        capacity (any dimension above the class boundary promotes the
+        item), degenerating to the scalar rule in 1-D.
+        """
         if self._capacity is None:
             raise RuntimeError("algorithm not reset; run it through the simulator")
         w = self._capacity
         for j in range(1, self.num_classes):
-            if item.size > w / (j + 1):
+            if exceeds_threshold(item.size, w / (j + 1)):
                 return j
         return self.num_classes
 

@@ -17,6 +17,7 @@ from typing import Sequence
 from ..core.numeric import Num
 from ..core.bin import Bin
 from ..core.bin_index import OpenBinIndex
+from ..core.resources import Resources, Size, meets_threshold, scalarize_max
 from .base import Arrival, OPEN_NEW, PackingAlgorithm, _OpenNew, register_algorithm
 from .modified_first_fit import LARGE, SMALL
 
@@ -31,19 +32,30 @@ class ModifiedBestFit(PackingAlgorithm):
         if not k > 1:
             raise ValueError(f"modified Best Fit requires k > 1, got {k}")
         self.k = k
-        self._threshold: Num | None = None
+        self._threshold: Size | None = None
 
-    def reset(self, capacity: Num) -> None:
+    def reset(self, capacity: Size) -> None:
         self._threshold = capacity / self.k
 
     def classify(self, item: Arrival) -> str:
         if self._threshold is None:
             raise RuntimeError("algorithm not reset; run it through the simulator")
-        return LARGE if item.size >= self._threshold else SMALL
+        return LARGE if meets_threshold(item.size, self._threshold) else SMALL
 
     def choose_bin(self, item: Arrival, open_bins: Sequence[Bin]):
         wanted = self.classify(item)
-        best: Bin | None = None
+        if isinstance(item.size, Resources):
+            # Rank vector residuals by the canonical max-dimension rule,
+            # matching the indexed path's ordering.
+            best: Bin | None = None
+            best_key = None
+            for b in open_bins:
+                if b.label == wanted and b.fits(item):
+                    key = scalarize_max(b.residual)
+                    if best_key is None or key < best_key:
+                        best, best_key = b, key
+            return best if best is not None else OPEN_NEW
+        best = None
         for b in open_bins:
             if b.label == wanted and b.fits(item):
                 if best is None or b.residual < best.residual:

@@ -20,6 +20,7 @@ from typing import Sequence
 from ..core.numeric import Num
 from ..core.bin import Bin
 from ..core.bin_index import OpenBinIndex
+from ..core.resources import Size, meets_threshold
 from .base import Arrival, OPEN_NEW, PackingAlgorithm, _OpenNew, register_algorithm
 
 __all__ = ["ModifiedFirstFit", "LARGE", "SMALL"]
@@ -45,7 +46,7 @@ class ModifiedFirstFit(PackingAlgorithm):
         if not k > 1:
             raise ValueError(f"MFF requires k > 1, got {k}")
         self.k = k
-        self._threshold: Num | None = None
+        self._threshold: Size | None = None
 
     @classmethod
     def with_known_mu(cls, mu: Num) -> "ModifiedFirstFit":
@@ -54,14 +55,18 @@ class ModifiedFirstFit(PackingAlgorithm):
             raise ValueError(f"μ is a max/min ratio and must be ≥ 1, got {mu}")
         return cls(k=mu + 7)
 
-    def reset(self, capacity: Num) -> None:
+    def reset(self, capacity: Size) -> None:
         self._threshold = capacity / self.k
 
     def classify(self, item: Arrival) -> str:
-        """LARGE if ``s(r) ≥ W/k`` else SMALL."""
+        """LARGE if ``s(r) ≥ W/k`` else SMALL.
+
+        Vector items are LARGE when *any* dimension reaches ``W_d/k`` —
+        one heavy dimension is enough to justify a dedicated-pool bin.
+        """
         if self._threshold is None:
             raise RuntimeError("algorithm not reset; run it through the simulator")
-        return LARGE if item.size >= self._threshold else SMALL
+        return LARGE if meets_threshold(item.size, self._threshold) else SMALL
 
     def choose_bin(self, item: Arrival, open_bins: Sequence[Bin]):
         wanted = self.classify(item)

@@ -1,0 +1,159 @@
+"""Vector-aware Any Fit rules (beyond the paper's scalar family).
+
+Scalar-tuned Any Fit rules rank bins by a single residual number and can
+mispack badly when dimensions conflict — a bin may look half-empty by
+total residual while one dimension is nearly exhausted.  The two rules
+here are modelled on the allocator families of HPC/cloud schedulers such
+as AccaSim (Weighted/Balanced/Hybrid allocators) and the DVBP heuristics
+of Murhekar et al.:
+
+* :class:`MinWeightedRemainingFit` — the *Weighted* idea: charge each
+  dimension's leftover by a scarcity weight and take the fitting bin
+  whose post-placement weighted residual is smallest.  With uniform
+  weights in 1-D this is exactly Best Fit.
+* :class:`BalancedInterleaveFit` — the *Balanced/Hybrid* idea: avoid
+  fragmenting any single dimension by picking the fitting bin whose
+  post-placement per-dimension utilisations are most even (smallest
+  max−min spread), interleaving complementary items (GPU-heavy with
+  memory-heavy) into the same bin.  In 1-D the spread is always zero and
+  the rule degenerates to First Fit.
+
+Both are proper Any Fit members — they never open a bin while some open
+bin fits — so Theorem 1's μ lower bound applies to them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.bin import Bin
+from ..core.numeric import Num
+from ..core.resources import Resources, Size
+from .base import AnyFitAlgorithm, Arrival, register_algorithm
+
+__all__ = ["MinWeightedRemainingFit", "BalancedInterleaveFit"]
+
+
+def _vector_view(value: Size, dims: int) -> tuple[Num, ...]:
+    """Components of a size, broadcasting scalars (scalar bins in 1-D runs)."""
+    if isinstance(value, Resources):
+        return value.values
+    return (value,) * dims
+
+
+@register_algorithm("min-weighted-remaining")
+class MinWeightedRemainingFit(AnyFitAlgorithm):
+    """Fitting bin minimising the weighted post-placement residual.
+
+    For a fitting bin ``b`` the rule scores
+    ``Σ_d w_d · (residual_d − size_d)`` and takes the smallest score,
+    breaking ties towards the earliest-opened bin.
+
+    Parameters
+    ----------
+    weights:
+        Per-dimension scarcity weights (non-negative, at least one
+        positive).  ``None`` (default) weights every dimension by the
+        inverse of the run's default capacity, so each dimension's
+        leftover is charged as a *fraction* of its bin — scarce, small
+        dimensions count as much as abundant, large ones.
+    """
+
+    def __init__(self, weights: Sequence[Num] | None = None) -> None:
+        if weights is not None:
+            ws = tuple(weights)
+            if not ws or any(w < 0 for w in ws) or not any(w > 0 for w in ws):
+                raise ValueError(
+                    f"weights must be non-negative with a positive entry, got {ws!r}"
+                )
+            self._explicit: tuple[Num, ...] | None = ws
+        else:
+            self._explicit = None
+        self._weights: tuple[Num, ...] | None = self._explicit
+        self._default_capacity: Size = 1
+
+    def reset(self, capacity: Size) -> None:
+        if self._explicit is not None:
+            self._weights = self._explicit
+        elif isinstance(capacity, Resources):
+            self._weights = tuple(1 / w for w in capacity.values)
+        else:
+            # Scalar capacity: the broadcast dimension count is only known
+            # per item; 1/W applies uniformly.
+            self._weights = None
+        self._default_capacity = capacity
+
+    def _weights_for(self, dims: int) -> tuple[Num, ...]:
+        if self._weights is not None:
+            if len(self._weights) != dims:
+                raise ValueError(
+                    f"{len(self._weights)} weights for {dims}-D items"
+                )
+            return self._weights
+        cap = self._default_capacity
+        assert not isinstance(cap, Resources)
+        return (1 / cap,) * dims
+
+    def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
+        size = item.size
+        dims = size.dims if isinstance(size, Resources) else 1
+        weights = self._weights_for(dims)
+        need = _vector_view(size, dims)
+        best = fitting_bins[0]
+        best_score = self._score(best, need, weights, dims)
+        for candidate in fitting_bins[1:]:
+            score = self._score(candidate, need, weights, dims)
+            if score < best_score:
+                best, best_score = candidate, score
+        return best
+
+    @staticmethod
+    def _score(
+        bin: Bin, need: tuple[Num, ...], weights: tuple[Num, ...], dims: int
+    ) -> Num:
+        residual = _vector_view(bin.residual, dims)
+        score: Num = 0
+        for d in range(dims):
+            score = score + weights[d] * (residual[d] - need[d])
+        return score
+
+    def __repr__(self) -> str:
+        if self._explicit is None:
+            return "MinWeightedRemainingFit()"
+        return f"MinWeightedRemainingFit(weights={list(self._explicit)!r})"
+
+
+@register_algorithm("balanced-interleave")
+class BalancedInterleaveFit(AnyFitAlgorithm):
+    """Fragmentation-avoiding interleave: balance per-dimension utilisation.
+
+    Scores a fitting bin by the spread ``max_d u_d − min_d u_d`` of its
+    post-placement utilisations ``u_d = (level_d + size_d) / W_d`` and
+    takes the smallest spread, ties to the earliest-opened bin.  Packing a
+    GPU-heavy item into a memory-heavy bin lowers the spread, so
+    complementary demands interleave instead of each dimension being
+    exhausted separately — the fragmentation mode scalar rules fall into.
+
+    Utilisations are compared as floats: the spread is a ranking
+    heuristic, not an exactness-critical quantity, and the tie-break is
+    still the deterministic opening order.
+    """
+
+    def select(self, item: Arrival, fitting_bins: Sequence[Bin]) -> Bin:
+        size = item.size
+        dims = size.dims if isinstance(size, Resources) else 1
+        need = _vector_view(size, dims)
+        best = fitting_bins[0]
+        best_spread = self._spread(best, need, dims)
+        for candidate in fitting_bins[1:]:
+            spread = self._spread(candidate, need, dims)
+            if spread < best_spread:
+                best, best_spread = candidate, spread
+        return best
+
+    @staticmethod
+    def _spread(bin: Bin, need: tuple[Num, ...], dims: int) -> float:
+        level = _vector_view(bin.level, dims)
+        cap = _vector_view(bin.capacity, dims)
+        utils = [float((level[d] + need[d]) / cap[d]) for d in range(dims)]
+        return max(utils) - min(utils)

@@ -51,6 +51,7 @@ from ..algorithms.base import PackingAlgorithm
 from ..core.bin import Bin
 from ..core.events import EventOrderError
 from ..core.item import Item
+from ..core.resources import oversize_dimension, size_fits
 from ..core.simulator import Simulator
 from ..core.streaming import StreamSummary
 from ..core.telemetry import SimulationObserver
@@ -343,8 +344,13 @@ def simulate_faulty_stream(
                 process_failures_at(fail_time)
 
     for item in items:
-        if item.size > capacity:
-            raise OversizedItemError(item.size, capacity, item_id=item.item_id)
+        if not size_fits(item.size, capacity):
+            raise OversizedItemError(
+                item.size,
+                capacity,
+                item_id=item.item_id,
+                dimension=oversize_dimension(item.size, capacity),
+            )
         if last_arrival is not None and item.arrival < last_arrival:
             raise EventOrderError(
                 f"item {item.item_id!r} arrives at {item.arrival}, before the "

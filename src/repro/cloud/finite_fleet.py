@@ -34,6 +34,7 @@ from ..algorithms.base import Arrival, OPEN_NEW, PackingAlgorithm
 from ..core.bin import Bin
 from ..core.cost import CostModel
 from ..core.item import Item
+from ..core.resources import oversize_dimension, size_fits
 from ..core.validation import OversizedItemError
 from .dispatcher import ServerType
 
@@ -183,9 +184,12 @@ class FiniteFleetDispatcher:
         ]
         capacity = self.server_type.gpu_capacity
         for request in requests:
-            if request.item.size > capacity:
+            if not size_fits(request.item.size, capacity):
                 raise OversizedItemError(
-                    request.item.size, capacity, item_id=request.item.item_id
+                    request.item.size,
+                    capacity,
+                    item_id=request.item.item_id,
+                    dimension=oversize_dimension(request.item.size, capacity),
                 )
         n = len(requests)
         for request in requests:

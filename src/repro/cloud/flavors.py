@@ -21,11 +21,20 @@ per-bin capacities in :class:`~repro.core.result.BinRecord`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import reduce
 from typing import Sequence
 
 from ..core.numeric import Num
 from ..algorithms.base import Arrival, OPEN_NEW, PackingAlgorithm
 from ..core.bin import Bin
+from ..core.resources import (
+    Size,
+    elementwise_max,
+    is_valid_capacity,
+    scalarize_max,
+    scalarize_sum,
+    size_fits,
+)
 from ..core.result import PackingResult
 from .multi_region import RegionBill, RegionPricing, price_by_region
 
@@ -34,23 +43,25 @@ __all__ = ["Flavor", "FlavorAwareFirstFit", "fleet_bill"]
 
 @dataclass(frozen=True, slots=True)
 class Flavor:
-    """One rentable VM flavour."""
+    """One rentable VM flavour (scalar or multi-resource capacity)."""
 
     name: str
-    capacity: Num
+    capacity: Size
     rate: Num  #: cost per open time unit
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("flavour needs a name")
-        if self.capacity <= 0:
+        if not is_valid_capacity(self.capacity):
             raise ValueError(f"{self.name}: capacity must be positive, got {self.capacity}")
         if self.rate <= 0:
             raise ValueError(f"{self.name}: rate must be positive, got {self.rate}")
 
     @property
     def rate_per_capacity(self) -> float:
-        return float(self.rate / self.capacity)
+        # Vector flavours are charged per unit of total provisioned
+        # resource, so "density" compares the bulk discount across shapes.
+        return float(self.rate / scalarize_sum(self.capacity))
 
 
 class FlavorAwareFirstFit(PackingAlgorithm):
@@ -82,21 +93,29 @@ class FlavorAwareFirstFit(PackingAlgorithm):
         self._pending: Flavor | None = None
 
     @property
-    def max_capacity(self) -> Num:
-        return max(f.capacity for f in self.flavors)
+    def max_capacity(self) -> Size:
+        """Elementwise envelope of the fleet's capacities."""
+        return reduce(elementwise_max, (f.capacity for f in self.flavors))
 
     def _pick_flavor(self, item: Arrival) -> Flavor:
-        fitting = [f for f in self.flavors if f.capacity >= item.size]
+        fitting = [f for f in self.flavors if size_fits(item.size, f.capacity)]
         if not fitting:
             raise ValueError(
                 f"item {item.item_id!r} of size {item.size} fits no flavour "
                 f"(max capacity {self.max_capacity})"
             )
+        # Vector capacities only partially order, so tiebreaks scalarise;
+        # for scalar fleets the keys are the historical ones unchanged.
         if self.open_policy == "cheapest":
-            return min(fitting, key=lambda f: (f.rate, f.capacity))
+            return min(fitting, key=lambda f: (f.rate, scalarize_sum(f.capacity)))
         if self.open_policy == "best-density":
-            return min(fitting, key=lambda f: (f.rate_per_capacity, f.capacity))
-        return min(fitting, key=lambda f: (f.capacity, f.rate))
+            return min(
+                fitting, key=lambda f: (f.rate_per_capacity, scalarize_sum(f.capacity))
+            )
+        return min(
+            fitting,
+            key=lambda f: (scalarize_max(f.capacity), scalarize_sum(f.capacity), f.rate),
+        )
 
     def choose_bin(self, item: Arrival, open_bins: Sequence[Bin]):
         for b in open_bins:

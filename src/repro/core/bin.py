@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Protocol
 
 from .numeric import Num
+from .resources import Size
 
 if TYPE_CHECKING:  # pragma: no cover
     from .interval import Interval
@@ -39,7 +40,7 @@ class PackedItem(Protocol):
     def item_id(self) -> str: ...
 
     @property
-    def size(self) -> Num: ...
+    def size(self) -> Size: ...
 
     @property
     def arrival(self) -> Num: ...
@@ -82,12 +83,12 @@ class Bin:
     """
 
     index: int
-    capacity: Num
+    capacity: Size
     label: Any = None
     opened_at: Num | None = None
     closed_at: Num | None = None
     _contents: dict[str, PackedItem] = field(default_factory=dict, repr=False)
-    _level: Num = 0
+    _level: Size = 0
     assignments: list[BinAssignment] = field(default_factory=list, repr=False)
     #: When false, skip the assignment log — the streaming engine's
     #: O(active)-memory mode (the log is the only per-bin state that grows
@@ -97,13 +98,14 @@ class Bin:
     # ------------------------------------------------------------------ state
 
     @property
-    def level(self) -> Num:
-        """Current level: total size of the items in the bin."""
+    def level(self) -> Size:
+        """Current level: total size of the items in the bin (per-dimension
+        for vector bins)."""
         return self._level
 
     @property
-    def residual(self) -> Num:
-        """Remaining capacity ``W - level``."""
+    def residual(self) -> Size:
+        """Remaining capacity ``W - level`` (per-dimension for vector bins)."""
         return self.capacity - self._level
 
     @property
@@ -134,7 +136,8 @@ class Bin:
 
         Exact comparison — callers working with floats should construct
         instances whose sizes are exactly representable (the provided
-        adversaries do), as the paper's analysis is exact.
+        adversaries do), as the paper's analysis is exact.  For vector
+        bins this is *dominance*: the item must fit in every dimension.
         """
         return item.size <= self.residual
 
@@ -150,7 +153,10 @@ class Bin:
         """
         if self.is_closed:
             raise BinClosedError(f"bin {self.index} is closed; cannot add {item.item_id}")
-        if item.size > self.residual:
+        if not self.fits(item):
+            # Dominance is a partial order: "does not fit" must be spelled
+            # not-fits, not size > residual (incomparable vectors are
+            # neither).
             raise CapacityExceededError(
                 f"item {item.item_id} (size {item.size}) does not fit in bin "
                 f"{self.index} (residual {self.residual})"
@@ -218,7 +224,7 @@ class Bin:
         """Every item ever assigned to this bin (the paper's ``R_i``)."""
         return [a.item for a in self.assignments]
 
-    def configuration(self) -> dict[Num, int]:
+    def configuration(self) -> dict[Size, int]:
         """Current bin configuration as ``{size: count}``.
 
         This realises the paper's ``<x1|_y1, ..., xk|_yk>`` notation (see

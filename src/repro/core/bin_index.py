@@ -12,6 +12,10 @@ maintained on every add/remove/update:
 * a **sorted residual list** answering "smallest residual >= s, earliest
   opened on ties" (the Best Fit query) by binary search.
 
+Pools holding :class:`Resources` residuals (vector runs) swap the segment
+tree for per-dimension NumPy residual columns intersected in one
+vectorised sweep — see :class:`_VectorPool`.
+
 Bins are pooled by the ``bin.label`` they carry when registered (Modified
 First/Best Fit segregate large- and small-item bins this way); queries
 either target one pool or combine all pools.  Labels must not change after
@@ -25,13 +29,20 @@ is supported for compatibility but is O(n).
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left, insort
 from collections.abc import Sequence
 from itertools import islice
-from typing import Any, Iterator, overload
+from typing import TYPE_CHECKING, Any, Iterator, overload
+
+import numpy as np
 
 from .numeric import Num
 from .bin import Bin
+from .resources import Resources, Size
+
+if TYPE_CHECKING:
+    _FloatColumn = np.ndarray[Any, np.dtype[np.float64]]
 
 __all__ = ["ANY_LABEL", "OpenBinIndex", "OpenBinView"]
 
@@ -76,6 +87,11 @@ class _Pool:
     # ------------------------------------------------------------- mutation
 
     def add(self, bin: Bin) -> None:
+        if isinstance(bin.residual, Resources):
+            raise TypeError(
+                f"bin {bin.index} has a vector residual; scalar and vector "
+                "bins cannot share a label pool"
+            )
         if self.n_slots == self.cap:
             self._grow()
         slot = self.n_slots
@@ -155,6 +171,179 @@ class _Pool:
             node >>= 1
 
 
+def _float_upper(value: Num) -> float:
+    """Smallest float known to be >= ``value`` (exact for float inputs)."""
+    f = float(value)
+    return f if f >= value else math.nextafter(f, math.inf)
+
+
+def _float_lower(value: Num) -> float:
+    """Largest float known to be <= ``value`` (exact for float inputs)."""
+    f = float(value)
+    return f if f <= value else math.nextafter(f, -math.inf)
+
+
+class _VectorPool:
+    """Fit indexes for open bins with :class:`Resources` residuals.
+
+    The scalar pool's single max-residual tree becomes one **residual
+    column per dimension** over the same opening-order slots, held as
+    NumPy float arrays.  A First Fit query intersects the per-dimension
+    candidate sets in one vectorised sweep — ``(col_d >= need_d)`` for
+    every dimension, combined with ``&`` — and walks the surviving slots
+    in opening order, confirming exact dominance on the candidate's true
+    residual.  Columns store rounded-up floats and demands round down
+    (`_float_upper`/`_float_lower`), so exact residuals that dominate are
+    never masked out — the float mask over-approximates and the exact
+    check rejects the rare false positive.  The sweep is O(n) per query
+    but at C speed over contiguous memory, which in practice beats a
+    pruned multi-tree descent: per-dimension maxima inside a subtree can
+    come from *different* bins, so tree pruning degenerates to a
+    Python-speed scan exactly when bins are tight (the common case).
+
+    Best Fit keys the sorted list on the canonical max-dimension
+    scalarisation of the residual.  Dominance implies
+    ``scal_max(size) <= scal_max(residual)``, so every dominating bin lies
+    at or after the bisection point; the forward scan stops at the first
+    entry whose residual actually dominates.  In one dimension both
+    structures reduce exactly to the scalar pool's orderings, which the
+    differential suite checks byte for byte.
+    """
+
+    __slots__ = ("dims", "cap", "n_slots", "cols", "slots", "slot_of", "by_residual", "entry")
+
+    def __init__(self, dims: int) -> None:
+        self.dims = dims
+        self.cap = 1  # slot capacity of each residual column (power of two)
+        self.n_slots = 0
+        self.cols: list[_FloatColumn] = [
+            np.full(1, _CLOSED, dtype=np.float64) for _ in range(dims)
+        ]
+        self.slots: list[Bin | None] = [None]
+        self.slot_of: dict[int, int] = {}  # bin.index -> slot
+        self.by_residual: list[tuple[Num, int]] = []  # sorted (scal_max, bin.index)
+        self.entry: dict[int, tuple[Num, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.slot_of)
+
+    # ------------------------------------------------------------- mutation
+
+    def _residual_of(self, bin: Bin) -> Resources:
+        residual = bin.residual
+        if not isinstance(residual, Resources):
+            raise TypeError(
+                f"bin {bin.index} has a scalar residual; scalar and vector "
+                "bins cannot share a label pool"
+            )
+        if residual.dims != self.dims:
+            raise ValueError(
+                f"bin {bin.index} is {residual.dims}-D in a {self.dims}-D pool"
+            )
+        return residual
+
+    def add(self, bin: Bin) -> None:
+        residual = self._residual_of(bin)
+        if self.n_slots == self.cap:
+            self._grow()
+        slot = self.n_slots
+        self.n_slots += 1
+        self.slots[slot] = bin
+        self.slot_of[bin.index] = slot
+        self._cols_set(slot, residual)
+        key = (residual.max_component(), bin.index)
+        insort(self.by_residual, key)
+        self.entry[bin.index] = key
+
+    def discard(self, bin: Bin) -> None:
+        slot = self.slot_of.pop(bin.index)
+        self.slots[slot] = None
+        self._cols_set(slot, None)
+        key = self.entry.pop(bin.index)
+        del self.by_residual[bisect_left(self.by_residual, key)]
+        # Keep the sweep window dense: once dead slots outnumber live ones
+        # the candidate sweep would mostly scan tombstones, so rebuild the
+        # opening-order prefix (amortised O(1) per discard).
+        if self.n_slots >= 64 and 2 * len(self.slot_of) < self.n_slots:
+            self._compact()
+
+    def update(self, bin: Bin) -> None:
+        residual = self._residual_of(bin)
+        self._cols_set(self.slot_of[bin.index], residual)
+        old = self.entry[bin.index]
+        del self.by_residual[bisect_left(self.by_residual, old)]
+        key = (residual.max_component(), bin.index)
+        insort(self.by_residual, key)
+        self.entry[bin.index] = key
+
+    # -------------------------------------------------------------- queries
+
+    def first_fit(self, size: Resources) -> Bin | None:
+        """Earliest-opened bin whose residual dominates ``size``.
+
+        One vectorised candidate-intersection sweep over the per-dimension
+        residual columns, then exact dominance checks on the surviving
+        slots in opening order (almost always just the first).
+        """
+        n = self.n_slots
+        if n == 0:
+            return None
+        need = size.values
+        cols = self.cols
+        mask = cols[0][:n] >= _float_lower(need[0])
+        for d in range(1, self.dims):
+            mask &= cols[d][:n] >= _float_lower(need[d])
+        slots = self.slots
+        for slot in np.flatnonzero(mask):
+            bin = slots[slot]
+            if bin is not None and size <= bin.residual:
+                return bin
+        return None
+
+    def best_fit(self, size: Resources) -> tuple[Num, int] | None:
+        """``(scal_max(residual), bin.index)`` of the canonical tightest fit.
+
+        "Tightest" under the max-dimension scalarisation, earliest opened
+        on ties — the same rule the vector Best Fit list scan applies, and
+        exactly the scalar rule in 1-D.
+        """
+        lo = (size.max_component(), -1)
+        by_residual = self.by_residual
+        slots = self.slots
+        slot_of = self.slot_of
+        for i in range(bisect_left(by_residual, lo), len(by_residual)):
+            key = by_residual[i]
+            candidate = slots[slot_of[key[1]]]
+            assert candidate is not None
+            if size <= candidate.residual:
+                return key
+        return None
+
+    # ------------------------------------------------------------ internals
+
+    def _grow(self) -> None:
+        self.cap *= 2
+        self.slots.extend([None] * (self.cap - len(self.slots)))
+        pad = np.full(self.cap // 2, _CLOSED, dtype=np.float64)
+        self.cols = [np.concatenate([col, pad]) for col in self.cols]
+
+    def _compact(self) -> None:
+        live = [bin for bin in self.slots[: self.n_slots] if bin is not None]
+        self.slots = live + [None] * (self.cap - len(live))
+        self.slot_of = {bin.index: slot for slot, bin in enumerate(live)}
+        self.n_slots = len(live)
+        for col in self.cols:
+            col[:] = _CLOSED
+        for slot, bin in enumerate(live):
+            self._cols_set(slot, self._residual_of(bin))
+
+    def _cols_set(self, slot: int, residual: Resources | None) -> None:
+        for d in range(self.dims):
+            self.cols[d][slot] = (
+                _CLOSED if residual is None else _float_upper(residual[d])
+            )
+
+
 class OpenBinIndex:
     """Slot-map of open bins with per-label ordered fit indexes.
 
@@ -170,7 +359,7 @@ class OpenBinIndex:
 
     def __init__(self) -> None:
         self._by_index: dict[int, Bin] = {}  # insertion order == opening order
-        self._pools: dict[Any, _Pool] = {}
+        self._pools: dict[Any, _Pool | _VectorPool] = {}
         self._label_of: dict[int, Any] = {}  # label at registration time
 
     # ------------------------------------------------------- set protocol
@@ -197,7 +386,12 @@ class OpenBinIndex:
         label = bin.label
         pool = self._pools.get(label)
         if pool is None:
-            pool = self._pools[label] = _Pool()
+            residual = bin.residual
+            pool = self._pools[label] = (
+                _VectorPool(residual.dims)
+                if isinstance(residual, Resources)
+                else _Pool()
+            )
         pool.add(bin)
         self._label_of[bin.index] = label
 
@@ -213,7 +407,7 @@ class OpenBinIndex:
 
     # ------------------------------------------------------------ queries
 
-    def first_fit(self, size: Num, label: Any = ANY_LABEL) -> Bin | None:
+    def first_fit(self, size: Size, label: Any = ANY_LABEL) -> Bin | None:
         """Earliest-opened bin with residual >= ``size``, or ``None``.
 
         With the default ``ANY_LABEL`` the search spans every pool (plain
@@ -230,7 +424,7 @@ class OpenBinIndex:
         pool = self._pools.get(label)
         return pool.first_fit(size) if pool is not None else None
 
-    def best_fit(self, size: Num, label: Any = ANY_LABEL) -> Bin | None:
+    def best_fit(self, size: Size, label: Any = ANY_LABEL) -> Bin | None:
         """Tightest-fitting bin (smallest residual >= ``size``), or ``None``.
 
         Ties on residual resolve to the earliest-opened bin, matching the

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 from .numeric import Num
 from .bin import Bin
+from .resources import Resources, Size
 from .simulator import Simulator, _ActiveItem
 from .telemetry import SimulationObserver
 
@@ -67,7 +68,7 @@ class StreamCheckpoint:
     """
 
     algorithm_name: str
-    capacity: Num
+    capacity: Size
     cost_rate: Num
     #: Items pulled from the source stream so far; the resume skips these.
     items_consumed: int
@@ -242,13 +243,31 @@ class StreamCheckpoint:
     # ---------------------------------------------------------- serialization
 
     def to_json(self) -> str:
-        """Serialize to JSON (floats round-trip exactly)."""
-        return json.dumps(asdict(self), sort_keys=True)
+        """Serialize to JSON (floats round-trip exactly).
+
+        Vector sizes/capacities/levels are tagged as
+        ``{"__resources__": [...]}`` so :meth:`from_json` restores them as
+        :class:`~repro.core.resources.Resources` with the exact same float
+        components.
+        """
+        return json.dumps(asdict(self), sort_keys=True, default=_encode_json)
 
     @classmethod
     def from_json(cls, text: str) -> "StreamCheckpoint":
-        payload = json.loads(text)
+        payload = json.loads(text, object_hook=_decode_json)
         payload["bins"] = tuple(payload["bins"])
         payload["active"] = tuple(payload["active"])
         payload["observers"] = tuple(payload["observers"])
         return cls(**payload)
+
+
+def _encode_json(obj: Any) -> Any:
+    if isinstance(obj, Resources):
+        return {"__resources__": list(obj.values)}
+    raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
+
+
+def _decode_json(obj: dict[str, Any]) -> Any:
+    if len(obj) == 1 and "__resources__" in obj:
+        return Resources(*obj["__resources__"])
+    return obj

@@ -18,35 +18,77 @@ import re
 from dataclasses import dataclass
 from fractions import Fraction
 from .numeric import Num
+from .resources import Resources, Size, is_valid_size
 
 __all__ = ["ConfigGroup", "BinConfiguration", "parse_configuration"]
 
 
 @dataclass(frozen=True, slots=True)
 class ConfigGroup:
-    """One ``x|_y`` group: total size ``x`` made of items of size ``y``."""
+    """One ``x|_y`` group: total size ``x`` made of items of size ``y``.
 
-    total: Num
-    item_size: Num
+    Vector groups use :class:`~repro.core.resources.Resources` for both
+    fields; the per-dimension item counts must agree (``x_d = n·y_d`` for
+    one integer ``n``), since a group is ``n`` copies of the same item.
+    """
+
+    total: Size
+    item_size: Size
 
     def __post_init__(self) -> None:
-        if self.item_size <= 0:
+        if not is_valid_size(self.item_size):
             raise ValueError(f"item size must be positive, got {self.item_size}")
-        if self.total < 0:
-            raise ValueError(f"group total must be non-negative, got {self.total}")
-        count = self.total / self.item_size
+        if isinstance(self.total, Resources) != isinstance(self.item_size, Resources):
+            raise ValueError(
+                f"group total {self.total} and item size {self.item_size} must "
+                "both be scalar or both be vectors"
+            )
+        count = self._raw_count()
         if abs(count - round(count)) > 1e-9:
             raise ValueError(
                 f"group total {self.total} is not an integer multiple of item size "
                 f"{self.item_size}"
             )
 
+    def _raw_count(self) -> Num:
+        if isinstance(self.total, Resources):
+            assert isinstance(self.item_size, Resources)
+            if self.total.dims != self.item_size.dims:
+                raise ValueError(
+                    f"group total {self.total} and item size {self.item_size} "
+                    "have different dimensions"
+                )
+            if any(v < 0 for v in self.total.values):
+                raise ValueError(
+                    f"group total must be non-negative, got {self.total}"
+                )
+            counts: list[Num] = []
+            for x, y in zip(self.total.values, self.item_size.values):
+                if y == 0:
+                    if x != 0:
+                        raise ValueError(
+                            f"group total {self.total} demands a dimension where "
+                            f"item size {self.item_size} is zero"
+                        )
+                else:
+                    counts.append(x / y)
+            ref = counts[0]
+            if any(abs(c - ref) > 1e-9 for c in counts[1:]):
+                raise ValueError(
+                    f"group total {self.total} is not a uniform multiple of "
+                    f"item size {self.item_size}"
+                )
+            return ref
+        if self.total < 0:
+            raise ValueError(f"group total must be non-negative, got {self.total}")
+        return self.total / self.item_size
+
     @property
     def count(self) -> int:
         """Number of items in the group (``x / y``)."""
-        return round(self.total / self.item_size)
+        return round(self._raw_count())
 
-    def sizes(self) -> list[Num]:
+    def sizes(self) -> list[Size]:
         return [self.item_size] * self.count
 
     def __str__(self) -> str:
@@ -60,14 +102,14 @@ class BinConfiguration:
     groups: tuple[ConfigGroup, ...]
 
     @classmethod
-    def of(cls, *pairs: tuple[Num, Num]) -> "BinConfiguration":
+    def of(cls, *pairs: tuple[Size, Size]) -> "BinConfiguration":
         """Build from ``(total, item_size)`` pairs."""
         return cls(groups=tuple(ConfigGroup(total=t, item_size=y) for t, y in pairs))
 
     @property
-    def level(self) -> Num:
+    def level(self) -> Size:
         """Total size of the configuration (the bin's level)."""
-        total: Num = 0
+        total: Size = 0
         for g in self.groups:
             total = total + g.total
         return total
@@ -76,21 +118,21 @@ class BinConfiguration:
     def num_items(self) -> int:
         return sum(g.count for g in self.groups)
 
-    def sizes(self) -> list[Num]:
+    def sizes(self) -> list[Size]:
         """Concrete item sizes, group by group."""
-        out: list[Num] = []
+        out: list[Size] = []
         for g in self.groups:
             out.extend(g.sizes())
         return out
 
-    def as_multiset(self) -> dict[Num, int]:
+    def as_multiset(self) -> dict[Size, int]:
         """``{item_size: count}`` ignoring group boundaries."""
-        counts: dict[Num, int] = {}
+        counts: dict[Size, int] = {}
         for g in self.groups:
             counts[g.item_size] = counts.get(g.item_size, 0) + g.count
         return counts
 
-    def matches(self, observed: dict[Num, int]) -> bool:
+    def matches(self, observed: dict[Size, int]) -> bool:
         """Whether an observed ``{size: count}`` map equals this configuration."""
         return self.as_multiset() == dict(observed)
 
@@ -110,11 +152,36 @@ def _parse_number(text: str) -> Num:
     return float(text)
 
 
+def _parse_size(text: str) -> Size:
+    text = text.strip()
+    if text.startswith("(") and text.endswith(")"):
+        return Resources(*(_parse_number(part) for part in text[1:-1].split(",")))
+    return _parse_number(text)
+
+
+def _split_groups(body: str) -> list[str]:
+    """Split on top-level commas only — vector components stay together."""
+    parts: list[str] = []
+    depth = 0
+    start = 0
+    for i, ch in enumerate(body):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(body[start:i])
+            start = i + 1
+    parts.append(body[start:])
+    return parts
+
+
 def parse_configuration(text: str) -> BinConfiguration:
     """Parse a configuration string such as ``"<1/2|_1/2, 2/5|_1/10>"``.
 
     Accepts fractions (``1/3``), integers and decimals; the ``_`` after the
-    bar is optional, so ``"1/2|1/2"`` also parses.
+    bar is optional, so ``"1/2|1/2"`` also parses.  Vector groups write
+    sizes as parenthesised tuples, e.g. ``"<(1/2, 1/4)|_(1/4, 1/8)>"``.
     """
     body = text.strip()
     if body.startswith("<") and body.endswith(">"):
@@ -123,11 +190,11 @@ def parse_configuration(text: str) -> BinConfiguration:
     if not body:
         return BinConfiguration(groups=())
     groups: list[ConfigGroup] = []
-    for part in body.split(","):
+    for part in _split_groups(body):
         m = _GROUP_RE.match(part)
         if not m:
             raise ValueError(f"malformed configuration group: {part!r}")
         groups.append(
-            ConfigGroup(total=_parse_number(m.group("total")), item_size=_parse_number(m.group("size")))
+            ConfigGroup(total=_parse_size(m.group("total")), item_size=_parse_size(m.group("size")))
         )
     return BinConfiguration(groups=tuple(groups))

@@ -13,9 +13,12 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from .numeric import Num
+from typing import Sequence
 
-__all__ = ["CostModel", "ContinuousCost", "QuantizedCost"]
+from .numeric import Num
+from .resources import Resources, Size
+
+__all__ = ["CostModel", "ContinuousCost", "QuantizedCost", "rate_for_capacity"]
 
 
 class CostModel(ABC):
@@ -66,3 +69,31 @@ class QuantizedCost(CostModel):
             raise ValueError(f"negative duration: {duration}")
         quanta = max(1, math.ceil(duration / self.quantum))
         return self.rate * self.quantum * quanta
+
+
+def rate_for_capacity(capacity: Size, unit_rates: "Sequence[Num] | Num" = 1) -> Num:
+    """Derive a bin's rental rate from its (possibly vector) capacity.
+
+    Cloud pricing is close to linear in provisioned resources: a flavour
+    with capacity ``(gpu, cpu, mem)`` rents at ``Σ_d unit_rates[d]·W_d``
+    per unit time.  Scalar capacities pay ``unit_rate × W`` — the same
+    formula the scalar flavour experiments have always used — so 1-D
+    vector flavours price identically to their scalar counterparts.
+    """
+    if isinstance(capacity, Resources):
+        if isinstance(unit_rates, Sequence):
+            rate = capacity.dot(unit_rates)
+        else:
+            rate = capacity.sum_components() * unit_rates
+    else:
+        if isinstance(unit_rates, Sequence):
+            if len(unit_rates) != 1:
+                raise ValueError(
+                    f"scalar capacity takes one unit rate, got {len(unit_rates)}"
+                )
+            rate = capacity * unit_rates[0]
+        else:
+            rate = capacity * unit_rates
+    if rate <= 0:
+        raise ValueError(f"derived rate must be positive, got {rate}")
+    return rate

@@ -14,16 +14,25 @@ match the paper's closed-form expressions exactly.
 from __future__ import annotations
 
 import itertools
-import numbers
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
 
-from .numeric import Num
+from .numeric import NUM_TYPES, Num
+from .resources import (
+    Resources,
+    Size,
+    dims_of,
+    is_valid_size,
+    oversize_dimension,
+    size_fits,
+)
 from .validation import (
     DuplicateItemIdError,
     InvalidIntervalError,
     InvalidItemSizeError,
+    InvalidItemTypeError,
     OversizedItemError,
+    ResourceDimensionError,
     TraceValidationError,
 )
 
@@ -33,7 +42,9 @@ _id_counter = itertools.count()
 
 
 def _fresh_id() -> str:
-    return f"item-{next(_id_counter)}"
+    # The "auto-" namespace keeps generated ids disjoint from
+    # make_items(prefix="item") ids, which also read "item-N".
+    return f"auto-item-{next(_id_counter)}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,24 +68,35 @@ class Item:
 
     arrival: Num
     departure: Num
-    size: Num
+    size: Size
     item_id: str = field(default_factory=_fresh_id)
     tag: Any = None
 
     def __post_init__(self) -> None:
-        for name in ("arrival", "departure", "size"):
+        for name in ("arrival", "departure"):
             value = getattr(self, name)
-            if not isinstance(value, numbers.Real):
-                raise TypeError(f"Item.{name} must be a real number, got {value!r}")
+            if not isinstance(value, NUM_TYPES):
+                raise InvalidItemTypeError(name, value, item_id=self.item_id)
             if value != value:  # NaN
                 raise TraceValidationError(
                     f"Item.{name} must not be NaN", item_id=self.item_id
                 )
+        if not isinstance(self.size, (Resources, *NUM_TYPES)):
+            raise InvalidItemTypeError(
+                "size",
+                self.size,
+                expected="a real number or Resources vector",
+                item_id=self.item_id,
+            )
+        if isinstance(self.size, float) and self.size != self.size:  # NaN
+            raise TraceValidationError(
+                "Item.size must not be NaN", item_id=self.item_id
+            )
         if not self.departure > self.arrival:
             raise InvalidIntervalError(
                 self.arrival, self.departure, item_id=self.item_id
             )
-        if not self.size > 0:
+        if not is_valid_size(self.size):
             raise InvalidItemSizeError(self.size, item_id=self.item_id)
 
     @property
@@ -88,9 +110,14 @@ class Item:
         return self.departure - self.arrival
 
     @property
-    def demand(self) -> Num:
-        """Resource demand ``u(r) = s(r) * len(I(r))``."""
+    def demand(self) -> Size:
+        """Resource demand ``u(r) = s(r) * len(I(r))`` (per-dimension for vectors)."""
         return self.size * self.length
+
+    @property
+    def dims(self) -> int | None:
+        """Dimension count of the size: ``None`` for scalar items."""
+        return dims_of(self.size)
 
     def active_at(self, t: Num) -> bool:
         """Whether the item is active at time ``t``.
@@ -108,14 +135,14 @@ class Item:
 
 
 def make_items(
-    triples: Iterable[tuple[Num, Num, Num]],
+    triples: Iterable[tuple[Num, Num, Size]],
     *,
     prefix: str = "item",
 ) -> list[Item]:
     """Build items from ``(arrival, departure, size)`` triples.
 
     Convenience constructor for tests, examples and docs.  Item ids are
-    ``f"{prefix}-{index}"``.
+    ``f"{prefix}-{index}"``; sizes may be scalars or ``Resources``.
     """
     return [
         Item(arrival=a, departure=d, size=s, item_id=f"{prefix}-{i}")
@@ -123,19 +150,44 @@ def make_items(
     ]
 
 
-def validate_items(items: Iterable[Item], *, capacity: Num | None = None) -> list[Item]:
+def validate_items(
+    items: Iterable[Item], *, capacity: Size | None = None
+) -> list[Item]:
     """Validate a list of items, returning it as a concrete list.
 
-    Checks for duplicate ids and, when ``capacity`` is given, that every
-    single item fits in a bin on its own (a necessary feasibility condition
-    for any packing).
+    Checks for duplicate ids, uniform size dimensionality (all scalar or
+    all ``d``-dimensional) and, when ``capacity`` is given, that every
+    single item fits in a bin on its own — per dimension for vector sizes
+    (a necessary feasibility condition for any packing).
     """
     out = list(items)
     seen: set[str] = set()
+    trace_dims: int | None = None
+    first = True
     for item in out:
         if item.item_id in seen:
             raise DuplicateItemIdError(item.item_id)
         seen.add(item.item_id)
-        if capacity is not None and item.size > capacity:
-            raise OversizedItemError(item.size, capacity, item_id=item.item_id)
+        item_dims = dims_of(item.size)
+        if first:
+            trace_dims = item_dims
+            first = False
+        elif item_dims != trace_dims:
+            raise ResourceDimensionError(
+                trace_dims, item_dims, item_id=item.item_id
+            )
+        if capacity is not None:
+            try:
+                fits = size_fits(item.size, capacity)
+            except TypeError:
+                raise ResourceDimensionError(
+                    dims_of(capacity), item_dims, item_id=item.item_id
+                ) from None
+            if not fits:
+                raise OversizedItemError(
+                    item.size,
+                    capacity,
+                    item_id=item.item_id,
+                    dimension=oversize_dimension(item.size, capacity),
+                )
     return out

@@ -8,11 +8,12 @@ plus derived quantities such as average utilisation of a packing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 from .numeric import Num
 from .interval import Interval, union_length
 from .item import Item
+from .resources import Resources, Size, elementwise_max, elementwise_min
 from .result import PackingResult
 
 __all__ = [
@@ -55,9 +56,10 @@ def trace_span(items: Iterable[Item]) -> Num:
     return union_length([Interval(it.arrival, it.departure) for it in _as_list(items)])
 
 
-def total_demand(items: Iterable[Item]) -> Num:
-    """``u(R) = Σ_r s(r)·len(I(r))``: the total resource demand."""
-    total: Num = 0
+def total_demand(items: Iterable[Item]) -> Size:
+    """``u(R) = Σ_r s(r)·len(I(r))``: the total resource demand
+    (per-dimension for vector traces)."""
+    total: Size = 0
     for it in _as_list(items):
         total = total + it.demand
     return total
@@ -73,8 +75,9 @@ class TraceStats:
     min_interval: Num
     max_interval: Num
     mu: Num
-    min_size: Num
-    max_size: Num
+    #: Elementwise extremes for vector traces, plain min/max for scalars.
+    min_size: Size
+    max_size: Size
     first_arrival: Num
     last_departure: Num
 
@@ -82,6 +85,13 @@ class TraceStats:
     def packing_period(self) -> Num:
         """Length of ``[min_r a(r), max_r d(r)]``."""
         return self.last_departure - self.first_arrival
+
+
+def _reduce_sizes(items: list[Item], combine: "Callable[[Size, Size], Size]") -> Size:
+    acc = items[0].size
+    for it in items[1:]:
+        acc = combine(acc, it.size)
+    return acc
 
 
 def trace_stats(items: Iterable[Item]) -> TraceStats:
@@ -96,8 +106,8 @@ def trace_stats(items: Iterable[Item]) -> TraceStats:
         min_interval=lo,
         max_interval=hi,
         mu=hi / lo,
-        min_size=min(it.size for it in items),
-        max_size=max(it.size for it in items),
+        min_size=_reduce_sizes(items, elementwise_min),
+        max_size=_reduce_sizes(items, elementwise_max),
         first_arrival=min(it.arrival for it in items),
         last_departure=max(it.departure for it in items),
     )
@@ -112,6 +122,14 @@ def utilization(result: PackingResult) -> float:
     algorithm can exceed 1.
     """
     paid = result.total_capacity_time
+    demand = total_demand(result.items)
+    if isinstance(paid, Resources):
+        # Vector packing: utilisation of the *bottleneck* dimension — the
+        # axis that best justifies the capacity paid for.
+        assert isinstance(demand, Resources)
+        return max(
+            float(u / p) for u, p in zip(demand.values, paid.values)
+        )
     if paid == 0:
         raise ValueError("packing has zero total bin time")
-    return float(total_demand(result.items) / paid)
+    return float(demand / paid)

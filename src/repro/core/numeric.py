@@ -16,6 +16,16 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import TypeAlias, Union
 
-__all__ = ["Num"]
+__all__ = ["Num", "NUM_TYPES", "is_num"]
 
 Num: TypeAlias = Union[int, float, Fraction]
+
+#: Runtime counterpart of :data:`Num` for ``isinstance`` checks.  ``bool``
+#: is a subclass of ``int`` and therefore accepted, matching the old
+#: ``numbers.Real`` behaviour.
+NUM_TYPES: tuple[type, ...] = (int, float, Fraction)
+
+
+def is_num(value: object) -> bool:
+    """Whether ``value`` is one of the engine's scalar numeric types."""
+    return isinstance(value, NUM_TYPES)

@@ -1,0 +1,482 @@
+"""Multi-resource demand vectors and scalarisation helpers.
+
+The source paper models a session as a scalar GPU demand; its successors
+(Murhekar et al., arXiv 2304.08648) show cloud placement is
+multi-resource: GPU, CPU, memory, bandwidth.  :class:`Resources` is the
+engine's demand vector — immutable, slots-based, exact-arithmetic
+friendly (components may be ``int``/``float``/``Fraction``), with
+elementwise ``+``/``-`` and the *dominance* partial order
+``a <= b  iff  a_d <= b_d for every dimension d``.
+
+Scalar sizes remain the 1-D special case: every helper in this module
+accepts a plain ``Num`` and degenerates to the familiar scalar
+comparison, which is what lets the differential suite assert that 1-D
+vector runs are byte-identical to the scalar engine.
+
+Because dominance is *partial*, ``a > b`` is **not** the negation of
+``a <= b`` — incomparable vectors answer ``False`` to both.  Engine code
+must therefore never order-compare sizes directly (lint rule DBP010);
+it routes through :func:`size_fits` / :meth:`Bin.fits` for feasibility
+and through the scalarisations below for ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence, Union
+
+from .numeric import NUM_TYPES, Num
+
+__all__ = [
+    "Resources",
+    "Size",
+    "dims_of",
+    "size_fits",
+    "is_valid_size",
+    "is_valid_capacity",
+    "meets_threshold",
+    "exceeds_threshold",
+    "oversize_dimension",
+    "elementwise_min",
+    "elementwise_max",
+    "scalarize_max",
+    "scalarize_sum",
+    "make_weighted_scalarization",
+    "get_scalarization",
+]
+
+
+class Resources:
+    """An immutable vector of per-dimension resource quantities.
+
+    Construct from positional components (``Resources(2, 4)``) or a single
+    iterable (``Resources([2, 4])``).  Components are ``Num`` scalars;
+    ``Fraction`` components keep arithmetic exact end to end, so the
+    adversarial constructions work unchanged in higher dimensions.
+
+    Supported algebra:
+
+    * elementwise ``+`` / ``-`` against another :class:`Resources` of the
+      same dimension, or against a scalar (broadcast) — broadcasting is
+      what lets ``Bin`` keep ``level = 0`` as its empty state;
+    * scalar ``*`` / ``/``;
+    * dominance comparisons: ``a <= b`` iff every component of ``a`` is at
+      most the matching component of ``b``; ``<`` additionally requires
+      ``a != b``.  Incomparable vectors are ``False`` both ways.
+    """
+
+    __slots__ = ("_values",)
+
+    _values: tuple[Num, ...]
+
+    def __init__(self, *values: Num | Sequence[Num]) -> None:
+        if len(values) == 1 and not isinstance(values[0], NUM_TYPES):
+            candidate = values[0]
+            try:
+                values = tuple(candidate)  # type: ignore[arg-type]
+            except TypeError:
+                raise TypeError(
+                    f"Resources components must be numbers, got {candidate!r}"
+                ) from None
+        if not values:
+            raise ValueError("Resources needs at least one dimension")
+        for v in values:
+            if not isinstance(v, NUM_TYPES):
+                raise TypeError(f"Resources components must be numbers, got {v!r}")
+            if v != v:  # NaN
+                raise ValueError("Resources components must not be NaN")
+        object.__setattr__(self, "_values", tuple(values))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Resources is immutable")
+
+    # The immutability guard blocks the slot-writing fallback copy/pickle
+    # would otherwise use; reconstruct through __init__ instead (components
+    # are immutable scalars, so shallow/deep copies may share them).
+    def __reduce__(self) -> tuple["type[Resources]", tuple[Num, ...]]:
+        return (Resources, self._values)
+
+    def __copy__(self) -> "Resources":
+        return self
+
+    def __deepcopy__(self, memo: object) -> "Resources":
+        return self
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def uniform(cls, value: Num, dims: int) -> "Resources":
+        """The vector with ``value`` in every one of ``dims`` dimensions.
+
+        This is the scalar-capacity broadcast rule: a scalar bin capacity
+        ``W`` in a ``d``-dimensional run means "capacity ``W`` in every
+        dimension".
+        """
+        if dims < 1:
+            raise ValueError(f"dims must be positive, got {dims}")
+        return cls(*([value] * dims))
+
+    @classmethod
+    def zeros(cls, dims: int) -> "Resources":
+        return cls.uniform(0, dims)
+
+    # -- basic protocol ------------------------------------------------------
+
+    @property
+    def values(self) -> tuple[Num, ...]:
+        return self._values
+
+    @property
+    def dims(self) -> int:
+        return len(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Num]:
+        return iter(self._values)
+
+    def __getitem__(self, d: int) -> Num:
+        return self._values[d]
+
+    def __repr__(self) -> str:
+        return f"Resources({', '.join(repr(v) for v in self._values)})"
+
+    def __str__(self) -> str:
+        return f"({', '.join(str(v) for v in self._values)})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Resources):
+            return self._values == other._values
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __bool__(self) -> bool:
+        return any(self._values)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _coerce(self, other: object) -> tuple[Num, ...] | None:
+        if isinstance(other, Resources):
+            if other.dims != self.dims:
+                raise ValueError(
+                    f"dimension mismatch: {self.dims}-D vs {other.dims}-D"
+                )
+            return other._values
+        if isinstance(other, NUM_TYPES):
+            return (other,) * self.dims
+        return None
+
+    def __add__(self, other: object) -> "Resources":
+        vals = self._coerce(other)
+        if vals is None:
+            return NotImplemented
+        return Resources(*(a + b for a, b in zip(self._values, vals)))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "Resources":
+        vals = self._coerce(other)
+        if vals is None:
+            return NotImplemented
+        return Resources(*(a - b for a, b in zip(self._values, vals)))
+
+    def __rsub__(self, other: object) -> "Resources":
+        vals = self._coerce(other)
+        if vals is None:
+            return NotImplemented
+        return Resources(*(b - a for a, b in zip(self._values, vals)))
+
+    def __mul__(self, other: object) -> "Resources":
+        if not isinstance(other, NUM_TYPES):
+            return NotImplemented
+        return Resources(*(v * other for v in self._values))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> "Resources":
+        if not isinstance(other, NUM_TYPES):
+            return NotImplemented
+        return Resources(*(v / other for v in self._values))
+
+    # -- dominance order -----------------------------------------------------
+
+    def __le__(self, other: object) -> bool:
+        vals = self._coerce(other)
+        if vals is None:
+            return NotImplemented
+        return all(a <= b for a, b in zip(self._values, vals))
+
+    def __ge__(self, other: object) -> bool:
+        vals = self._coerce(other)
+        if vals is None:
+            return NotImplemented
+        return all(a >= b for a, b in zip(self._values, vals))
+
+    def __lt__(self, other: object) -> bool:
+        vals = self._coerce(other)
+        if vals is None:
+            return NotImplemented
+        return self._values != vals and all(
+            a <= b for a, b in zip(self._values, vals)
+        )
+
+    def __gt__(self, other: object) -> bool:
+        vals = self._coerce(other)
+        if vals is None:
+            return NotImplemented
+        return self._values != vals and all(
+            a >= b for a, b in zip(self._values, vals)
+        )
+
+    # -- scalarisation views -------------------------------------------------
+
+    def as_scalar(self) -> Num:
+        """The single component of a 1-D vector.
+
+        Raises ``ValueError`` in higher dimensions; this is the bridge the
+        differential suite uses to compare 1-D vector runs against the
+        scalar engine bit for bit.
+        """
+        if len(self._values) != 1:
+            raise ValueError(
+                f"as_scalar() needs a 1-D vector, got {self.dims} dimensions"
+            )
+        return self._values[0]
+
+    def max_component(self) -> Num:
+        return max(self._values)
+
+    def min_component(self) -> Num:
+        return min(self._values)
+
+    def sum_components(self) -> Num:
+        total: Num = self._values[0]
+        for v in self._values[1:]:
+            total = total + v
+        return total
+
+    def dot(self, weights: Sequence[Num]) -> Num:
+        if len(weights) != self.dims:
+            raise ValueError(
+                f"need {self.dims} weights, got {len(weights)}"
+            )
+        total: Num = self._values[0] * weights[0]
+        for v, w in zip(self._values[1:], weights[1:]):
+            total = total + v * w
+        return total
+
+
+#: A demand or capacity: scalar in 1-D traces, :class:`Resources` otherwise.
+Size = Union[Num, Resources]
+
+
+def dims_of(size: Size) -> int | None:
+    """Dimension count of a size: ``None`` for scalars, ``dims`` for vectors."""
+    return size.dims if isinstance(size, Resources) else None
+
+
+def size_fits(size: Size, capacity: Size) -> bool:
+    """Whether ``size`` fits inside ``capacity`` under dominance.
+
+    Scalar/scalar is the plain ``size <= capacity``; vector/vector is
+    dominance (every dimension fits); a vector size against a scalar
+    capacity broadcasts the capacity to every dimension.  A *scalar* size
+    against a *vector* capacity is a modelling error (which dimension does
+    the scalar occupy?) and raises ``TypeError``.
+    """
+    if isinstance(size, Resources):
+        return size <= capacity
+    if isinstance(capacity, Resources):
+        raise TypeError(
+            f"scalar size {size!r} cannot be checked against vector "
+            f"capacity {capacity!r}; use Resources sizes in vector runs"
+        )
+    return size <= capacity
+
+
+def oversize_dimension(size: Size, capacity: Size) -> int | None:
+    """First dimension where a vector ``size`` exceeds ``capacity``.
+
+    ``None`` when the size fits — and always for scalar sizes, so scalar
+    oversize errors keep their historical one-line message.
+    """
+    if isinstance(size, Resources):
+        caps = (
+            capacity.values
+            if isinstance(capacity, Resources)
+            else (capacity,) * size.dims
+        )
+        for d, (s, c) in enumerate(zip(size.values, caps)):
+            if not s <= c:
+                return d
+        return None
+    return None
+
+
+def is_valid_size(size: object) -> bool:
+    """Whether ``size`` is a legal item demand.
+
+    Scalars must be strictly positive (NaN is rejected because ``NaN > 0``
+    is false); vectors must be non-negative in every dimension and
+    positive in at least one — a session may demand zero bandwidth, but a
+    session demanding nothing at all is a trace bug.
+    """
+    if isinstance(size, Resources):
+        return all(v >= 0 for v in size.values) and any(v > 0 for v in size.values)
+    if isinstance(size, NUM_TYPES):
+        return size > 0
+    return False
+
+
+def is_valid_capacity(capacity: object) -> bool:
+    """Whether ``capacity`` is a legal bin capacity (positive everywhere)."""
+    if isinstance(capacity, Resources):
+        return all(v > 0 for v in capacity.values)
+    if isinstance(capacity, NUM_TYPES):
+        return capacity > 0
+    return False
+
+
+def meets_threshold(size: Size, threshold: Size) -> bool:
+    """Whether ``size`` reaches ``threshold`` in *some* dimension (``>=``).
+
+    This is the vector generalisation of the Modified-Any-Fit LARGE test:
+    an item is LARGE when any single dimension consumes at least ``W_d/k``
+    of its bin — one heavy dimension is enough to make the item worth a
+    dedicated bin.  Scalar inputs degenerate to ``size >= threshold``.
+    """
+    if isinstance(size, Resources):
+        thresholds = (
+            threshold.values
+            if isinstance(threshold, Resources)
+            else (threshold,) * size.dims
+        )
+        return any(s >= t for s, t in zip(size.values, thresholds))
+    if isinstance(threshold, Resources):
+        raise TypeError(
+            f"scalar size {size!r} has no dimensions to test against "
+            f"vector threshold {threshold!r}"
+        )
+    return size >= threshold
+
+
+def exceeds_threshold(size: Size, threshold: Size) -> bool:
+    """Strict variant of :func:`meets_threshold` (``>`` in some dimension)."""
+    if isinstance(size, Resources):
+        thresholds = (
+            threshold.values
+            if isinstance(threshold, Resources)
+            else (threshold,) * size.dims
+        )
+        return any(s > t for s, t in zip(size.values, thresholds))
+    if isinstance(threshold, Resources):
+        raise TypeError(
+            f"scalar size {size!r} has no dimensions to test against "
+            f"vector threshold {threshold!r}"
+        )
+    return size > threshold
+
+
+def elementwise_min(a: Size, b: Size) -> Size:
+    """Componentwise minimum (plain ``min`` for scalars)."""
+    if isinstance(a, Resources) or isinstance(b, Resources):
+        if not (isinstance(a, Resources) and isinstance(b, Resources)):
+            raise TypeError(f"cannot mix scalar and vector sizes: {a!r}, {b!r}")
+        if a.dims != b.dims:
+            raise ValueError(f"dimension mismatch: {a.dims}-D vs {b.dims}-D")
+        return Resources(*(min(x, y) for x, y in zip(a.values, b.values)))
+    return min(a, b)
+
+
+def elementwise_max(a: Size, b: Size) -> Size:
+    """Componentwise maximum (plain ``max`` for scalars)."""
+    if isinstance(a, Resources) or isinstance(b, Resources):
+        if not (isinstance(a, Resources) and isinstance(b, Resources)):
+            raise TypeError(f"cannot mix scalar and vector sizes: {a!r}, {b!r}")
+        if a.dims != b.dims:
+            raise ValueError(f"dimension mismatch: {a.dims}-D vs {b.dims}-D")
+        return Resources(*(max(x, y) for x, y in zip(a.values, b.values)))
+    return max(a, b)
+
+
+# -- scalarisations ----------------------------------------------------------
+#
+# A scalarisation maps a (possibly vector) size to a single Num used for
+# *ranking* (Best Fit tightness, flavour ordering).  The property tests
+# assert the two built-ins are monotone under dominance: a <= b implies
+# scal(a) <= scal(b), which is what makes Best-Fit-by-scalarisation a
+# well-defined generalisation of scalar Best Fit.
+
+
+def scalarize_max(size: Size) -> Num:
+    """Max-dimension (L∞) scalarisation; identity on scalars.
+
+    The canonical ranking: it is exactly the scalar residual in 1-D, which
+    is why the vector Best-Fit index keys on it.
+    """
+    if isinstance(size, Resources):
+        return size.max_component()
+    return size
+
+
+def scalarize_sum(size: Size) -> Num:
+    """Sum-of-dimensions (L1) scalarisation; identity on scalars."""
+    if isinstance(size, Resources):
+        return size.sum_components()
+    return size
+
+
+def make_weighted_scalarization(weights: Sequence[Num]) -> Callable[[Size], Num]:
+    """A weighted-sum scalarisation ``size ↦ Σ_d w_d · size_d``.
+
+    Weights must be non-negative with at least one positive entry so the
+    result stays monotone under dominance.  Scalars are treated as 1-D
+    (only ``weights[0]`` applies).
+    """
+    ws = tuple(weights)
+    if not ws or any(w < 0 for w in ws) or not any(w > 0 for w in ws):
+        raise ValueError(
+            f"weights must be non-negative with a positive entry, got {ws!r}"
+        )
+
+    def scalarize_weighted(size: Size) -> Num:
+        if isinstance(size, Resources):
+            return size.dot(ws)
+        return size * ws[0]
+
+    return scalarize_weighted
+
+
+_NAMED_SCALARIZATIONS: dict[str, Callable[[Size], Num]] = {
+    "max": scalarize_max,
+    "sum": scalarize_sum,
+}
+
+
+def get_scalarization(
+    spec: str | Callable[[Size], Num],
+    *,
+    weights: Sequence[Num] | None = None,
+) -> Callable[[Size], Num]:
+    """Resolve a scalarisation from a name, weights, or a callable.
+
+    ``"max"`` and ``"sum"`` are built in; ``"weighted"`` requires
+    ``weights``; a callable passes through unchanged.
+    """
+    if callable(spec):
+        return spec
+    if spec == "weighted":
+        if weights is None:
+            raise ValueError('scalarization "weighted" requires weights')
+        return make_weighted_scalarization(weights)
+    if weights is not None:
+        raise ValueError(f"weights only apply to 'weighted', not {spec!r}")
+    try:
+        return _NAMED_SCALARIZATIONS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown scalarization {spec!r}; "
+            f"options: {sorted(_NAMED_SCALARIZATIONS)} or 'weighted'"
+        ) from None

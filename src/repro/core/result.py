@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 from .numeric import Num
 from .interval import Interval
+from .resources import Size
 from .item import Item
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,7 +37,7 @@ class BinRecord:
     assignments: tuple[tuple[Num, str], ...]
     #: This bin's own capacity; ``None`` means the packing-wide default
     #: (heterogeneous-fleet algorithms open bins of varying capacity).
-    capacity: Num | None = None
+    capacity: Size | None = None
 
     @property
     def usage_length(self) -> Num:
@@ -57,7 +58,7 @@ class PackingResult:
     """Outcome of packing an item list with an online algorithm."""
 
     algorithm_name: str
-    capacity: Num
+    capacity: Size
     cost_rate: Num
     items: tuple[Item, ...]
     #: item_id -> bin index
@@ -153,14 +154,15 @@ class PackingResult:
         record = self.bins[bin_index]
         return [self.item_by_id(item_id) for item_id in record.item_ids]
 
-    def bin_capacity(self, record: BinRecord) -> Num:
+    def bin_capacity(self, record: BinRecord) -> Size:
         """A bin's effective capacity (its own, or the packing default)."""
         return self.capacity if record.capacity is None else record.capacity
 
     @property
-    def total_capacity_time(self) -> Num:
-        """``Σ_i W_i·len(I_i)``: paid capacity-time (= W·Σlen for uniform bins)."""
-        total: Num = 0
+    def total_capacity_time(self) -> Size:
+        """``Σ_i W_i·len(I_i)``: paid capacity-time (= W·Σlen for uniform
+        bins; per-dimension for vector bins)."""
+        total: Size = 0
         for b in self.bins:
             total = total + self.bin_capacity(b) * b.usage_length
         return total

@@ -39,8 +39,21 @@ from .bin import Bin
 from .bin_index import OpenBinIndex, OpenBinView
 from .events import EventKind, _merge_events, iter_events
 from .item import Item, validate_items
+from .resources import (
+    Resources,
+    Size,
+    dims_of,
+    is_valid_capacity,
+    is_valid_size,
+    oversize_dimension,
+    size_fits,
+)
 from .result import BinRecord, PackingResult
-from .validation import InvalidItemSizeError, OversizedItemError
+from .validation import (
+    InvalidItemSizeError,
+    OversizedItemError,
+    ResourceDimensionError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .streaming import StreamSummary
@@ -108,14 +121,14 @@ class Simulator:
         self,
         algorithm: PackingAlgorithm,
         *,
-        capacity: Num = 1,
+        capacity: Size = 1,
         cost_rate: Num = 1,
         strict: bool = True,
         indexed: bool = True,
         record: bool = True,
         observers: Sequence["SimulationObserver"] = (),
     ) -> None:
-        if capacity <= 0:
+        if not is_valid_capacity(capacity):
             raise ValueError(f"capacity must be positive, got {capacity}")
         if cost_rate <= 0:
             raise ValueError(f"cost rate must be positive, got {cost_rate}")
@@ -138,6 +151,11 @@ class Simulator:
         self._peak_open = 0
         self._items_arrived = 0
         self._closed_bin_time: Num = 0
+        # A run is scalar or d-dimensional throughout.  A vector capacity
+        # fixes d immediately; a scalar capacity broadcasts to the
+        # dimensionality of the first arrival.
+        self._item_dims: int | None = dims_of(capacity)
+        self._dims_fixed = isinstance(capacity, Resources)
         algorithm.reset(capacity)
 
     # ------------------------------------------------------------- inspection
@@ -188,14 +206,20 @@ class Simulator:
     def arrive(
         self,
         time: Num,
-        size: Num,
+        size: Size,
         item_id: str | None = None,
         tag: Any = None,
     ) -> Bin:
         """Submit an arrival; returns the bin the algorithm placed it in."""
         self._advance(time)
-        if size <= 0:
+        if not is_valid_size(size):
             raise InvalidItemSizeError(size, item_id=item_id)
+        dims = dims_of(size)
+        if not self._dims_fixed:
+            self._item_dims = dims
+            self._dims_fixed = True
+        elif dims != self._item_dims:
+            raise ResourceDimensionError(self._item_dims, dims, item_id=item_id)
         # Note: oversize vs the *default* capacity is checked at open time —
         # a flavour-aware algorithm may open a larger bin for this item.
         if item_id is None:
@@ -217,7 +241,12 @@ class Simulator:
             new_capacity = self.algorithm.new_bin_capacity(view)
             if new_capacity is None:
                 new_capacity = self.capacity
-            if size > new_capacity:
+            if isinstance(size, Resources) and not isinstance(
+                new_capacity, Resources
+            ):
+                # Scalar-capacity broadcast: capacity W means W per dimension.
+                new_capacity = Resources.uniform(new_capacity, size.dims)
+            if not size_fits(size, new_capacity):
                 raise SimulationError(
                     f"item {item_id!r} of size {size} cannot fit the new bin of "
                     f"capacity {new_capacity} the algorithm requested"
@@ -426,13 +455,13 @@ def simulate(
     items: Iterable[Item],
     algorithm: PackingAlgorithm,
     *,
-    capacity: Num = 1,
+    capacity: Size = 1,
     cost_rate: Num = 1,
     strict: bool = True,
     check: bool = False,
     indexed: bool = True,
     observers: Sequence["SimulationObserver"] = (),
-    max_bin_capacity: Num | None = None,
+    max_bin_capacity: Size | None = None,
 ) -> PackingResult:
     """Replay a complete item list against an online packing algorithm.
 
@@ -508,11 +537,23 @@ def simulate(
 
 
 def _validated_stream(
-    items: Iterable[Item], capacity: Num | None
+    items: Iterable[Item], capacity: Size | None
 ) -> Iterable[Item]:
     """Per-item validation for streamed traces (duplicate ids are caught by
     the simulator against active/assigned items)."""
     for item in items:
-        if capacity is not None and item.size > capacity:
-            raise OversizedItemError(item.size, capacity, item_id=item.item_id)
+        if capacity is not None:
+            try:
+                fits = size_fits(item.size, capacity)
+            except TypeError:
+                raise ResourceDimensionError(
+                    dims_of(capacity), item.dims, item_id=item.item_id
+                ) from None
+            if not fits:
+                raise OversizedItemError(
+                    item.size,
+                    capacity,
+                    item_id=item.item_id,
+                    dimension=oversize_dimension(item.size, capacity),
+                )
         yield item

@@ -26,8 +26,9 @@ from .numeric import Num
 from ..algorithms.base import PackingAlgorithm
 from .events import EventKind, EventOrderError, iter_events
 from .item import Item
+from .resources import Size, dims_of, oversize_dimension, size_fits
 from .simulator import Simulator
-from .validation import OversizedItemError
+from .validation import OversizedItemError, ResourceDimensionError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .checkpoint import StreamCheckpoint
@@ -41,7 +42,7 @@ class StreamSummary:
     """Aggregate outcome of a streamed simulation (no per-item history)."""
 
     algorithm_name: str
-    capacity: Num
+    capacity: Size
     cost_rate: Num
     #: Items that arrived (and departed — the stream must drain fully).
     num_items: int
@@ -65,7 +66,7 @@ def simulate_stream(
     items: Iterable[Item],
     algorithm: PackingAlgorithm,
     *,
-    capacity: Num = 1,
+    capacity: Size = 1,
     cost_rate: Num = 1,
     strict: bool = True,
     indexed: bool = True,
@@ -146,7 +147,7 @@ def _simulate_stream_checkpointed(
     items: Iterable[Item],
     algorithm: PackingAlgorithm,
     *,
-    capacity: Num,
+    capacity: Size,
     cost_rate: Num,
     strict: bool,
     indexed: bool,
@@ -212,8 +213,7 @@ def _simulate_stream_checkpointed(
             )
 
     for item in source:
-        if item.size > capacity:
-            raise OversizedItemError(item.size, capacity, item_id=item.item_id)
+        _check_fits(item, capacity)
         if last_arrival is not None and item.arrival < last_arrival:
             raise EventOrderError(
                 f"item {item.item_id!r} arrives at {item.arrival}, before the "
@@ -241,8 +241,23 @@ def _simulate_stream_checkpointed(
     return sim.finish_summary()
 
 
-def _validated(items: Iterable[Item], capacity: Num) -> Iterable[Item]:
+def _check_fits(item: Item, capacity: Size) -> None:
+    try:
+        fits = size_fits(item.size, capacity)
+    except TypeError:
+        raise ResourceDimensionError(
+            dims_of(capacity), item.dims, item_id=item.item_id
+        ) from None
+    if not fits:
+        raise OversizedItemError(
+            item.size,
+            capacity,
+            item_id=item.item_id,
+            dimension=oversize_dimension(item.size, capacity),
+        )
+
+
+def _validated(items: Iterable[Item], capacity: Size) -> Iterable[Item]:
     for item in items:
-        if item.size > capacity:
-            raise OversizedItemError(item.size, capacity, item_id=item.item_id)
+        _check_fits(item, capacity)
         yield item

@@ -18,9 +18,11 @@ from .numeric import Num
 
 __all__ = [
     "TraceValidationError",
+    "InvalidItemTypeError",
     "InvalidItemSizeError",
     "InvalidIntervalError",
     "OversizedItemError",
+    "ResourceDimensionError",
     "DuplicateItemIdError",
     "EmptySweepError",
 ]
@@ -39,10 +41,35 @@ class TraceValidationError(ValueError):
         self.item_id = item_id
 
 
-class InvalidItemSizeError(TraceValidationError):
-    """An item size that is not a positive real number (≤ 0 or NaN)."""
+class InvalidItemTypeError(TraceValidationError, TypeError):
+    """An item field of the wrong type (not a ``Num`` or ``Resources``).
 
-    def __init__(self, size: Num, *, item_id: str | None = None) -> None:
+    Also subclasses :class:`TypeError` so pre-existing ``except TypeError``
+    call sites around :class:`~repro.core.item.Item` construction keep
+    working.
+    """
+
+    def __init__(
+        self,
+        field: str,
+        value: object,
+        *,
+        expected: str = "a real number",
+        item_id: str | None = None,
+    ) -> None:
+        super().__init__(
+            f"Item.{field} must be {expected}, got {value!r}",
+            item_id=item_id,
+        )
+        self.field = field
+        self.value = value
+
+
+class InvalidItemSizeError(TraceValidationError):
+    """An item size that is not a positive demand (≤ 0, NaN, or an
+    all-zero/negative resource vector)."""
+
+    def __init__(self, size: object, *, item_id: str | None = None) -> None:
         super().__init__(
             f"item{f' {item_id!r}' if item_id else ''} size must be positive, "
             f"got {size}",
@@ -71,22 +98,57 @@ class InvalidIntervalError(TraceValidationError):
 
 
 class OversizedItemError(TraceValidationError):
-    """An item larger than the bin capacity ``W`` — unplaceable anywhere."""
+    """An item larger than the bin capacity ``W`` — unplaceable anywhere.
+
+    In vector runs ``size``/``capacity`` are ``Resources`` and
+    ``dimension`` names the first axis on which the demand exceeds the
+    capacity; scalar runs leave ``dimension`` as ``None``.
+    """
 
     def __init__(
         self,
-        size: Num,
-        capacity: Num,
+        size: object,
+        capacity: object,
         *,
         item_id: str | None = None,
+        dimension: int | None = None,
     ) -> None:
+        where = f" in dimension {dimension}" if dimension is not None else ""
         super().__init__(
             f"item{f' {item_id!r}' if item_id else ''} has size {size} "
-            f"exceeding bin capacity {capacity}",
+            f"exceeding bin capacity {capacity}{where}",
             item_id=item_id,
         )
         self.size = size
         self.capacity = capacity
+        self.dimension = dimension
+
+
+class ResourceDimensionError(TraceValidationError):
+    """Mixed scalar/vector sizes, or vectors of different dimension, in one run.
+
+    A simulation is either scalar or ``d``-dimensional throughout; the
+    first offending item is reported rather than letting a partial-order
+    comparison fail deep inside a placement rule.
+    """
+
+    def __init__(
+        self,
+        expected: int | None,
+        got: int | None,
+        *,
+        item_id: str | None = None,
+    ) -> None:
+        def _name(d: int | None) -> str:
+            return "scalar" if d is None else f"{d}-D vector"
+
+        super().__init__(
+            f"item{f' {item_id!r}' if item_id else ''} has a {_name(got)} size "
+            f"in a {_name(expected)} run; sizes must be uniform",
+            item_id=item_id,
+        )
+        self.expected = expected
+        self.got = got
 
 
 class DuplicateItemIdError(TraceValidationError):

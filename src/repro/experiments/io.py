@@ -14,6 +14,7 @@ import json
 from fractions import Fraction
 from typing import Any
 
+from ..core.resources import Resources
 from .registry import ExperimentResult
 
 __all__ = ["result_to_dict", "results_to_json", "load_results_json"]
@@ -24,6 +25,12 @@ FORMAT_VERSION = 1
 def _jsonable(value: Any) -> Any:
     if isinstance(value, Fraction):
         return {"fraction": f"{value.numerator}/{value.denominator}", "value": float(value)}
+    if isinstance(value, Resources):
+        # 1-D vectors unwrap to the bare scalar so a 1-D vector run's
+        # artifact is byte-identical to the scalar engine's.
+        if value.dims == 1:
+            return _jsonable(value.as_scalar())
+        return {"resources": [_jsonable(v) for v in value.values]}
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
     return str(value)

@@ -206,4 +206,5 @@ def _ensure_loaded() -> None:
         thm3_large_items,
         thm4_small_items,
         thm5_general_ff,
+        vector_dbp,
     )

@@ -1,0 +1,130 @@
+"""Experiment (extension) — dynamic *vector* bin packing.
+
+The paper's model is scalar; cloud demand is a vector (GPU, CPU, memory,
+bandwidth).  This experiment packs correlated 2-D traces with the scalar
+family generalised through scalarisations (First Fit; Best Fit under the
+max-dimension, sum, and scarcity-weighted rules) and the two genuinely
+vector-aware rules (:class:`~repro.algorithms.vector_fit.MinWeightedRemainingFit`,
+:class:`~repro.algorithms.vector_fit.BalancedInterleaveFit`), measuring
+cost ratios against the dominance lower bound
+(:func:`~repro.opt.lower_bounds.dominance_lower_bound`).
+
+Claims checked:
+
+* every Any Fit variant stays within the trivial ``n`` bound and above
+  the dominance lower bound (sanity of the bound itself);
+* the ranking is correlation-sensitive — demand alignment changes which
+  rule wins, which is why the scalarisation is a parameter and not a
+  constant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algorithms import (
+    BalancedInterleaveFit,
+    BestFit,
+    FirstFit,
+    MinWeightedRemainingFit,
+)
+from ..analysis.sweep import SweepResult
+from ..core.resources import Resources
+from ..core.simulator import simulate
+from ..opt.lower_bounds import dominance_lower_bound, naive_upper_bound
+from ..workloads.distributions import Clipped, Exponential, Uniform
+from ..workloads.generators import generate_vector_trace
+from .registry import ClaimCheck, ExperimentResult, register_experiment
+
+CAPACITY = Resources(1, 1)
+
+
+def _algorithms():
+    return (
+        ("first-fit", FirstFit()),
+        ("best-fit[max]", BestFit()),
+        ("best-fit[sum]", BestFit(scalarization="sum")),
+        ("best-fit[weighted]", BestFit(scalarization="weighted", weights=(2, 1))),
+        ("min-weighted-remaining", MinWeightedRemainingFit()),
+        ("balanced-interleave", BalancedInterleaveFit()),
+    )
+
+
+@register_experiment(
+    "vector-dbp",
+    display="Dynamic vector bin packing (2-D extension)",
+    description="Scalarised and vector-aware Any Fit rules on correlated "
+    "2-D demand, ratioed against the dominance lower bound",
+)
+def run(
+    seeds: Sequence[int] = (0, 1, 2),
+    correlations: Sequence[float] = (0.0, 0.5, 1.0),
+    horizon: float = 100.0,
+    rate: float = 4.0,
+) -> ExperimentResult:
+    table = SweepResult(
+        headers=["correlation", "seed", "algorithm", "cost", "ratio_vs_lb"]
+    )
+    bounds_ok = True
+    winners: dict[float, set[str]] = {}
+    for corr in correlations:
+        winners[corr] = set()
+        for seed in seeds:
+            trace = generate_vector_trace(
+                arrival_rate=rate,
+                horizon=horizon,
+                duration=Clipped(Exponential(3.0), 1.0, 9.0),
+                sizes=[Uniform(0.1, 0.9), Uniform(0.05, 0.6)],
+                correlation=corr,
+                seed=seed,
+                name=f"vec-c{corr}",
+                capacity=CAPACITY,
+            )
+            lb = float(dominance_lower_bound(trace.items, capacity=CAPACITY))
+            ub = float(naive_upper_bound(trace.items))
+            best_name, best_cost = None, None
+            for label, algo in _algorithms():
+                cost = float(
+                    simulate(trace.items, algo, capacity=CAPACITY).total_cost()
+                )
+                ratio = cost / lb
+                bounds_ok = bounds_ok and lb <= cost <= ub + 1e-9
+                if best_cost is None or cost < best_cost:
+                    best_name, best_cost = label, cost
+                table.add(
+                    {
+                        "correlation": corr,
+                        "seed": seed,
+                        "algorithm": label,
+                        "cost": cost,
+                        "ratio_vs_lb": ratio,
+                    }
+                )
+            assert best_name is not None
+            winners[corr].add(best_name)
+    distinct_winners = set().union(*winners.values())
+    return ExperimentResult(
+        name="vector-dbp",
+        title="Dynamic vector bin packing: scalarisations vs vector-aware rules",
+        table=table,
+        checks=[
+            ClaimCheck(
+                claim="every run is bracketed: dominance LB ≤ cost ≤ one-bin-"
+                "per-item UB",
+                holds=bounds_ok,
+            ),
+            ClaimCheck(
+                claim="no single rule wins every (correlation, seed) cell — "
+                "the scalarisation choice matters",
+                holds=len(distinct_winners) > 1,
+                detail=f"winners: {sorted(distinct_winners)}",
+            ),
+        ],
+        notes=[
+            "The dominance lower bound is the best per-dimension projection "
+            "of the pointwise load bound; vector OPT can exceed it, so "
+            "ratios overestimate true competitiveness.",
+            "Marginals are identical across correlation levels (comonotonic "
+            "rank alignment), isolating the effect of demand alignment.",
+        ],
+    )

@@ -4,6 +4,7 @@ from .load import active_profile, load_profile, load_profile_np, max_load
 from .lower_bounds import (
     OptBracket,
     demand_lower_bound,
+    dominance_lower_bound,
     naive_upper_bound,
     opt_bracket,
     opt_total_lower_bound,
@@ -38,6 +39,7 @@ __all__ = [
     "demand_lower_bound",
     "span_lower_bound",
     "pointwise_lower_bound",
+    "dominance_lower_bound",
     "naive_upper_bound",
     "opt_total_lower_bound",
     "OptBracket",

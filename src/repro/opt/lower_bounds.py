@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 
 from ..core.item import Item
 from ..core.metrics import total_demand, trace_span
+from ..core.resources import Resources, Size
 from .load import load_profile
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "demand_lower_bound",
     "span_lower_bound",
     "pointwise_lower_bound",
+    "dominance_lower_bound",
     "naive_upper_bound",
     "opt_total_lower_bound",
     "OptBracket",
@@ -82,6 +84,47 @@ def pointwise_lower_bound(
         if bins_needed:
             total = total + bins_needed * (times[i + 1] - times[i])
     return cost_rate * total
+
+
+def dominance_lower_bound(
+    items: Sequence[Item], *, capacity: "Size" = 1, cost_rate: numbers.Real = 1
+) -> numbers.Real:
+    """Vector lower bound: the best single-dimension pointwise bound.
+
+    A feasible vector packing is simultaneously a feasible scalar packing
+    of every one of its per-dimension projections (dominance ``size ≤
+    capacity`` implies ``size_d ≤ W_d`` for each ``d``), so ``OPT_total``
+    for the vector instance is at least the pointwise load bound of each
+    projection — and hence at least their maximum.  For scalar traces this
+    is exactly :func:`pointwise_lower_bound`.
+    """
+    items = list(items)
+    if not items or not isinstance(items[0].size, Resources):
+        return pointwise_lower_bound(
+            items, capacity=capacity, cost_rate=cost_rate
+        )
+    dims = items[0].size.dims
+    best: numbers.Real = 0
+    for d in range(dims):
+        cap_d = capacity[d] if isinstance(capacity, Resources) else capacity
+        # Zero components carry no load in this dimension; dropping them
+        # keeps the projected items valid (Item requires a positive size).
+        projected = [
+            Item(
+                arrival=it.arrival,
+                departure=it.departure,
+                size=it.size[d],
+                item_id=it.item_id,
+            )
+            for it in items
+            if it.size[d] > 0
+        ]
+        bound = pointwise_lower_bound(
+            projected, capacity=cap_d, cost_rate=cost_rate
+        )
+        if bound > best:
+            best = bound
+    return best
 
 
 def naive_upper_bound(items: Iterable[Item], *, cost_rate: numbers.Real = 1) -> numbers.Real:

@@ -835,3 +835,48 @@ def check_engine_io(ctx: FileContext) -> Iterator[Violation]:
                     f"{dotted}() writes to a standard stream from engine code; "
                     "emit through observer hooks instead",
                 )
+
+
+# --------------------------------------------------------------------------
+# DBP010 — raw order comparison on item sizes
+
+
+#: Modules allowed to compare sizes directly: the dominance algebra itself
+#: and the bin fit primitive it defines.
+_SIZE_COMPARE_ALLOWLIST = ("repro.core.resources", "repro.core.bin")
+
+
+@register_rule(
+    "DBP010",
+    "raw-size-order-comparison",
+    "engine",
+    "Engine code must compare sizes via the dominance helpers, not <//>",
+)
+def check_raw_size_comparison(ctx: FileContext) -> Iterator[Violation]:
+    """Sizes are vectors under dominance, a *partial* order: ``a > b`` is
+    not the negation of ``a <= b`` (incomparable vectors answer False both
+    ways), so a raw ``item.size > capacity`` silently accepts oversize
+    items the moment a trace goes multi-dimensional.  Engine code must go
+    through :func:`repro.core.resources.size_fits` (or the scalarisation
+    helpers when a ranking is wanted); only the dominance algebra itself
+    (``repro.core.resources``) and the fit primitive (``repro.core.bin``)
+    compare sizes directly."""
+    if ctx.module in _SIZE_COMPARE_ALLOWLIST:
+        return
+    order_ops = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, order_ops) for op in node.ops):
+            continue
+        for side in (node.left, *node.comparators):
+            if isinstance(side, ast.Attribute) and side.attr == "size":
+                yield _violation(
+                    ctx,
+                    node,
+                    "DBP010",
+                    "ordered comparison on a raw .size; use size_fits()/"
+                    "oversize_dimension() or a scalarisation — dominance is "
+                    "a partial order",
+                )
+                break

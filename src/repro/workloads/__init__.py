@@ -21,6 +21,7 @@ from .distributions import (
 from .generators import (
     generate_burst_trace,
     generate_mmpp_trace,
+    generate_vector_trace,
     generate_trace,
     mmpp_arrivals,
     poisson_arrivals,
@@ -55,6 +56,7 @@ __all__ = [
     "stream_trace",
     "generate_burst_trace",
     "generate_mmpp_trace",
+    "generate_vector_trace",
     "Game",
     "GameCatalog",
     "default_catalog",

@@ -1,0 +1,45 @@
+"""Fixture: raw size order comparison (DBP010).  Linted as an engine module."""
+
+
+def bad_oversize_check(item, capacity):
+    if item.size > capacity:  # DBP010
+        raise ValueError("oversized")
+
+
+def bad_fit_check(item, bin):
+    return item.size <= bin.residual  # DBP010
+
+
+def bad_right_side(threshold, item):
+    return threshold < item.size  # DBP010
+
+
+def bad_nested_attribute(request, capacity):
+    return request.item.size >= capacity  # DBP010
+
+
+def bad_chained(low, item, high):
+    return low < item.size < high  # DBP010
+
+
+def bad_any_size_attribute(window, limit):
+    # The rule is name-based: every ordered `.size` comparison in engine
+    # scope fires, whatever the object; suppress deliberate exceptions.
+    return window.size > limit  # DBP010
+
+
+def good_fits_helper(item, capacity, size_fits):
+    return size_fits(item.size, capacity)
+
+
+def good_equality(item, capacity):
+    # Equality is total even under dominance; only order comparisons trip.
+    return item.size == capacity
+
+
+def good_scalarized(item, zero, scalarize_max):
+    return scalarize_max(item.size) > zero
+
+
+def good_other_field(item, capacity):
+    return item.arrival > capacity

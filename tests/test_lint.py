@@ -66,8 +66,8 @@ def lines_fired(source: str, code: str, module: str = ENGINE_MODULE) -> set[int]
 
 
 class TestRegistry:
-    def test_nine_rules_with_sequential_codes(self):
-        assert all_codes() == [f"DBP00{i}" for i in range(1, 10)]
+    def test_rules_have_sequential_codes(self):
+        assert all_codes() == [f"DBP{i:03d}" for i in range(1, 11)]
 
     def test_rules_carry_scope_name_summary_and_doc(self):
         for rule in iter_rules():
@@ -94,6 +94,7 @@ FIXTURE_CASES = [
     ("dbp006_mutable_default.py", "DBP006"),
     ("dbp007_slots.py", "DBP007"),
     ("dbp009_engine_io.py", "DBP009"),
+    ("dbp010_size_compare.py", "DBP010"),
 ]
 
 
@@ -202,6 +203,12 @@ class TestScoping:
         source = fixture_source("dbp009_engine_io.py")
         assert lines_fired(source, "DBP009", module="repro.cli") == set()
         assert lines_fired(source, "DBP009", module="repro.tools.lint.cli") == set()
+
+    def test_size_compare_rule_allowlists_dominance_algebra(self):
+        source = fixture_source("dbp010_size_compare.py")
+        assert lines_fired(source, "DBP010", module="repro.core.resources") == set()
+        assert lines_fired(source, "DBP010", module="repro.core.bin") == set()
+        assert lines_fired(source, "DBP010", module="repro.opt.offline") == set()
 
     def test_src_rules_cover_experiments_but_not_tests(self):
         source = fixture_source("dbp003_float_eq.py")

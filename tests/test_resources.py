@@ -1,0 +1,237 @@
+"""Property tests for the :class:`Resources` dominance algebra.
+
+Hypothesis drives the laws the engine relies on: dominance is a partial
+order, add/sub round-trip exactly, the built-in scalarisations are
+monotone under dominance (what makes Best-Fit-by-scalarisation a
+well-defined generalisation), and per-dimension oversize validation is
+exact for ``Fraction`` components.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.resources import (
+    Resources,
+    elementwise_max,
+    elementwise_min,
+    get_scalarization,
+    is_valid_capacity,
+    is_valid_size,
+    make_weighted_scalarization,
+    oversize_dimension,
+    scalarize_max,
+    scalarize_sum,
+    size_fits,
+)
+from repro import (
+    Item,
+    OversizedItemError,
+    ResourceDimensionError,
+    make_items,
+    validate_items,
+)
+
+# Fractions with small bounded terms: exact arithmetic, no float noise.
+fractions = st.fractions(
+    min_value=0, max_value=4, max_denominator=16
+)
+DIMS = st.shared(st.integers(min_value=1, max_value=4), key="dims")
+
+
+def vectors(elements=fractions):
+    return DIMS.flatmap(
+        lambda d: st.lists(elements, min_size=d, max_size=d).map(
+            lambda vs: Resources(*vs)
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dominance partial order
+
+
+class TestDominanceOrder:
+    @given(vectors())
+    def test_reflexive(self, a):
+        assert a <= a
+        assert a >= a
+        assert not a < a
+        assert not a > a
+
+    @given(vectors(), vectors())
+    def test_antisymmetric(self, a, b):
+        if a <= b and b <= a:
+            assert a == b
+
+    @given(vectors(), vectors(), vectors())
+    def test_transitive(self, a, b, c):
+        if a <= b and b <= c:
+            assert a <= c
+
+    @given(vectors(), vectors())
+    def test_strict_is_nonstrict_and_unequal(self, a, b):
+        assert (a < b) == (a <= b and a != b)
+        assert (a > b) == (a >= b and a != b)
+
+    @given(vectors(), vectors())
+    def test_incomparable_pairs_answer_false_both_ways(self, a, b):
+        # The partial-order pitfall DBP010 guards against: "not (a <= b)"
+        # does not imply "a > b".
+        if not a <= b and not b <= a:
+            assert not a < b and not a > b
+
+    def test_concrete_incomparable_pair(self):
+        a, b = Resources(1, 0), Resources(0, 1)
+        assert not a <= b and not b <= a
+        assert not a > b and not b > a
+
+
+# ---------------------------------------------------------------------------
+# Vector algebra
+
+
+class TestAlgebra:
+    @given(vectors(), vectors())
+    def test_add_sub_round_trip_exact(self, a, b):
+        assert (a + b) - b == a
+        assert (a - b) + b == a
+
+    @given(vectors(), vectors())
+    def test_add_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors(), fractions)
+    def test_scalar_broadcast_matches_uniform(self, a, s):
+        assert a + s == a + Resources.uniform(s, a.dims)
+        assert s + a == a + s
+
+    @given(vectors(), vectors())
+    def test_add_monotone_under_dominance(self, a, b):
+        assert a <= a + b  # components are non-negative
+
+    @given(vectors(), vectors())
+    def test_elementwise_min_max_bound(self, a, b):
+        lo, hi = elementwise_min(a, b), elementwise_max(a, b)
+        assert lo <= a <= hi
+        assert lo <= b <= hi
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            Resources(1, 2) + Resources(1, 2, 3)
+
+    def test_immutable(self):
+        r = Resources(1, 2)
+        with pytest.raises(AttributeError):
+            r._values = (3, 4)
+
+
+# ---------------------------------------------------------------------------
+# Scalarisations
+
+
+class TestScalarizations:
+    @given(vectors(), vectors())
+    def test_builtins_monotone_under_dominance(self, a, b):
+        if a <= b:
+            assert scalarize_max(a) <= scalarize_max(b)
+            assert scalarize_sum(a) <= scalarize_sum(b)
+
+    @given(vectors(), vectors())
+    def test_weighted_monotone_under_dominance(self, a, b):
+        scal = make_weighted_scalarization((3, 1, 2, 5)[: a.dims])
+        if a <= b:
+            assert scal(a) <= scal(b)
+
+    @given(fractions.filter(lambda f: f > 0))
+    def test_identity_on_1d(self, s):
+        v = Resources(s)
+        assert scalarize_max(v) == scalarize_sum(v) == s
+        assert scalarize_max(s) == scalarize_sum(s) == s
+
+    def test_registry_resolution(self):
+        assert get_scalarization("max") is scalarize_max
+        assert get_scalarization("sum") is scalarize_sum
+        weighted = get_scalarization("weighted", weights=(1, 2))
+        assert weighted(Resources(3, 4)) == 11
+        with pytest.raises(ValueError, match="requires weights"):
+            get_scalarization("weighted")
+        with pytest.raises(ValueError, match="unknown scalarization"):
+            get_scalarization("median")
+        with pytest.raises(ValueError, match="weights only apply"):
+            get_scalarization("max", weights=(1,))
+
+
+# ---------------------------------------------------------------------------
+# Fits / validity helpers
+
+
+class TestFitHelpers:
+    @given(vectors(), vectors())
+    def test_size_fits_is_dominance(self, a, b):
+        assert size_fits(a, b) == (a <= b)
+
+    @given(vectors())
+    def test_oversize_dimension_none_iff_fits(self, a):
+        cap = Resources.uniform(Fraction(2), a.dims)
+        assert (oversize_dimension(a, cap) is None) == size_fits(a, cap)
+
+    def test_scalar_size_vector_capacity_rejected(self):
+        with pytest.raises(TypeError, match="scalar size"):
+            size_fits(Fraction(1, 2), Resources(1, 1))
+
+    def test_validity_rules(self):
+        assert is_valid_size(Resources(Fraction(1, 2), 0))  # one zero dim ok
+        assert not is_valid_size(Resources(0, 0))  # all-zero demand is a bug
+        assert not is_valid_size(Resources(Fraction(1, 2), Fraction(-1, 4)))
+        assert is_valid_capacity(Resources(1, 2))
+        assert not is_valid_capacity(Resources(1, 0))  # capacity needs > 0
+
+
+# ---------------------------------------------------------------------------
+# Per-dimension oversize validation with exact Fractions
+
+
+class TestValidateItemsPerDimension:
+    def test_rejects_exact_fraction_overage_and_names_dimension(self):
+        cap = Resources(Fraction(1), Fraction(1, 2))
+        items = make_items(
+            [(0, 1, Resources(Fraction(1, 2), Fraction(1, 2) + Fraction(1, 10**12)))]
+        )
+        with pytest.raises(OversizedItemError) as exc:
+            validate_items(items, capacity=cap)
+        assert exc.value.dimension == 1
+        assert "dimension 1" in str(exc.value)
+
+    def test_accepts_exact_boundary(self):
+        cap = Resources(Fraction(1), Fraction(1, 2))
+        items = make_items([(0, 1, Resources(Fraction(1), Fraction(1, 2)))])
+        assert validate_items(items, capacity=cap) == items
+
+    @given(vectors(fractions.filter(lambda f: f > 0)))
+    def test_oversize_matches_componentwise_check(self, size):
+        cap = Resources.uniform(Fraction(2), size.dims)
+        items = [Item(arrival=0, departure=1, size=size, item_id="p")]
+        if all(v <= 2 for v in size.values):
+            assert validate_items(items, capacity=cap) == items
+        else:
+            with pytest.raises(OversizedItemError) as exc:
+                validate_items(items, capacity=cap)
+            expected = next(
+                d for d, v in enumerate(size.values) if not v <= 2
+            )
+            assert exc.value.dimension == expected
+
+    def test_mixed_dimensionality_rejected(self):
+        items = make_items([(0, 1, Resources(1, 1)), (0, 1, Resources(1, 1, 1))])
+        with pytest.raises(ResourceDimensionError):
+            validate_items(items)
+
+    def test_scalar_item_in_vector_run_rejected(self):
+        items = make_items([(0, 1, Fraction(1, 2))])
+        with pytest.raises(ResourceDimensionError):
+            validate_items(items, capacity=Resources(1, 1))

@@ -1,0 +1,192 @@
+"""1-D vector vs scalar differential suite.
+
+``Item(size=0.5)`` is the 1-D special case of the vector engine: running
+a trace with every size wrapped as ``Resources(size)`` must produce the
+same packing as the scalar engine — same assignments, same bin records
+(bin capacities unwrap via ``as_scalar``), exactly the same costs, equal
+stream summaries, and byte-identical JSON experiment artifacts.  This is
+the compatibility contract that let the vector refactor land without
+disturbing any scalar result.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import (
+    BestFit,
+    FirstFit,
+    HarmonicFit,
+    Item,
+    ModifiedFirstFit,
+    NextFit,
+    Resources,
+    WorstFit,
+    simulate,
+)
+from repro.algorithms import (
+    BalancedInterleaveFit,
+    MinWeightedRemainingFit,
+    ModifiedBestFit,
+)
+from repro.analysis.sweep import SweepResult
+from repro.core.checkpoint import StreamCheckpoint
+from repro.core.resources import Resources as CoreResources
+from repro.core.streaming import simulate_stream
+from repro.experiments.io import results_to_json
+from repro.experiments.registry import ExperimentResult
+
+SEEDS = [0, 1, 2, 7]
+
+ALGORITHMS = [
+    FirstFit,
+    BestFit,
+    WorstFit,
+    NextFit,
+    HarmonicFit,
+    ModifiedFirstFit,
+    ModifiedBestFit,
+    MinWeightedRemainingFit,
+    BalancedInterleaveFit,
+]
+
+
+def scalar_trace(seed, n=120):
+    """Integer-grid collision-heavy trace, sizes in exact eighths."""
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.integers(0, 25, size=n))
+    durations = rng.integers(1, 12, size=n)
+    sizes = rng.integers(1, 8, size=n) / 8.0
+    return [
+        Item(
+            arrival=int(arrivals[i]),
+            departure=int(arrivals[i] + durations[i]),
+            size=float(sizes[i]),
+            item_id=f"d{seed}-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def vectorized(items):
+    """The same trace with every size wrapped as a 1-D vector."""
+    return [
+        Item(
+            arrival=it.arrival,
+            departure=it.departure,
+            size=Resources(it.size),
+            item_id=it.item_id,
+        )
+        for it in items
+    ]
+
+
+def unwrap_capacity(capacity):
+    if isinstance(capacity, CoreResources):
+        return capacity.as_scalar()
+    return capacity
+
+
+def assert_same_packing(scalar_result, vector_result):
+    """Field-by-field identity modulo the Resources wrapper itself."""
+    assert vector_result.algorithm_name == scalar_result.algorithm_name
+    assert vector_result.capacity == scalar_result.capacity
+    assert vector_result.assignment == scalar_result.assignment
+    assert len(vector_result.bins) == len(scalar_result.bins)
+    for srec, vrec in zip(scalar_result.bins, vector_result.bins):
+        assert vrec.index == srec.index
+        assert vrec.label == srec.label
+        assert vrec.opened_at == srec.opened_at
+        assert vrec.closed_at == srec.closed_at
+        assert vrec.assignments == srec.assignments
+        assert unwrap_capacity(vrec.capacity) == unwrap_capacity(srec.capacity)
+    assert vector_result.total_cost() == scalar_result.total_cost()
+    assert vector_result.max_bins_used == scalar_result.max_bins_used
+    assert vector_result.bin_count_profile() == scalar_result.bin_count_profile()
+
+
+class TestOneDimensionalByteIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("algo_cls", ALGORITHMS)
+    def test_packing_identical_to_scalar_engine(self, seed, algo_cls):
+        items = scalar_trace(seed)
+        scalar = simulate(items, algo_cls(), check=True)
+        vector = simulate(vectorized(items), algo_cls(), check=True)
+        assert_same_packing(scalar, vector)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("algo_cls", [FirstFit, BestFit])
+    def test_identity_holds_on_both_fit_paths(self, seed, algo_cls):
+        items = scalar_trace(seed)
+        for indexed in (True, False):
+            scalar = simulate(items, algo_cls(), indexed=indexed)
+            vector = simulate(vectorized(items), algo_cls(), indexed=indexed)
+            assert_same_packing(scalar, vector)
+
+    def test_exact_fraction_costs_identical(self):
+        sizes = [Fraction(1, 3), Fraction(1, 2), Fraction(2, 3), Fraction(1, 6)]
+        items = [
+            Item(arrival=i, departure=i + 3, size=s, item_id=f"f{i}")
+            for i, s in enumerate(sizes)
+        ]
+        scalar = simulate(items, BestFit())
+        vector = simulate(vectorized(items), BestFit())
+        assert vector.total_cost() == scalar.total_cost()
+        assert isinstance(vector.total_cost(), (int, Fraction))
+        assert_same_packing(scalar, vector)
+
+
+class TestStreamSummaryIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_summaries_compare_equal(self, seed):
+        items = sorted(scalar_trace(seed), key=lambda i: i.arrival)
+        for algo_cls in (FirstFit, BestFit):
+            scalar = simulate_stream(iter(items), algo_cls())
+            vector = simulate_stream(iter(vectorized(items)), algo_cls())
+            assert vector == scalar  # full dataclass equality, capacity included
+
+    def test_checkpoint_resume_matches_scalar_summary(self):
+        items = sorted(scalar_trace(3), key=lambda i: i.arrival)
+        scalar = simulate_stream(iter(items), FirstFit())
+        sink = []
+        simulate_stream(
+            iter(vectorized(items)),
+            FirstFit(),
+            checkpoint_every=40,
+            on_checkpoint=sink.append,
+        )
+        assert sink
+        snap = StreamCheckpoint.from_json(sink[len(sink) // 2].to_json())
+        resumed = simulate_stream(
+            iter(vectorized(items)), FirstFit(), resume_from=snap
+        )
+        assert resumed == scalar
+
+
+class TestJsonArtifactIdentity:
+    @staticmethod
+    def _artifact(items, label):
+        table = SweepResult(headers=["item", "size", "cost"])
+        result = simulate(items, FirstFit())
+        for it in result.items:
+            table.add({"item": it.item_id, "size": it.size, "cost": float(result.total_cost())})
+        return results_to_json(
+            [ExperimentResult(name="diff", title=label, table=table)]
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_artifacts_byte_identical(self, seed):
+        items = scalar_trace(seed, n=40)
+        scalar_json = self._artifact(items, "artifact")
+        vector_json = self._artifact(vectorized(items), "artifact")
+        assert vector_json == scalar_json
+
+    def test_fraction_sizes_serialize_identically(self):
+        items = [
+            Item(arrival=0, departure=2, size=Fraction(2, 3), item_id="x"),
+            Item(arrival=1, departure=3, size=Fraction(1, 3), item_id="y"),
+        ]
+        assert self._artifact(vectorized(items), "t") == self._artifact(items, "t")

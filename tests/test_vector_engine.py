@@ -1,0 +1,307 @@
+"""Vector-engine tests: indexed vs list-scan agreement, vector-aware
+rules, checkpoint round-trips, vector flavours and the dims guardrails.
+
+The indexed differential is the acceptance core: the per-dimension
+candidate-intersection index (:class:`repro.core.bin_index._VectorPool`)
+is a second implementation of First/Best Fit bin selection and must agree
+with the ``indexed=False`` list-scan oracle on whole
+:class:`PackingResult` values, in 2 and 4 dimensions.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import (
+    BestFit,
+    FirstFit,
+    Item,
+    Resources,
+    ResourceDimensionError,
+    OversizedItemError,
+    Simulator,
+    simulate,
+)
+from repro.algorithms import (
+    BalancedInterleaveFit,
+    MinWeightedRemainingFit,
+    ModifiedBestFit,
+    ModifiedFirstFit,
+    WorstFit,
+    get_algorithm,
+)
+from repro.cloud.flavors import Flavor, FlavorAwareFirstFit
+from repro.core.checkpoint import StreamCheckpoint
+from repro.core.config_notation import parse_configuration
+from repro.core.metrics import total_demand, trace_stats, utilization
+from repro.core.streaming import simulate_stream
+from repro.opt import dominance_lower_bound
+
+SEEDS = [0, 1, 2, 7]
+
+
+def vector_trace(seed, dims, n=120):
+    """Integer-grid times, eighth-grid sizes, per-dimension independent.
+
+    Same construction as the scalar differential trace so event-time
+    collisions and exact-float fits stress both selection paths.
+    """
+    rng = np.random.default_rng(seed)
+    arrivals = np.sort(rng.integers(0, 25, size=n))
+    durations = rng.integers(1, 12, size=n)
+    sizes = rng.integers(1, 8, size=(n, dims)) / 8.0
+    return [
+        Item(
+            arrival=int(arrivals[i]),
+            departure=int(arrivals[i] + durations[i]),
+            size=Resources(*(float(s) for s in sizes[i])),
+            item_id=f"v{seed}-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestIndexedDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("dims", [2, 4])
+    @pytest.mark.parametrize("algo_cls", [FirstFit, BestFit])
+    def test_indexed_matches_list_scan(self, seed, dims, algo_cls):
+        items = vector_trace(seed, dims)
+        indexed = simulate(items, algo_cls(), indexed=True, check=True)
+        scanned = simulate(items, algo_cls(), indexed=False)
+        assert indexed == scanned
+
+    @pytest.mark.parametrize("dims", [2, 3])
+    def test_vector_capacity_indexed_matches_list_scan(self, dims):
+        cap = Resources(*(1 + d / 2 for d in range(dims)))
+        items = vector_trace(11, dims)
+        for algo_cls in (FirstFit, BestFit):
+            indexed = simulate(items, algo_cls(), capacity=cap, indexed=True)
+            scanned = simulate(items, algo_cls(), capacity=cap, indexed=False)
+            assert indexed == scanned
+
+    def test_noncanonical_scalarization_falls_back_to_scan(self):
+        items = vector_trace(3, 2)
+        for spec in ("sum", "weighted"):
+            algo = BestFit(
+                scalarization=spec,
+                weights=(2, 1) if spec == "weighted" else None,
+            )
+            oracle = simulate(
+                items,
+                BestFit(
+                    scalarization=spec,
+                    weights=(2, 1) if spec == "weighted" else None,
+                ),
+                indexed=False,
+            )
+            assert simulate(items, algo, indexed=True) == oracle
+
+
+class TestVectorAwareRules:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("min-weighted-remaining", MinWeightedRemainingFit),
+            ("balanced-interleave", BalancedInterleaveFit),
+        ],
+    )
+    def test_registered(self, name, cls):
+        assert isinstance(get_algorithm(name), cls)
+
+    @pytest.mark.parametrize("algo_cls", [MinWeightedRemainingFit, BalancedInterleaveFit])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_valid_packings_in_2d(self, algo_cls, seed):
+        items = vector_trace(seed, 2)
+        result = simulate(items, algo_cls(), check=True)
+        assert len(result.items) == len(items)
+        assert float(result.total_cost()) >= float(
+            dominance_lower_bound(items, capacity=1)
+        )
+
+    def test_mwrf_is_best_fit_in_1d(self):
+        # Uniform 1/W weights make the weighted residual the residual:
+        # the 1-D degenerate case is exactly Best Fit.
+        items = vector_trace(5, 1)
+        mwrf = simulate(items, MinWeightedRemainingFit(), indexed=False)
+        bf = simulate(items, BestFit(), indexed=False)
+        assert mwrf.assignment == bf.assignment
+        assert mwrf.bins == bf.bins
+
+    def test_interleave_prefers_complementary_bin(self):
+        # Bin 0 holds a GPU-heavy item, bin 1 a memory-heavy one (they
+        # cannot share: 0.9 + 0.2 > 1 in each dimension).  A GPU-leaning
+        # item interleaves into the *memory*-heavy bin — the post-placement
+        # utilisations are more even there — where First Fit would take
+        # the earlier GPU-heavy bin.
+        items = [
+            Item(arrival=0, departure=10, size=Resources(0.9, 0.2), item_id="gpu"),
+            Item(arrival=0, departure=10, size=Resources(0.2, 0.9), item_id="mem"),
+            Item(arrival=1, departure=10, size=Resources(0.08, 0.05), item_id="new"),
+        ]
+        result = simulate(items, BalancedInterleaveFit())
+        assert result.bin_of("new").index == result.bin_of("mem").index
+        first_fit = simulate(items, FirstFit())
+        assert first_fit.bin_of("new").index == first_fit.bin_of("gpu").index
+
+    def test_mwrf_weights_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MinWeightedRemainingFit(weights=(1, -1))
+        with pytest.raises(ValueError, match="2 weights"):
+            simulate(
+                vector_trace(0, 3, n=10), MinWeightedRemainingFit(weights=(1, 2))
+            )
+
+
+class TestDimsGuardrails:
+    def test_mixed_dims_in_trace_rejected(self):
+        items = [
+            Item(arrival=0, departure=1, size=Resources(0.5, 0.5), item_id="a"),
+            Item(arrival=0, departure=1, size=0.5, item_id="b"),
+        ]
+        with pytest.raises(ResourceDimensionError):
+            simulate(items, FirstFit())
+
+    def test_scalar_arrival_in_vector_capacity_run_rejected(self):
+        sim = Simulator(FirstFit(), capacity=Resources(1, 1))
+        with pytest.raises(ResourceDimensionError):
+            sim.arrive(0, 0.5)
+
+    def test_wrong_dims_arrival_rejected(self):
+        sim = Simulator(FirstFit(), capacity=Resources(1, 1))
+        sim.arrive(0, Resources(0.5, 0.5), item_id="ok")
+        with pytest.raises(ResourceDimensionError):
+            sim.arrive(1, Resources(0.5, 0.5, 0.5), item_id="bad")
+
+    def test_oversize_vector_names_dimension(self):
+        items = [
+            Item(arrival=0, departure=1, size=Resources(0.5, 1.5), item_id="big")
+        ]
+        with pytest.raises(OversizedItemError, match="dimension 1"):
+            simulate(items, FirstFit(), capacity=1)
+
+
+class TestVectorStreamingAndCheckpoint:
+    def test_stream_summary_matches_batch(self):
+        items = vector_trace(4, 2)
+        summary = simulate_stream(iter(sorted(items, key=lambda i: i.arrival)), FirstFit())
+        batch = simulate(items, FirstFit())
+        assert summary.num_bins_used == batch.num_bins_used
+        assert summary.total_cost == batch.total_cost()
+
+    def test_checkpoint_roundtrip_with_vector_capacity(self):
+        items = sorted(vector_trace(9, 2), key=lambda i: i.arrival)
+        base = simulate_stream(iter(items), BestFit(), capacity=Resources(1, 1))
+        sink = []
+        simulate_stream(
+            iter(items),
+            BestFit(),
+            capacity=Resources(1, 1),
+            checkpoint_every=40,
+            on_checkpoint=sink.append,
+        )
+        assert sink, "expected at least one checkpoint"
+        snap = StreamCheckpoint.from_json(sink[len(sink) // 2].to_json())
+        assert snap.capacity == Resources(1, 1)
+        resumed = simulate_stream(
+            iter(items), BestFit(), capacity=Resources(1, 1), resume_from=snap
+        )
+        assert resumed == base
+
+
+class TestVectorMetricsAndNotation:
+    def test_total_demand_is_vector(self):
+        items = [
+            Item(arrival=0, departure=2, size=Resources(0.5, 0.25), item_id="a"),
+            Item(arrival=0, departure=4, size=Resources(0.25, 0.5), item_id="b"),
+        ]
+        assert total_demand(items) == Resources(2.0, 2.5)
+
+    def test_trace_stats_elementwise_extremes(self):
+        items = [
+            Item(arrival=0, departure=1, size=Resources(0.5, 0.25), item_id="a"),
+            Item(arrival=0, departure=1, size=Resources(0.25, 0.5), item_id="b"),
+        ]
+        stats = trace_stats(items)
+        assert stats.min_size == Resources(0.25, 0.25)
+        assert stats.max_size == Resources(0.5, 0.5)
+
+    def test_utilization_is_bottleneck_dimension(self):
+        items = [
+            Item(arrival=0, departure=2, size=Resources(0.5, 0.25), item_id="a")
+        ]
+        result = simulate(items, FirstFit(), capacity=Resources(1, 1))
+        # Demand is (1.0, 0.5) over 2 time units of a (1, 1) bin: the GPU
+        # axis is the bottleneck at 50%.
+        assert utilization(result) == pytest.approx(0.5)
+
+    def test_config_notation_parses_vectors(self):
+        config = parse_configuration("<(1/2, 1/4)|_(1/4, 1/8)>")
+        assert config.num_items == 2
+        assert config.level == Resources(Fraction(1, 2), Fraction(1, 4))
+        assert config.sizes() == [Resources(Fraction(1, 4), Fraction(1, 8))] * 2
+
+    def test_modified_fits_classify_on_any_dimension(self):
+        # One heavy dimension is enough to be LARGE for MFF/MBF.
+        items = vector_trace(6, 2)
+        for algo_cls in (ModifiedFirstFit, ModifiedBestFit):
+            result = simulate(items, algo_cls(), check=True)
+            assert len(result.items) == len(items)
+
+    def test_worst_fit_vector_run(self):
+        result = simulate(vector_trace(8, 2), WorstFit(), check=True)
+        assert result.num_bins_used > 0
+
+
+class TestVectorFlavors:
+    FLAVORS = [
+        Flavor("small", Resources(1, 1), rate=1),
+        Flavor("gpu", Resources(4, 1), rate=3),
+        Flavor("mem", Resources(1, 4), rate=3),
+    ]
+
+    def test_picks_fitting_flavour_per_shape(self):
+        algo = FlavorAwareFirstFit(self.FLAVORS, open_policy="cheapest")
+        items = [
+            Item(arrival=0, departure=2, size=Resources(3.0, 0.5), item_id="g"),
+            Item(arrival=0, departure=2, size=Resources(0.5, 3.0), item_id="m"),
+        ]
+        result = simulate(items, algo, max_bin_capacity=Resources(4, 4))
+        labels = sorted(b.label for b in result.bins)
+        assert labels == ["gpu", "mem"]
+
+    def test_unfittable_shape_raises(self):
+        algo = FlavorAwareFirstFit(self.FLAVORS)
+        items = [
+            Item(arrival=0, departure=1, size=Resources(3.0, 3.0), item_id="x")
+        ]
+        with pytest.raises(ValueError, match="fits no flavour"):
+            simulate(items, algo, max_bin_capacity=Resources(4, 4))
+
+    def test_max_capacity_is_elementwise_envelope(self):
+        algo = FlavorAwareFirstFit(self.FLAVORS)
+        assert algo.max_capacity == Resources(4, 4)
+
+    def test_invalid_vector_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity must be positive"):
+            Flavor("bad", Resources(1, 0), rate=1)
+
+
+class TestAutoIdNamespace:
+    def test_auto_ids_disjoint_from_make_items_default_prefix(self):
+        # Regression: auto ids used to be "item-N", colliding with
+        # make_items' default prefix and tripping duplicate-id validation.
+        from repro import make_items, validate_items
+
+        auto = Item(arrival=0, departure=1, size=0.5)
+        assert auto.item_id.startswith("auto-item-")
+        made = make_items([(0, 1, 0.5)] * 3)
+        validate_items(made + [auto])  # must not raise DuplicateItemIdError
+
+    def test_auto_ids_are_unique(self):
+        a = Item(arrival=0, departure=1, size=0.5)
+        b = Item(arrival=0, departure=1, size=0.5)
+        assert a.item_id != b.item_id
