@@ -11,6 +11,7 @@ Usage::
     python -m repro dispatch day.json --trace-out day.trace.jsonl --metrics obs/
     python -m repro verify-trace day.trace.jsonl
     python -m repro viz day.json --algorithm first-fit --width 72
+    python -m repro chaos --seed 7 --workers 4 --out chaos.json
 """
 
 from __future__ import annotations
@@ -130,6 +131,31 @@ def build_parser() -> argparse.ArgumentParser:
     viz_p.add_argument("--capacity", type=float, default=1.0)
     viz_p.add_argument("--width", type=int, default=72)
     viz_p.add_argument("--max-bins", type=int, default=24)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run the seeded chaos campaign (crash/resume, corruption "
+        "detection, worker kills) and report its invariants",
+    )
+    chaos_p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    chaos_p.add_argument(
+        "--items", type=int, default=200, help="sessions per scenario"
+    )
+    chaos_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard in-process scenarios across N pool workers (the report "
+        "is byte-identical at any worker count)",
+    )
+    chaos_p.add_argument(
+        "--no-worker-kill",
+        action="store_true",
+        help="skip the pool worker-kill scenario",
+    )
+    chaos_p.add_argument(
+        "--out", type=Path, default=None, help="write the campaign report JSON here"
+    )
     return parser
 
 
@@ -343,6 +369,45 @@ def _run_one(name: str, precision: int, collected: list) -> bool:
     return result.all_claims_hold
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience import ChaosCampaignConfig, run_campaign
+
+    config = ChaosCampaignConfig(
+        seed=args.seed,
+        n_items=args.items,
+        checkpoint_every=24,
+        include_worker_kill=not args.no_worker_kill,
+    )
+    report = run_campaign(config, workers=args.workers)
+    header = f"{'scenario':9s} {'kind':12s} {'trace':7s} {'param':9s} {'ok':4s} detail"
+    print(header)
+    print("-" * len(header))
+    for row in report.rows:
+        detail = (
+            f"crashes={row['crashes']} checkpoints={row['checkpoints']} "
+            f"detected={row['corruptions_detected']}/{row['corruptions_injected']}"
+        )
+        status = "PASS" if row["ok"] else "FAIL"
+        print(
+            f"{row['scenario']:9s} {row['kind']:12s} {row['trace']:7s} "
+            f"{row['param']:9s} {status:4s} {detail}"
+        )
+    totals = report.totals
+    print(
+        f"\n{totals['scenarios']} scenarios, {totals['failed']} failed; "
+        f"{totals['crashes_injected']} crashes injected, "
+        f"{totals['corruptions_detected']}/{totals['corruptions_injected']} "
+        "corruptions detected"
+    )
+    if args.out is not None:
+        args.out.write_text(report.to_json())
+        print(f"campaign report written to {args.out}")
+    if not report.all_pass:
+        print("chaos campaign FAILED: a resilience invariant was violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -362,6 +427,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_verify_trace(args)
     if args.command == "viz":
         return _cmd_viz(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "report":
         from .experiments.report import generate_report
 

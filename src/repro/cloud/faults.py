@@ -44,7 +44,10 @@ import heapq
 import json
 import random
 from dataclasses import asdict, dataclass, field
-from typing import Any, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # runtime import would cycle: resilience wraps this package
+    from ..resilience.retry import CircuitBreaker, RetryPolicy
 
 from ..core.numeric import Num
 from ..algorithms.base import PackingAlgorithm
@@ -162,6 +165,12 @@ class FaultReport:
     lost_work: Num
     redispatch_work: Num
     revocations: tuple[tuple[Num, int, int], ...]
+    #: Re-dispatches whose re-admission was deferred by backoff/breaker.
+    sessions_delayed: int = 0
+    #: Total simulated time spent waiting between eviction and re-admission.
+    total_retry_delay: Num = 0
+    #: Evictions that found their recovery key's circuit open.
+    breaker_trips: int = 0
 
     def to_json(self) -> str:
         """Canonical JSON rendering (sorted keys — byte-stable per seed)."""
@@ -227,6 +236,8 @@ def simulate_faulty_stream(
     indexed: bool = True,
     observers: Sequence[SimulationObserver] = (),
     record_induced: bool = False,
+    retry_policy: "RetryPolicy | None" = None,
+    breaker: "CircuitBreaker | None" = None,
 ) -> FaultyStreamResult:
     """Stream a trace through an algorithm while servers fail and recover.
 
@@ -238,6 +249,17 @@ def simulate_faulty_stream(
     has strictly positive length.  With no failures the run is
     event-for-event identical to
     :func:`~repro.core.streaming.simulate_stream`.
+
+    ``retry_policy`` (a :class:`repro.resilience.RetryPolicy`) defers each
+    re-dispatch by the seeded backoff for that session's attempt number on
+    the *simulated* clock, instead of re-admitting at the failure instant;
+    ``breaker`` (a :class:`repro.resilience.CircuitBreaker`) additionally
+    holds re-admission until the session's recovery key cools down.  The
+    key is the session ``tag`` when it is a string (sessions sharing a
+    tag share a circuit — region semantics) and the original session id
+    otherwise; a natural departure records success and closes the
+    circuit.  Both default to ``None``, which preserves the legacy
+    re-admit-immediately behaviour byte for byte.
     """
     if recovery not in _RECOVERIES:
         raise ValueError(f"unknown recovery policy {recovery!r}; options: {_RECOVERIES}")
@@ -256,6 +278,7 @@ def simulate_faulty_stream(
 
     pending: list[tuple[Num, int, str]] = []  # (departure, seq, item_id) — may hold stale ids
     active: dict[str, _Attempt] = {}
+    delayed: list[tuple[Num, int, _Attempt]] = []  # backoff/breaker re-admissions
     induced: list[_Attempt] | None = [] if record_induced else None
     seq = 0
     last_arrival: Num | None = None
@@ -267,6 +290,14 @@ def simulate_faulty_stream(
     lost_work: Num = 0
     redispatch_work: Num = 0
     revocations: list[tuple[Num, int, int]] = []
+    sessions_delayed = 0
+    total_retry_delay: Num = 0
+    breaker_trips = 0
+
+    def recovery_key(attempt: _Attempt) -> str:
+        # String tags group sessions into shared circuits (region
+        # semantics); anything else isolates per original session.
+        return attempt.tag if isinstance(attempt.tag, str) else attempt.orig_id
 
     def admit(attempt: _Attempt) -> None:
         nonlocal seq
@@ -282,13 +313,21 @@ def simulate_faulty_stream(
         attempt = active.pop(item_id)
         sim.depart(item_id, dep_time)
         attempt.end = dep_time
+        if breaker is not None:
+            breaker.record_success(recovery_key(attempt))
+
+    def admit_delayed_next() -> None:
+        admit_time, _, attempt = heapq.heappop(delayed)
+        assert attempt.start == admit_time
+        admit(attempt)
 
     def process_failures_at(time: Num) -> None:
         # All failures at this instant evict before any re-dispatch, so a
         # recovered session is never struck again at its admission time
         # (which would create a zero-length attempt).
         nonlocal next_fail, num_failures, idle_strikes, evicted_total
-        nonlocal redispatched, lost_work, redispatch_work
+        nonlocal redispatched, lost_work, redispatch_work, seq
+        nonlocal sessions_delayed, total_retry_delay, breaker_trips
         evicted: list[_Attempt] = []
         while next_fail is not None and next_fail == time:
             open_bins = list(sim.open_bins)
@@ -313,21 +352,43 @@ def simulate_faulty_stream(
                 remaining = old.departure - time
             redispatch_work = redispatch_work + remaining
             redispatched += 1
-            admit(
-                _Attempt(
-                    item_id=f"{old.orig_id}~a{old.attempt + 1}",
-                    orig_id=old.orig_id,
-                    size=old.size,
-                    tag=old.tag,
-                    start=time,
-                    departure=time + remaining,
-                    full_length=old.full_length,
-                    attempt=old.attempt + 1,
+            admit_at = time
+            if retry_policy is not None:
+                admit_at = admit_at + retry_policy.delay(
+                    old.attempt + 1, key=recovery_key(old)
                 )
+            if breaker is not None:
+                if breaker.record_failure(recovery_key(old), time):
+                    breaker_trips += 1
+                blocked = breaker.blocked_until(recovery_key(old), time)
+                if blocked > admit_at:
+                    admit_at = blocked
+            retry = _Attempt(
+                item_id=f"{old.orig_id}~a{old.attempt + 1}",
+                orig_id=old.orig_id,
+                size=old.size,
+                tag=old.tag,
+                start=admit_at,
+                departure=admit_at + remaining,
+                full_length=old.full_length,
+                attempt=old.attempt + 1,
             )
+            if admit_at > time:
+                sessions_delayed += 1
+                total_retry_delay = total_retry_delay + (admit_at - time)
+                heapq.heappush(delayed, (admit_at, seq, retry))
+                seq += 1
+            else:
+                admit(retry)
 
     def drain(until: Num) -> None:
-        """Process every departure and failure at time <= ``until``."""
+        """Process departures, failures, and due re-admissions <= ``until``.
+
+        Ties run departures first, then failures, then deferred
+        re-admissions — a re-admission landing exactly on a failure
+        instant is placed after that instant's evictions, so it cannot be
+        struck into a zero-length attempt.
+        """
         while True:
             while pending and pending[0][2] not in active:
                 heapq.heappop(pending)  # stale: the session was evicted
@@ -335,13 +396,21 @@ def simulate_faulty_stream(
             if dep_time is not None and dep_time > until:
                 dep_time = None
             fail_time = next_fail if next_fail is not None and next_fail <= until else None
-            if dep_time is None and fail_time is None:
+            adm_time: Num | None = delayed[0][0] if delayed else None
+            if adm_time is not None and adm_time > until:
+                adm_time = None
+            if dep_time is None and fail_time is None and adm_time is None:
                 return
-            if dep_time is not None and (fail_time is None or dep_time <= fail_time):
+            if (
+                dep_time is not None
+                and (fail_time is None or dep_time <= fail_time)
+                and (adm_time is None or dep_time <= adm_time)
+            ):
                 depart_next()
-            else:
-                assert fail_time is not None
+            elif fail_time is not None and (adm_time is None or fail_time <= adm_time):
                 process_failures_at(fail_time)
+            else:
+                admit_delayed_next()
 
     for item in items:
         if not size_fits(item.size, capacity):
@@ -373,16 +442,25 @@ def simulate_faulty_stream(
             )
         )
 
-    # End of stream: serve out the remaining sessions.  Failures past the
-    # last departure would strike an empty fleet; they are not generated.
-    while active:
+    # End of stream: serve out the remaining sessions, including any
+    # re-admissions still waiting out their backoff.  Failures past the
+    # last event would strike an empty fleet; they are not generated.
+    while active or delayed:
         while pending and pending[0][2] not in active:
             heapq.heappop(pending)
-        dep_time = pending[0][0]
-        if next_fail is not None and next_fail < dep_time:
-            process_failures_at(next_fail)
+        dep_time = pending[0][0] if pending else None
+        adm_time = delayed[0][0] if delayed else None
+        if dep_time is not None and (adm_time is None or dep_time <= adm_time):
+            next_event = dep_time
         else:
+            next_event = adm_time
+        assert next_event is not None  # active ⇒ a departure, delayed ⇒ an admission
+        if next_fail is not None and next_fail < next_event:
+            process_failures_at(next_fail)
+        elif next_event == dep_time and dep_time is not None:
             depart_next()
+        else:
+            admit_delayed_next()
 
     summary = sim.finish_summary()
     report = FaultReport(
@@ -397,6 +475,9 @@ def simulate_faulty_stream(
         lost_work=lost_work,
         redispatch_work=redispatch_work,
         revocations=tuple(revocations),
+        sessions_delayed=sessions_delayed,
+        total_retry_delay=total_retry_delay,
+        breaker_trips=breaker_trips,
     )
     induced_items: tuple[Item, ...] | None = None
     if induced is not None:
@@ -424,6 +505,8 @@ def dispatch_faulty_stream(
     recovery: str = RECONNECT,
     server_type: ServerType | None = None,
     observers: Sequence[SimulationObserver] = (),
+    retry_policy: "RetryPolicy | None" = None,
+    breaker: "CircuitBreaker | None" = None,
 ) -> FaultyDispatchReport:
     """Serve a session stream on failure-prone servers and settle the bill.
 
@@ -432,6 +515,8 @@ def dispatch_faulty_stream(
     spot-market rule), so every rented server is billed exactly once.
     ``observers`` attach additional observers after the internal meter,
     as in :func:`repro.cloud.dispatcher.dispatch_stream`.
+    ``retry_policy``/``breaker`` defer re-admissions as in
+    :func:`simulate_faulty_stream`.
     """
     server_type = server_type or ServerType()
     meter = _BillingMeter(server_type.billed_model())
@@ -443,6 +528,8 @@ def dispatch_faulty_stream(
         capacity=server_type.gpu_capacity,
         cost_rate=server_type.rate,
         observers=(meter, *observers),
+        retry_policy=retry_policy,
+        breaker=breaker,
     )
     summary = result.summary
     return FaultyDispatchReport(

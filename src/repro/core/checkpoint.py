@@ -32,6 +32,7 @@ from __future__ import annotations
 import heapq
 import json
 from dataclasses import asdict, dataclass
+from fractions import Fraction
 from typing import TYPE_CHECKING, Any, Sequence
 
 from .numeric import Num
@@ -39,6 +40,7 @@ from .bin import Bin
 from .resources import Resources, Size
 from .simulator import Simulator, _ActiveItem
 from .telemetry import SimulationObserver
+from .validation import CheckpointFormatError, CheckpointSchemaError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..algorithms.base import PackingAlgorithm
@@ -46,10 +48,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 #: One ``(departure, seq, item_id)`` entry of the streaming departure heap.
 PendingEntry = tuple[Num, int, str]
 
-__all__ = ["CheckpointError", "StreamCheckpoint", "CHECKPOINT_VERSION"]
+__all__ = [
+    "CheckpointError",
+    "StreamCheckpoint",
+    "CHECKPOINT_VERSION",
+    "CHECKPOINT_SCHEMA_VERSION",
+]
 
 #: Bumped whenever the snapshot layout changes incompatibly.
 CHECKPOINT_VERSION = 1
+
+#: Version stamp of the *JSON payload* layout (field encoding, type tags).
+#: Distinct from :data:`CHECKPOINT_VERSION`, which versions the captured
+#: engine state: a payload written under a different schema fails loudly in
+#: :meth:`StreamCheckpoint.from_json` with a typed
+#: :class:`~repro.core.validation.CheckpointSchemaError` instead of
+#: mis-restoring.  Bumped to 2 when ``schema_version`` stamping and exact
+#: ``Fraction`` tagging were added.
+CHECKPOINT_SCHEMA_VERSION = 2
 
 
 class CheckpointError(RuntimeError):
@@ -245,29 +261,63 @@ class StreamCheckpoint:
     def to_json(self) -> str:
         """Serialize to JSON (floats round-trip exactly).
 
-        Vector sizes/capacities/levels are tagged as
-        ``{"__resources__": [...]}`` so :meth:`from_json` restores them as
-        :class:`~repro.core.resources.Resources` with the exact same float
-        components.
+        The payload is stamped with :data:`CHECKPOINT_SCHEMA_VERSION` so a
+        future layout change fails loudly on restore.  Vector
+        sizes/capacities/levels are tagged as ``{"__resources__": [...]}``
+        and exact rationals as ``{"__fraction__": [num, den]}`` so
+        :meth:`from_json` restores :class:`~repro.core.resources.Resources`
+        and :class:`~fractions.Fraction` values bit for bit.
         """
-        return json.dumps(asdict(self), sort_keys=True, default=_encode_json)
+        payload = asdict(self)
+        payload["schema_version"] = CHECKPOINT_SCHEMA_VERSION
+        return json.dumps(payload, sort_keys=True, default=_encode_json)
 
     @classmethod
     def from_json(cls, text: str) -> "StreamCheckpoint":
-        payload = json.loads(text, object_hook=_decode_json)
-        payload["bins"] = tuple(payload["bins"])
-        payload["active"] = tuple(payload["active"])
-        payload["observers"] = tuple(payload["observers"])
-        return cls(**payload)
+        """Parse a :meth:`to_json` payload.
+
+        Malformed or truncated input raises a typed
+        :class:`~repro.core.validation.CheckpointFormatError`; a payload
+        written under a different schema version raises
+        :class:`~repro.core.validation.CheckpointSchemaError`.  Neither
+        leaks bare ``json.JSONDecodeError``/``KeyError``/``TypeError``.
+        """
+        try:
+            payload = json.loads(text, object_hook=_decode_json)
+        except json.JSONDecodeError as exc:
+            raise CheckpointFormatError(f"not valid JSON ({exc})") from exc
+        if not isinstance(payload, dict):
+            raise CheckpointFormatError(
+                f"expected a JSON object, got {type(payload).__name__}"
+            )
+        schema = payload.pop("schema_version", None)
+        if schema != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointSchemaError(
+                expected=CHECKPOINT_SCHEMA_VERSION, got=schema
+            )
+        try:
+            payload["bins"] = tuple(payload["bins"])
+            payload["active"] = tuple(payload["active"])
+            payload["observers"] = tuple(payload["observers"])
+            return cls(**payload)
+        except (KeyError, TypeError) as exc:
+            raise CheckpointFormatError(
+                f"missing or malformed checkpoint fields ({exc})"
+            ) from exc
 
 
 def _encode_json(obj: Any) -> Any:
     if isinstance(obj, Resources):
         return {"__resources__": list(obj.values)}
+    if isinstance(obj, Fraction):
+        return {"__fraction__": [obj.numerator, obj.denominator]}
     raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
 
 
 def _decode_json(obj: dict[str, Any]) -> Any:
     if len(obj) == 1 and "__resources__" in obj:
         return Resources(*obj["__resources__"])
+    if len(obj) == 1 and "__fraction__" in obj:
+        num, den = obj["__fraction__"]
+        return Fraction(num, den)
     return obj

@@ -25,6 +25,8 @@ __all__ = [
     "ResourceDimensionError",
     "DuplicateItemIdError",
     "EmptySweepError",
+    "CheckpointFormatError",
+    "CheckpointSchemaError",
 ]
 
 
@@ -156,6 +158,44 @@ class DuplicateItemIdError(TraceValidationError):
 
     def __init__(self, item_id: str) -> None:
         super().__init__(f"duplicate item id: {item_id!r}", item_id=item_id)
+
+
+class CheckpointFormatError(ValueError):
+    """A checkpoint payload that cannot be parsed into a ``StreamCheckpoint``.
+
+    Raised by :meth:`repro.core.checkpoint.StreamCheckpoint.from_json` for
+    malformed or truncated input — invalid JSON, a non-object payload, or
+    missing/mistyped fields — instead of leaking the underlying
+    ``json.JSONDecodeError``/``KeyError``/``TypeError``.  ``detail`` holds
+    the parser-level description; the original exception rides along as
+    ``__cause__``.
+    """
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(f"unreadable checkpoint payload: {detail}")
+        self.detail = detail
+
+
+class CheckpointSchemaError(CheckpointFormatError):
+    """A checkpoint payload written under a different schema version.
+
+    The payload parsed as JSON but its ``schema_version`` stamp does not
+    match the version this engine writes, so restoring it could silently
+    mis-restore state.  ``got`` is ``None`` when the stamp is absent
+    entirely (a pre-versioning or foreign payload).
+    """
+
+    def __init__(self, *, expected: int, got: object) -> None:
+        stamp = "no schema_version stamp" if got is None else f"schema_version {got!r}"
+        ValueError.__init__(
+            self,
+            f"checkpoint payload carries {stamp}, but this engine reads "
+            f"schema_version {expected}; re-capture the checkpoint with the "
+            "current engine instead of restoring across formats",
+        )
+        self.detail = stamp
+        self.expected = expected
+        self.got = got
 
 
 class EmptySweepError(ValueError):

@@ -1,0 +1,128 @@
+"""Chaos experiment: the resilience layer's invariants as claim checks.
+
+Not a paper display — the robustness harness for everything the other
+experiments rely on.  A seeded :class:`repro.resilience.ChaosCampaignConfig`
+grid injects crashes at checkpoint boundaries and corrupts stored
+generations (bit-flip, truncation, emptying) over scalar and vector
+session streams, then the campaign's invariants become claims:
+
+* **exact resume** — every crashed-and-resumed dispatch reproduces the
+  uninterrupted run's summary, billed cost, and server counts bit for bit
+  (no double billing, no lost placements);
+* **total corruption detection** — every injected corruption is caught by
+  the store's checksum/schema verification and skipped, never silently
+  restored;
+* **monotone time** — simulation time never runs backwards across a
+  crash/resume boundary;
+* **byte-stable reports** — re-running the campaign yields a
+  byte-identical :meth:`~repro.resilience.ChaosCampaignReport.to_json`.
+
+This experiment keeps every scenario in-process (no worker-kill, no
+pool), so it is safe to run inside daemonized pool workers — the
+differential suite shards the whole catalogue that way.  The full
+campaign, worker kills included, runs via ``python -m repro chaos``.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweep import SweepResult
+from ..resilience import ChaosCampaignConfig, run_campaign
+from .registry import ClaimCheck, ExperimentResult, register_experiment
+
+
+def default_config(*, seed: int = 0, n_items: int = 160) -> ChaosCampaignConfig:
+    """The experiment's campaign grid (in-process scenarios only)."""
+    return ChaosCampaignConfig(
+        seed=seed,
+        n_items=n_items,
+        checkpoint_every=24,
+        crash_points=(1, 3),
+        corruption_modes=("bitflip", "truncate", "empty"),
+        traces=("scalar", "vector"),
+        include_worker_kill=False,
+    )
+
+
+@register_experiment(
+    "chaos",
+    display="Chaos campaign",
+    description="Seeded fault-injection campaign: crash/resume exactness, "
+    "corruption detection, monotone time, byte-stable reports",
+)
+def run(*, seed: int = 0, n_items: int = 160) -> ExperimentResult:
+    config = default_config(seed=seed, n_items=n_items)
+    report = run_campaign(config)
+    repeat = run_campaign(config)
+
+    table = SweepResult(
+        headers=[
+            "scenario",
+            "kind",
+            "trace",
+            "param",
+            "crashes",
+            "checkpoints",
+            "corruptions",
+            "detected",
+            "exact",
+            "ok",
+        ]
+    )
+    for row in report.rows:
+        table.add(
+            {
+                "scenario": row["scenario"],
+                "kind": row["kind"],
+                "trace": row["trace"],
+                "param": row["param"],
+                "crashes": row["crashes"],
+                "checkpoints": row["checkpoints"],
+                "corruptions": row["corruptions_injected"],
+                "detected": row["corruptions_detected"],
+                "exact": row["exact_resume"],
+                "ok": row["ok"],
+            }
+        )
+
+    totals = report.totals
+    checks = [
+        ClaimCheck(
+            claim="every crashed run resumes to float-identical results",
+            holds=totals["exact_resumes"] == totals["scenarios"],
+            detail=f"{totals['exact_resumes']}/{totals['scenarios']} scenarios exact",
+        ),
+        ClaimCheck(
+            claim="every injected corruption is detected and skipped",
+            holds=totals["corruptions_detected"] == totals["corruptions_injected"],
+            detail=(
+                f"{totals['corruptions_detected']}/"
+                f"{totals['corruptions_injected']} corruptions caught"
+            ),
+        ),
+        ClaimCheck(
+            claim="event time stays monotone across crash/resume boundaries",
+            holds=all(row["monotone_time"] for row in report.rows),
+        ),
+        ClaimCheck(
+            claim="campaign report is byte-stable across repeat runs",
+            holds=report.to_json() == repeat.to_json(),
+        ),
+        ClaimCheck(
+            claim="all scenarios pass",
+            holds=report.all_pass,
+            detail=f"{totals['scenarios'] - totals['failed']}/{totals['scenarios']} ok",
+        ),
+    ]
+    notes = [
+        f"{totals['crashes_injected']} crashes injected, "
+        f"{totals['checkpoints_written']} checkpoint generations written",
+        "worker-kill scenarios run via `python -m repro chaos` "
+        "(they spawn processes, so the in-catalogue run skips them)",
+    ]
+    return ExperimentResult(
+        name="chaos",
+        title=f"Chaos campaign (seed={seed}, {n_items} sessions/scenario)",
+        table=table,
+        checks=checks,
+        notes=notes,
+    )

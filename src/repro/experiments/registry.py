@@ -188,6 +188,7 @@ def _ensure_loaded() -> None:
         anomalies_experiment,
         bounds_sandwich,
         capacity_cap,
+        chaos_experiment,
         clairvoyance_gap,
         classic_dbp,
         constrained_dbp,

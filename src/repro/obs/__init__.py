@@ -22,7 +22,7 @@ manifest, trace, profile report).
 """
 
 from .clock import Clock, ManualClock, MonotonicClock
-from .manifest import RunManifest, build_manifest
+from .manifest import RunManifest, build_chaos_manifest, build_manifest
 from .metrics import (
     LATENCY_SECONDS_BUCKETS,
     PROBE_BUCKETS,
@@ -77,6 +77,7 @@ __all__ = [
     "instrument_algorithm",
     # manifest + session
     "RunManifest",
+    "build_chaos_manifest",
     "build_manifest",
     "ObservationSession",
     "observe_stream",

@@ -22,7 +22,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-__all__ = ["RunManifest", "build_manifest"]
+__all__ = ["RunManifest", "build_chaos_manifest", "build_manifest"]
 
 #: Manifest layout version.
 MANIFEST_SCHEMA_VERSION = 1
@@ -95,3 +95,28 @@ def build_manifest(
         extra=dict(extra) if extra else {},
         environment=_environment_block() if environment else {},
     )
+
+
+def build_chaos_manifest(
+    *,
+    schema: int,
+    campaign: Mapping[str, Any],
+    environment: bool = False,
+) -> dict[str, Any]:
+    """Provenance block for a chaos campaign report.
+
+    ``campaign`` is the campaign config echo (seed, grid, trace kinds);
+    the block carries the report schema version so readers can tell
+    layout changes from result changes.  Deterministic by default —
+    byte-identical across repeat runs and worker counts — matching the
+    report it is embedded in; ``environment=True`` appends the
+    interpreter/platform block for host-level provenance.
+    """
+    manifest: dict[str, Any] = {
+        "kind": "chaos-campaign",
+        "schema": schema,
+        "campaign": dict(campaign),
+    }
+    if environment:
+        manifest["environment"] = _environment_block()
+    return manifest

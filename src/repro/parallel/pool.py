@@ -27,15 +27,19 @@ corrupt when a worker is killed mid-task.
 
 from __future__ import annotations
 
+import heapq
 import pickle
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from multiprocessing.connection import Connection, wait
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from .failures import ShardExecutionError, ShardFailure, UnpicklableTaskError
+
+if TYPE_CHECKING:
+    from ..resilience.retry import RetryPolicy
 
 __all__ = ["run_tasks", "merge_indexed", "default_chunk_size", "PoolCounters"]
 
@@ -92,6 +96,7 @@ class PoolCounters:
     completed: int = 0
     retried: int = 0
     failed: int = 0
+    respawned: int = 0
 
     def publish(self, metrics: Any) -> None:
         """Mirror the counters into a ``repro.obs`` metrics registry."""
@@ -107,6 +112,10 @@ class PoolCounters:
         metrics.counter(
             "dbp_parallel_failures_total", "tasks that terminally failed"
         ).inc(self.failed)
+        metrics.counter(
+            "dbp_parallel_worker_respawns_total",
+            "workers replaced after a crash or deadline kill",
+        ).inc(self.respawned)
 
 
 def _worker_main(conn: Connection, fn_bytes: bytes) -> None:
@@ -163,6 +172,7 @@ class _Coordinator:
         ctx: Any,
         on_progress: Callable[[int, int], None] | None,
         counters: PoolCounters,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> None:
         self._fn_bytes = fn_bytes
         self._tasks = tasks
@@ -172,6 +182,8 @@ class _Coordinator:
         self._ctx = ctx
         self._on_progress = on_progress
         self._counters = counters
+        self._retry_policy = retry_policy
+        self._delayed: list[tuple[float, int]] = []  # (due monotonic, index)
         self._pending: deque[int] = deque(range(len(tasks)))
         self._attempts = [0] * len(tasks)
         self._results: dict[int, Any] = {}
@@ -215,14 +227,32 @@ class _Coordinator:
     def run(self) -> list[Any]:
         n = len(self._tasks)
         while len(self._results) + len(self._failures) < n:
+            self._promote_due_retries()
             self._assign_idle()
             self._pump()
             self._enforce_deadlines()
+            self._sleep_if_only_delayed()
         if self._failures:
             raise ShardExecutionError(
                 tuple(self._failures.values()), completed=self._results
             )
         return merge_indexed(self._results.items(), n)
+
+    def _promote_due_retries(self) -> None:
+        """Move backed-off retries whose delay has elapsed onto the queue."""
+        now = time.monotonic()
+        while self._delayed and self._delayed[0][0] <= now:
+            self._pending.append(heapq.heappop(self._delayed)[1])
+
+    def _sleep_if_only_delayed(self) -> None:
+        """Idle briefly when every remaining task is waiting out a backoff."""
+        if self._pending or not self._delayed:
+            return
+        if any(w.assigned for w in self._workers):
+            return
+        remaining = self._delayed[0][0] - time.monotonic()
+        if remaining > 0:
+            time.sleep(min(remaining, 0.05))
 
     def _assign_idle(self) -> None:
         for worker in self._workers:
@@ -296,7 +326,13 @@ class _Coordinator:
     def _retry_or_fail(self, index: int, kind: str, message: str) -> None:
         if self._attempts[index] <= self._retries:
             self._counters.retried += 1
-            self._pending.append(index)
+            if self._retry_policy is not None:
+                delay = self._retry_policy.delay(
+                    self._attempts[index], key=f"task-{index}"
+                )
+                heapq.heappush(self._delayed, (time.monotonic() + delay, index))
+            else:
+                self._pending.append(index)
             return
         self._failures[index] = ShardFailure(
             index=index,
@@ -318,6 +354,7 @@ class _Coordinator:
             self._attempts[head] += 1
             self._retry_or_fail(head, "crash", message)
             self._pending.extend(rest)
+        self._counters.respawned += 1
         self._workers[self._workers.index(worker)] = self._spawn()
 
     def _enforce_deadlines(self) -> None:
@@ -338,6 +375,7 @@ class _Coordinator:
                 head, "timeout", f"exceeded per-task timeout of {self._timeout}s"
             )
             self._pending.extend(rest)
+            self._counters.respawned += 1
             self._workers[self._workers.index(worker)] = self._spawn()
 
 
@@ -352,6 +390,7 @@ def run_tasks(
     start_method: str | None = None,
     metrics: Any = None,
     on_progress: Callable[[int, int], None] | None = None,
+    retry_policy: "RetryPolicy | None" = None,
 ) -> list[Any]:
     """Run ``fn(task)`` for every task across ``workers`` processes.
 
@@ -369,6 +408,12 @@ def run_tasks(
     ``metrics`` may be a :class:`repro.obs.MetricsRegistry`; the pool
     publishes deterministic ``dbp_parallel_*`` counters into it.
     ``on_progress(completed, total)`` fires after every completed task.
+
+    ``retry_policy`` (a :class:`repro.resilience.RetryPolicy`) spaces
+    retries by seeded exponential backoff on the wall clock instead of
+    requeueing immediately — crash-looping tasks stop hammering the pool.
+    Delays affect scheduling only; results and counters stay exactly as
+    deterministic as without it.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -398,6 +443,7 @@ def run_tasks(
         ctx=ctx,
         on_progress=on_progress,
         counters=counters,
+        retry_policy=retry_policy,
     )
     try:
         return coordinator.run()

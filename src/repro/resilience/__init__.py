@@ -1,0 +1,77 @@
+"""repro.resilience — crash-safety for long-running packing simulations.
+
+The layer that turns checkpoint/resume from an in-memory feature into an
+operational guarantee.  Four pieces, each proven by the seeded chaos
+campaign:
+
+* :mod:`repro.resilience.store` — :class:`CheckpointStore`: atomic
+  (write-temp/fsync/rename) generations of
+  :class:`~repro.core.checkpoint.StreamCheckpoint` JSON with SHA-256
+  content checksums, schema stamps, bounded rotation, and verified
+  fallback to the newest trustworthy generation.
+* :mod:`repro.resilience.supervisor` — :func:`supervised_stream` /
+  :func:`supervised_dispatch_stream`: run the streaming engine or the
+  cloud dispatcher under a restart loop that persists checkpoints and
+  resumes crashes exactly — results are float-identical to the
+  uninterrupted run, with :class:`RecoveryStats` as the only trace.
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy` (seeded
+  exponential backoff, clock-free) and :class:`CircuitBreaker`
+  (per-key, injected time axis) shared by fault recovery and the
+  parallel pool.
+* :mod:`repro.resilience.chaos` — :func:`run_campaign`: a deterministic
+  fault-injection grid (crashes at checkpoint boundaries, corrupted
+  generations, worker kills) whose byte-stable report asserts exact
+  resume, no double billing, monotone event time, and 100% corruption
+  detection.
+"""
+
+from .retry import CircuitBreaker, RetryPolicy
+from .store import (
+    STORE_SCHEMA_VERSION,
+    CheckpointIntegrityError,
+    CheckpointStore,
+    GenerationStatus,
+    LatestGood,
+)
+from .supervisor import (
+    RecoveryExhaustedError,
+    RecoveryStats,
+    SupervisedDispatchReport,
+    SupervisedStreamResult,
+    supervised_dispatch_stream,
+    supervised_stream,
+)
+from .chaos import (
+    CHAOS_SCHEMA_VERSION,
+    ChaosCampaignConfig,
+    ChaosCampaignReport,
+    InjectedCrash,
+    build_scenarios,
+    run_campaign,
+)
+
+__all__ = [
+    # retry
+    "RetryPolicy",
+    "CircuitBreaker",
+    # store
+    "STORE_SCHEMA_VERSION",
+    "CheckpointIntegrityError",
+    "CheckpointStore",
+    "GenerationStatus",
+    "LatestGood",
+    # supervisor
+    "RecoveryExhaustedError",
+    "RecoveryStats",
+    "SupervisedStreamResult",
+    "SupervisedDispatchReport",
+    "supervised_stream",
+    "supervised_dispatch_stream",
+    # chaos
+    "CHAOS_SCHEMA_VERSION",
+    "ChaosCampaignConfig",
+    "ChaosCampaignReport",
+    "InjectedCrash",
+    "build_scenarios",
+    "run_campaign",
+]

@@ -1,0 +1,158 @@
+"""Deterministic retry scheduling: seeded backoff and circuit breaking.
+
+Fault recovery needs *when to try again* decided as reproducibly as *what
+to retry*.  Wall-clock jitter (``random.random()`` at call time) would
+make every chaos run unique; this module derives all randomness from a
+seed and the retry's identity, so a campaign replays bit for bit:
+
+* :class:`RetryPolicy` — exponential backoff whose jitter is a pure
+  function of ``(seed, key, attempt)`` (SHA-256 derived, process- and
+  hash-seed-independent).  The policy never reads a clock: callers add
+  the returned delay to *their* time axis, which is simulated time in
+  :mod:`repro.cloud.faults` and wall seconds in :mod:`repro.parallel`.
+* :class:`CircuitBreaker` — a per-key (bin, region, shard...) breaker
+  that opens after ``threshold`` consecutive failures and stays open for
+  ``cooldown`` time units.  Time is injected through every method, so
+  the breaker works unchanged on simulated and wall clocks.
+
+Both are wired into RECONNECT/RESTART recovery
+(:func:`repro.cloud.faults.simulate_faulty_stream`) and the parallel
+pool's retry scheduling (:func:`repro.parallel.pool.run_tasks`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..core.numeric import Num
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]
+
+
+def _unit_draw(seed: int, key: str, attempt: int) -> float:
+    """A deterministic draw in ``[0, 1)`` from the retry's identity.
+
+    SHA-256 keyed on ``(seed, key, attempt)`` — stable across processes,
+    platforms, and ``PYTHONHASHSEED``, unlike ``hash()``.
+    """
+    digest = hashlib.sha256(f"{seed}|{key}|{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Seeded exponential backoff with bounded, deterministic jitter.
+
+    ``delay(attempt, key)`` for ``attempt = 1, 2, ...`` grows as
+    ``base_delay * multiplier**(attempt - 1)`` capped at ``max_delay``,
+    then spread by ``±jitter`` (a fraction) using the seeded draw — so
+    two sessions evicted by the same failure fan out instead of
+    thundering back in lockstep, yet every run schedules them
+    identically.
+
+    >>> policy = RetryPolicy(base_delay=2.0, multiplier=2.0, jitter=0.0)
+    >>> [policy.delay(a) for a in (1, 2, 3)]
+    [2.0, 4.0, 8.0]
+    """
+
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    #: Jitter amplitude as a fraction of the un-jittered delay, in [0, 1).
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValueError(f"base_delay must be positive, got {self.base_delay}")
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay {self.max_delay} must be >= base_delay {self.base_delay}"
+            )
+        if not 0 <= self.jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``key``."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        try:
+            grown = self.base_delay * self.multiplier ** (attempt - 1)
+        except OverflowError:  # huge attempt counts: the cap applies anyway
+            grown = self.max_delay
+        raw = min(self.max_delay, grown)
+        if self.jitter == 0:
+            return raw
+        spread = 2.0 * _unit_draw(self.seed, key, attempt) - 1.0  # [-1, 1)
+        return raw * (1.0 + self.jitter * spread)
+
+    def schedule(self, attempts: int, key: str = "") -> tuple[float, ...]:
+        """The first ``attempts`` delays for ``key`` (diagnostics/tests)."""
+        return tuple(self.delay(a, key) for a in range(1, attempts + 1))
+
+
+@dataclass(slots=True)
+class _BreakerEntry:
+    consecutive_failures: int = 0
+    opened_at: Num | None = None
+
+
+@dataclass(slots=True)
+class CircuitBreaker:
+    """A per-key circuit breaker on an injected time axis.
+
+    ``threshold`` consecutive failures of one key open its circuit at the
+    failure instant; while open (for ``cooldown`` time units) callers
+    should hold work off that key — :meth:`blocked_until` gives the
+    reopen time to reschedule against.  Any recorded success closes the
+    circuit and clears the failure streak.  All state is per key, so one
+    flapping region cannot trip a healthy one.
+    """
+
+    threshold: int = 3
+    cooldown: float = 60.0
+    _entries: dict[str, _BreakerEntry] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold}")
+        if self.cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {self.cooldown}")
+
+    def _entry(self, key: str) -> _BreakerEntry:
+        return self._entries.setdefault(key, _BreakerEntry())
+
+    def record_failure(self, key: str, now: Num) -> bool:
+        """Count a failure of ``key`` at ``now``; returns True if now open."""
+        entry = self._entry(key)
+        entry.consecutive_failures += 1
+        if entry.consecutive_failures >= self.threshold:
+            entry.opened_at = now
+        return self.is_open(key, now)
+
+    def record_success(self, key: str) -> None:
+        """A success closes the circuit and resets the failure streak."""
+        self._entries.pop(key, None)
+
+    def is_open(self, key: str, now: Num) -> bool:
+        entry = self._entries.get(key)
+        if entry is None or entry.opened_at is None:
+            return False
+        if now >= entry.opened_at + self.cooldown:
+            return False  # cooled down: half-open, next failure re-opens
+        return True
+
+    def blocked_until(self, key: str, now: Num) -> Num:
+        """Earliest time work may target ``key`` (``now`` if closed)."""
+        entry = self._entries.get(key)
+        if entry is None or entry.opened_at is None:
+            return now
+        reopen = entry.opened_at + self.cooldown
+        return reopen if reopen > now else now
+
+    def open_keys(self, now: Num) -> tuple[str, ...]:
+        """Keys whose circuits are open at ``now`` (sorted, for reports)."""
+        return tuple(sorted(k for k in self._entries if self.is_open(k, now)))

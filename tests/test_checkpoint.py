@@ -3,11 +3,21 @@ snapshot plus a fresh copy of the same source stream, must produce the exact
 same StreamSummary as the uninterrupted run — same floats, not just close.
 """
 
+import json
+from fractions import Fraction
+
 import pytest
 
 from repro import BestFit, FirstFit, NextFit, TelemetryCollector, make_items
 from repro.cloud import dispatch_stream
-from repro.core.checkpoint import CHECKPOINT_VERSION, CheckpointError, StreamCheckpoint
+from repro.core.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    StreamCheckpoint,
+)
+from repro.core.item import Item
+from repro.core.validation import CheckpointFormatError, CheckpointSchemaError
 from repro.core.streaming import simulate_stream
 from repro.workloads import Clipped, Exponential, Uniform, stream_trace
 
@@ -152,3 +162,73 @@ class TestCheckpointErrors:
         stale = dataclasses.replace(sink[0], version=CHECKPOINT_VERSION + 1)
         with pytest.raises(CheckpointError, match="version"):
             simulate_stream(_workload(), FirstFit(), resume_from=stale)
+
+
+class TestTypedPayloadErrors:
+    """Satellites: malformed payloads and schema stamps are typed errors."""
+
+    def _json(self):
+        _, sink = _collect_checkpoints(FirstFit, n_items=120)
+        return sink[0].to_json()
+
+    def test_payload_carries_schema_stamp(self):
+        payload = json.loads(self._json())
+        assert payload["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+
+    def test_invalid_json_is_format_error(self):
+        with pytest.raises(CheckpointFormatError, match="unreadable"):
+            StreamCheckpoint.from_json("{not json at all")
+
+    def test_non_object_json_is_format_error(self):
+        with pytest.raises(CheckpointFormatError):
+            StreamCheckpoint.from_json("[1, 2, 3]")
+
+    def test_missing_field_is_format_error(self):
+        payload = json.loads(self._json())
+        del payload["bins"]
+        with pytest.raises(CheckpointFormatError):
+            StreamCheckpoint.from_json(json.dumps(payload))
+
+    def test_missing_schema_stamp_is_schema_error(self):
+        payload = json.loads(self._json())
+        del payload["schema_version"]
+        with pytest.raises(CheckpointSchemaError, match="no schema_version"):
+            StreamCheckpoint.from_json(json.dumps(payload))
+
+    def test_wrong_schema_version_is_schema_error(self):
+        payload = json.loads(self._json())
+        payload["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 1
+        with pytest.raises(CheckpointSchemaError) as excinfo:
+            StreamCheckpoint.from_json(json.dumps(payload))
+        assert excinfo.value.expected == CHECKPOINT_SCHEMA_VERSION
+        assert excinfo.value.got == CHECKPOINT_SCHEMA_VERSION + 1
+
+    def test_schema_error_is_a_format_error(self):
+        # Callers catching the broad typed error also see schema mismatches.
+        assert issubclass(CheckpointSchemaError, CheckpointFormatError)
+
+    def test_fraction_state_roundtrips_exactly(self):
+        items = [
+            Item(
+                arrival=Fraction(i, 3),
+                departure=Fraction(i, 3) + Fraction(7, 2),
+                size=Fraction(1 + (i % 3), 5),
+                item_id=f"q{i}",
+            )
+            for i in range(90)
+        ]
+        base = simulate_stream(iter(items), FirstFit(), capacity=Fraction(1))
+        sink = []
+        simulate_stream(
+            iter(items),
+            FirstFit(),
+            capacity=Fraction(1),
+            checkpoint_every=25,
+            on_checkpoint=sink.append,
+        )
+        snap = StreamCheckpoint.from_json(sink[-1].to_json())
+        resumed = simulate_stream(
+            iter(items), FirstFit(), capacity=Fraction(1), resume_from=snap
+        )
+        assert resumed == base
+        assert isinstance(resumed.total_cost, Fraction)

@@ -259,8 +259,9 @@ class TestShippedTree:
         assert report.files_checked > 100
         assert not report.errors, report.errors
         assert report.violations == [], "\n".join(v.render() for v in report.violations)
-        # The sanctioned exact-replay suppressions, and nothing more.
-        assert report.suppressed == 3
+        # The sanctioned exact-replay/exact-resume suppressions, and
+        # nothing more (3 replay oracles + 2 resilience resume oracles).
+        assert report.suppressed == 5
 
     def test_fixture_directory_is_excluded_from_tree_lint(self):
         report = lint_paths([FIXTURES])

@@ -273,3 +273,68 @@ def _sweep_fail_on_three(x):
     if x == 3:
         raise RuntimeError("bad grid point")
     return {"x": x, "y": x + 1}
+
+
+def _die_once(task):
+    """Hard-kills the worker on the first attempt per payload."""
+    x, marker_dir = task
+    marker = os.path.join(marker_dir, f"died-{x}")
+    if x == 1 and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8") as fh:
+            fh.write("1")
+        os._exit(23)
+    return x + 7
+
+
+def test_worker_respawns_are_counted(tmp_path):
+    registry = MetricsRegistry()
+    rows = run_tasks(
+        _die_once,
+        [(x, str(tmp_path)) for x in range(4)],
+        workers=2,
+        retries=1,
+        chunk_size=1,
+        metrics=registry,
+    )
+    assert rows == [x + 7 for x in range(4)]
+    counters = registry.snapshot()["counters"]
+    assert counters["dbp_parallel_worker_respawns_total"] == 1
+    assert counters["dbp_parallel_retries_total"] == 1
+
+
+def test_deadline_kill_counts_as_respawn():
+    registry = MetricsRegistry()
+    with pytest.raises(ShardExecutionError):
+        run_tasks(
+            _hang_on_two,
+            list(range(4)),
+            workers=2,
+            timeout=0.5,
+            retries=0,
+            chunk_size=1,
+            metrics=registry,
+        )
+    assert registry.snapshot()["counters"]["dbp_parallel_worker_respawns_total"] >= 1
+
+
+def test_retry_policy_backs_off_and_preserves_results(tmp_path):
+    from repro.resilience import RetryPolicy
+
+    registry = MetricsRegistry()
+    tasks = [(x, str(tmp_path)) for x in range(5)]
+    start = time.monotonic()
+    rows = run_tasks(
+        _flaky_once,
+        tasks,
+        workers=2,
+        retries=1,
+        chunk_size=1,
+        retry_policy=RetryPolicy(base_delay=0.2, multiplier=1.0, max_delay=0.2, jitter=0.0),
+        metrics=registry,
+    )
+    elapsed = time.monotonic() - start
+    assert rows == [x * 100 for x in range(5)]  # backoff never reorders rows
+    assert elapsed >= 0.2, "retries must actually wait out the backoff"
+    counters = registry.snapshot()["counters"]
+    assert counters["dbp_parallel_retries_total"] == 5
+    assert counters["dbp_parallel_failures_total"] == 0

@@ -1,0 +1,166 @@
+"""Deterministic retry scheduling: seeded backoff, circuit breaking, and
+their wiring into fault recovery — delays must be a pure function of
+(seed, key, attempt), never of the wall clock or process state.
+"""
+
+import pytest
+
+from repro import FirstFit
+from repro.cloud.faults import (
+    CRASH,
+    RECONNECT,
+    RESTART,
+    FaultInjector,
+    simulate_faulty_stream,
+)
+from repro.resilience import CircuitBreaker, RetryPolicy
+from repro.workloads import Clipped, Exponential, Uniform, stream_trace
+
+
+def _items(n_items=200, seed=3):
+    return stream_trace(
+        arrival_rate=5.0,
+        duration=Clipped(Exponential(8.0), 1.0, 30.0),
+        size=Uniform(0.15, 0.6),
+        n_items=n_items,
+        seed=seed,
+    )
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=2.0, multiplier=3.0, max_delay=100.0, jitter=0.0)
+        assert policy.schedule(4) == (2.0, 6.0, 18.0, 54.0)
+
+    def test_cap_applies_before_jitter(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0, jitter=0.0)
+        assert policy.delay(5) == 5.0
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_delay=4.0, multiplier=2.0, max_delay=64.0, jitter=0.25, seed=9)
+        again = RetryPolicy(base_delay=4.0, multiplier=2.0, max_delay=64.0, jitter=0.25, seed=9)
+        for attempt in range(1, 8):
+            delay = policy.delay(attempt, key="bin-3")
+            raw = min(64.0, 4.0 * 2.0 ** (attempt - 1))
+            assert raw * 0.75 <= delay <= raw * 1.25
+            assert delay == again.delay(attempt, key="bin-3")
+
+    def test_distinct_keys_fan_out(self):
+        policy = RetryPolicy(jitter=0.3, seed=0)
+        delays = {policy.delay(1, key=f"session-{i}") for i in range(16)}
+        assert len(delays) > 1  # no thundering herd
+
+    def test_seed_changes_the_schedule(self):
+        a = RetryPolicy(jitter=0.3, seed=1).schedule(5, key="x")
+        b = RetryPolicy(jitter=0.3, seed=2).schedule(5, key="x")
+        assert a != b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_delay=0.0),
+            dict(base_delay=-1.0),
+            dict(multiplier=0.5),
+            dict(max_delay=0.5, base_delay=1.0),
+            dict(jitter=1.0),
+            dict(jitter=-0.1),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay(0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0)
+        assert breaker.record_failure("us-east", now=0.0) is False
+        assert breaker.record_failure("us-east", now=1.0) is False
+        assert breaker.record_failure("us-east", now=2.0) is True
+        assert breaker.is_open("us-east", now=5.0)
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0)
+        breaker.record_failure("k", now=0.0)
+        breaker.record_success("k")
+        assert breaker.record_failure("k", now=1.0) is False
+
+    def test_cooldown_reopens_the_circuit(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0)
+        breaker.record_failure("k", now=0.0)
+        assert breaker.is_open("k", now=4.999)
+        assert not breaker.is_open("k", now=5.0)
+
+    def test_blocked_until_gives_the_reopen_time(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0)
+        breaker.record_failure("k", now=2.0)
+        assert breaker.blocked_until("k", now=3.0) == 7.0
+        assert breaker.blocked_until("k", now=9.0) == 9.0
+        assert breaker.blocked_until("other", now=3.0) == 3.0
+
+    def test_keys_are_isolated(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=100.0)
+        breaker.record_failure("flappy", now=0.0)
+        assert breaker.is_open("flappy", now=1.0)
+        assert not breaker.is_open("healthy", now=1.0)
+        assert breaker.open_keys(now=1.0) == ("flappy",)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)
+
+
+class TestFaultRecoveryWiring:
+    def _run(self, **kw):
+        return simulate_faulty_stream(
+            _items(),
+            FirstFit(),
+            injector=FaultInjector(rate=0.2, model=CRASH, seed=7),
+            **kw,
+        )
+
+    def test_defaults_preserve_legacy_behaviour(self):
+        # No policy, no breaker: the report must not show any deferral.
+        result = self._run()
+        assert result.report.sessions_delayed == 0
+        assert result.report.total_retry_delay == 0
+        assert result.report.breaker_trips == 0
+
+    def test_backoff_defers_every_redispatch_deterministically(self):
+        policy = RetryPolicy(base_delay=0.5, multiplier=2.0, max_delay=8.0, jitter=0.2, seed=1)
+        r1 = self._run(retry_policy=policy)
+        r2 = self._run(retry_policy=policy)
+        assert r1.report.to_json() == r2.report.to_json()
+        assert r1.report.sessions_delayed == r1.report.sessions_redispatched
+        assert r1.report.sessions_delayed > 0
+        assert r1.report.total_retry_delay > 0
+        assert r1.summary == r2.summary
+
+    def test_breaker_trips_under_repeated_failures(self):
+        # threshold=1: the first eviction of any session opens its circuit,
+        # so any failure that strikes a busy server must register a trip.
+        policy = RetryPolicy(base_delay=0.25, multiplier=2.0, max_delay=4.0, jitter=0.0)
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0)
+        result = self._run(recovery=RESTART, retry_policy=policy, breaker=breaker)
+        assert result.report.sessions_evicted > 0
+        assert result.report.breaker_trips == result.report.sessions_evicted
+
+    @pytest.mark.parametrize("recovery", [RECONNECT, RESTART])
+    def test_all_sessions_complete_despite_deferrals(self, recovery):
+        result = self._run(
+            recovery=recovery,
+            retry_policy=RetryPolicy(base_delay=1.0, jitter=0.1, seed=2),
+            breaker=CircuitBreaker(threshold=2, cooldown=10.0),
+            record_induced=True,
+        )
+        # Every attempt ends (natural end or eviction): no session is lost
+        # in the delayed-re-admission queue.
+        assert result.induced_items is not None
+        assert result.summary.num_items == len(result.induced_items)
+        assert result.report.sessions_redispatched >= result.report.sessions_delayed

@@ -1,0 +1,208 @@
+"""Durable checkpoint store: atomicity discipline, rotation, and — above
+all — corruption detection.  The core property is exhaustive: *any* single
+byte flip of a stored generation must surface as a typed error at load
+time, never as a silently different checkpoint.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FirstFit
+from repro.core.checkpoint import StreamCheckpoint
+from repro.core.streaming import simulate_stream
+from repro.core.validation import CheckpointFormatError
+from repro.resilience import (
+    STORE_SCHEMA_VERSION,
+    CheckpointIntegrityError,
+    CheckpointStore,
+)
+from repro.workloads import Clipped, Exponential, Uniform, stream_trace
+
+
+def _workload(n_items=120, seed=5):
+    return stream_trace(
+        arrival_rate=5.0,
+        duration=Clipped(Exponential(5.0), 1.0, 15.0),
+        size=Uniform(0.1, 0.6),
+        n_items=n_items,
+        seed=seed,
+    )
+
+
+_CHECKPOINT_CACHE = {}
+
+
+def _one_checkpoint(seed=5):
+    if seed not in _CHECKPOINT_CACHE:
+        sink = []
+        simulate_stream(
+            _workload(seed=seed),
+            FirstFit(),
+            checkpoint_every=40,
+            on_checkpoint=sink.append,
+        )
+        assert sink
+        _CHECKPOINT_CACHE[seed] = sink[0]  # frozen snapshot: safe to share
+    return _CHECKPOINT_CACHE[seed]
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "store", keep=3)
+
+
+class TestSaveLoad:
+    def test_roundtrip_is_exact(self, store):
+        checkpoint = _one_checkpoint()
+        generation = store.save(checkpoint)
+        loaded = store.load(generation)
+        assert loaded.to_json() == checkpoint.to_json()
+
+    def test_generations_are_monotone_and_rotated(self, store):
+        checkpoint = _one_checkpoint()
+        for _ in range(5):
+            store.save(checkpoint)
+        assert store.generations() == (2, 3, 4)  # keep=3, newest retained
+
+    def test_generation_numbers_survive_restart(self, store):
+        checkpoint = _one_checkpoint()
+        store.save(checkpoint)
+        store.save(checkpoint)
+        reopened = CheckpointStore(store.directory, keep=3)
+        assert reopened.save(checkpoint) == 2
+
+    def test_no_temp_files_left_behind(self, store):
+        store.save(_one_checkpoint())
+        leftovers = [p.name for p in store.directory.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointStore(tmp_path, keep=0)
+
+    def test_missing_generation_is_typed(self, store):
+        with pytest.raises(CheckpointIntegrityError, match="does not exist"):
+            store.load(7)
+
+
+class TestCorruptionDetection:
+    def test_empty_file_detected(self, store):
+        generation = store.save(_one_checkpoint())
+        store.path_for(generation).write_bytes(b"")
+        with pytest.raises(CheckpointIntegrityError, match="empty"):
+            store.load(generation)
+
+    @pytest.mark.parametrize("cut", [1, 2, 10, 0.5])
+    def test_truncation_detected(self, store, cut):
+        generation = store.save(_one_checkpoint())
+        path = store.path_for(generation)
+        data = path.read_bytes()
+        keep = len(data) - cut if isinstance(cut, int) else int(len(data) * cut)
+        path.write_bytes(data[:keep])
+        with pytest.raises(CheckpointIntegrityError):
+            store.load(generation)
+
+    def test_wrong_store_schema_detected(self, store):
+        generation = store.save(_one_checkpoint())
+        path = store.path_for(generation)
+        envelope = json.loads(path.read_text())
+        envelope["schema_version"] = STORE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(envelope, sort_keys=True, separators=(",", ":")))
+        with pytest.raises(CheckpointIntegrityError, match="schema"):
+            store.load(generation)
+
+    def test_payload_swap_detected(self, store):
+        # A syntactically perfect envelope whose payload was replaced
+        # wholesale still fails: the checksum pins the exact bytes.
+        g1 = store.save(_one_checkpoint(seed=5))
+        g2 = store.save(_one_checkpoint(seed=6))
+        e1 = json.loads(store.path_for(g1).read_text())
+        e2 = json.loads(store.path_for(g2).read_text())
+        e1["payload"] = e2["payload"]
+        store.path_for(g1).write_text(
+            json.dumps(e1, sort_keys=True, separators=(",", ":"))
+        )
+        with pytest.raises(CheckpointIntegrityError, match="checksum"):
+            store.load(g1)
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_any_single_byte_flip_is_detected(self, tmp_path_factory, data):
+        """The exhaustive single-bit-rot property.
+
+        The envelope has no insignificant bytes (compact JSON, no trailing
+        newline), so flipping any bit of any byte must break the JSON
+        parse, the envelope structure, the schema stamp, the checksum
+        field format, or the SHA-256 comparison — all typed errors.
+        """
+        store = CheckpointStore(tmp_path_factory.mktemp("flip"), keep=1)
+        generation = store.save(_one_checkpoint())
+        path = store.path_for(generation)
+        original = path.read_bytes()
+        offset = data.draw(st.integers(min_value=0, max_value=len(original) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        flipped = bytes([original[offset] ^ (1 << bit)])
+        path.write_bytes(original[:offset] + flipped + original[offset + 1 :])
+        with pytest.raises((CheckpointIntegrityError, CheckpointFormatError)):
+            store.load(generation)
+
+
+class TestVerifiedFallback:
+    def test_latest_good_skips_corrupt_newest(self, store):
+        checkpoint = _one_checkpoint()
+        store.save(checkpoint)
+        newest = store.save(checkpoint)
+        store.path_for(newest).write_bytes(b"garbage")
+        entry = store.latest_good()
+        assert entry is not None
+        assert entry.generation == newest - 1
+        assert [s.generation for s in entry.skipped] == [newest]
+        assert not entry.skipped[0].ok
+
+    def test_latest_good_none_when_all_corrupt(self, store):
+        generation = store.save(_one_checkpoint())
+        store.path_for(generation).write_bytes(b"")
+        assert store.latest_good() is None
+
+    def test_latest_good_none_on_empty_store(self, store):
+        assert store.latest_good() is None
+
+    def test_verify_reports_every_generation(self, store):
+        checkpoint = _one_checkpoint()
+        g0 = store.save(checkpoint)
+        g1 = store.save(checkpoint)
+        store.path_for(g0).write_bytes(b"{}")
+        statuses = store.verify()
+        assert [(s.generation, s.ok) for s in statuses] == [(g0, False), (g1, True)]
+        assert statuses[0].error
+
+    def test_fallback_checkpoint_resumes_exactly(self, store):
+        base = simulate_stream(_workload(), FirstFit())
+        sink = []
+        simulate_stream(
+            _workload(), FirstFit(), checkpoint_every=40, on_checkpoint=sink.append
+        )
+        for checkpoint in sink:
+            store.save(checkpoint)
+        newest = store.generations()[-1]
+        store.path_for(newest).write_bytes(b"\x00\x01")
+        entry = store.latest_good()
+        assert entry is not None
+        resumed = simulate_stream(
+            _workload(), FirstFit(), resume_from=entry.checkpoint
+        )
+        assert resumed == base
+
+
+class TestEnvelopeFormat:
+    def test_envelope_is_compact_three_field_json(self, store):
+        generation = store.save(_one_checkpoint())
+        raw = store.path_for(generation).read_text()
+        assert not raw.endswith("\n")  # no insignificant bytes
+        envelope = json.loads(raw)
+        assert set(envelope) == {"schema_version", "sha256", "payload"}
+        assert envelope["schema_version"] == STORE_SCHEMA_VERSION
+        StreamCheckpoint.from_json(envelope["payload"])  # parses cleanly

@@ -1,0 +1,253 @@
+"""Recovery supervisor differential tests: the acceptance criterion.
+
+A dispatch stream killed at every k-th checkpoint write and resumed by
+the supervisor must produce a StreamSummary — and billed cost — exactly
+equal to the uninterrupted run, for scalar float, exact-Fraction, and
+vector-resource traces alike.  Crash recovery must be invisible in the
+results and visible only in RecoveryStats.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import BestFit, FirstFit
+from repro.cloud import ServerType, dispatch_stream
+from repro.core import Item, Resources
+from repro.core.streaming import simulate_stream
+from repro.obs import MetricsRegistry
+from repro.resilience import (
+    CheckpointStore,
+    InjectedCrash,
+    RecoveryExhaustedError,
+    supervised_dispatch_stream,
+    supervised_stream,
+)
+from repro.workloads import (
+    Clipped,
+    Exponential,
+    Uniform,
+    generate_vector_trace,
+    stream_trace,
+)
+
+CHECKPOINT_EVERY = 32
+
+
+def _scalar_items(n_items=260, seed=11):
+    return stream_trace(
+        arrival_rate=5.0,
+        duration=Clipped(Exponential(6.0), 1.0, 20.0),
+        size=Uniform(0.1, 0.6),
+        n_items=n_items,
+        seed=seed,
+    )
+
+
+def _fraction_items(n_items=150):
+    # Exact rational demands and durations: resumes must preserve
+    # Fraction arithmetic through checkpoint JSON, not degrade to floats.
+    items = []
+    t = Fraction(0)
+    for i in range(n_items):
+        t += Fraction(1, 3)
+        items.append(
+            Item(
+                arrival=t,
+                departure=t + Fraction(7, 2) + Fraction(i % 5, 3),
+                size=Fraction(1 + (i % 4), 7),
+                item_id=f"f{i}",
+            )
+        )
+    return iter(items)
+
+
+def _vector_items(n_items=200, seed=4):
+    trace = generate_vector_trace(
+        arrival_rate=4.0,
+        horizon=n_items / 4.0,
+        duration=Clipped(Exponential(8.0), 2.0, 30.0),
+        sizes=(Uniform(0.1, 0.6), Uniform(0.1, 0.5)),
+        correlation=0.5,
+        seed=seed,
+        capacity=Resources(1.0, 1.0),
+    )
+    return iter(sorted(trace.items, key=lambda item: item.arrival))
+
+
+def _crash_at_every(k):
+    def hook(generation, checkpoint):
+        if (generation + 1) % k == 0:
+            raise InjectedCrash(f"killed at generation {generation}")
+
+    return hook
+
+
+CASES = [
+    pytest.param(_scalar_items, ServerType(), id="scalar-float"),
+    pytest.param(
+        _fraction_items,
+        ServerType(
+            gpu_capacity=Fraction(1),
+            rate=Fraction(1),
+            billing_quantum=Fraction(15, 2),
+        ),
+        id="scalar-fraction",
+    ),
+    pytest.param(
+        _vector_items,
+        ServerType(gpu_capacity=Resources(1.0, 1.0), billing_quantum=30.0),
+        id="vector",
+    ),
+]
+
+
+class TestDispatchDifferential:
+    @pytest.mark.parametrize("items,server_type", CASES)
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_kill_at_every_kth_checkpoint_resumes_exactly(
+        self, tmp_path, items, server_type, k
+    ):
+        base = dispatch_stream(items(), FirstFit(), server_type=server_type)
+        store = CheckpointStore(tmp_path / f"k{k}", keep=3)
+        supervised = supervised_dispatch_stream(
+            items,
+            FirstFit,
+            store=store,
+            checkpoint_every=CHECKPOINT_EVERY,
+            server_type=server_type,
+            max_restarts=1000,
+            recover_on=(InjectedCrash,),
+            checkpoint_hook=_crash_at_every(k),
+        )
+        report, stats = supervised.report, supervised.stats
+        assert stats.crashes > 0, "the hook must actually kill the run"
+        assert report.summary == base.summary
+        # Settlement must not double-bill across crashes: exact equality,
+        # Fraction-exact in the rational case.
+        assert report.billed_cost == base.billed_cost  # dbp: noqa[DBP003] -- exact-resume oracle
+        assert type(report.billed_cost) is type(base.billed_cost)
+        assert (  # dbp: noqa[DBP003] -- exact-resume oracle
+            report.continuous_cost == base.continuous_cost
+        )
+        assert report.num_servers_rented == base.num_servers_rented
+        assert report.peak_concurrent_servers == base.peak_concurrent_servers
+
+    def test_fraction_costs_stay_rational_through_recovery(self, tmp_path):
+        server_type = ServerType(
+            gpu_capacity=Fraction(1), rate=Fraction(2, 3), billing_quantum=Fraction(5)
+        )
+        store = CheckpointStore(tmp_path, keep=2)
+        supervised = supervised_dispatch_stream(
+            _fraction_items,
+            BestFit,
+            store=store,
+            checkpoint_every=CHECKPOINT_EVERY,
+            server_type=server_type,
+            max_restarts=1000,
+            recover_on=(InjectedCrash,),
+            checkpoint_hook=_crash_at_every(1),
+        )
+        assert supervised.stats.crashes > 0
+        assert isinstance(supervised.report.billed_cost, Fraction)
+
+
+class TestStreamSupervision:
+    def test_supervised_stream_equals_plain_run(self, tmp_path):
+        base = simulate_stream(_scalar_items(), BestFit())
+        supervised = supervised_stream(
+            _scalar_items,
+            BestFit,
+            store=CheckpointStore(tmp_path, keep=3),
+            checkpoint_every=CHECKPOINT_EVERY,
+            max_restarts=1000,
+            recover_on=(InjectedCrash,),
+            checkpoint_hook=_crash_at_every(2),
+        )
+        assert supervised.stats.crashes > 0
+        assert supervised.summary == base
+
+    def test_no_crash_means_clean_stats(self, tmp_path):
+        supervised = supervised_stream(
+            _scalar_items,
+            FirstFit,
+            store=CheckpointStore(tmp_path, keep=3),
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+        stats = supervised.stats
+        assert stats.crashes == 0
+        assert stats.resumed_generations == ()
+        assert stats.corrupt_generations_skipped == 0
+        assert stats.checkpoints_written > 0
+
+
+class TestRecoveryBehaviour:
+    def test_max_restarts_exhaustion_is_typed(self, tmp_path):
+        def always_crash(generation, checkpoint):
+            raise InjectedCrash("unrecoverable")
+
+        with pytest.raises(RecoveryExhaustedError) as excinfo:
+            supervised_stream(
+                _scalar_items,
+                FirstFit,
+                store=CheckpointStore(tmp_path, keep=3),
+                checkpoint_every=CHECKPOINT_EVERY,
+                max_restarts=2,
+                recover_on=(InjectedCrash,),
+                checkpoint_hook=always_crash,
+            )
+        assert excinfo.value.crashes == 3
+        assert isinstance(excinfo.value.last_error, InjectedCrash)
+
+    def test_unlisted_exceptions_propagate(self, tmp_path):
+        def boom(generation, checkpoint):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            supervised_stream(
+                _scalar_items,
+                FirstFit,
+                store=CheckpointStore(tmp_path, keep=3),
+                checkpoint_every=CHECKPOINT_EVERY,
+                recover_on=(InjectedCrash,),
+                checkpoint_hook=boom,
+            )
+
+    def test_corrupt_generation_skipped_and_counted(self, tmp_path):
+        base = dispatch_stream(_scalar_items(), FirstFit())
+        store = CheckpointStore(tmp_path, keep=4)
+        dispatch_stream(
+            _scalar_items(),
+            FirstFit(),
+            checkpoint_every=CHECKPOINT_EVERY,
+            on_checkpoint=store.save,
+        )
+        newest = store.generations()[-1]
+        store.path_for(newest).write_bytes(b"rotted")
+        supervised = supervised_dispatch_stream(
+            _scalar_items,
+            FirstFit,
+            store=store,
+            checkpoint_every=CHECKPOINT_EVERY,
+            max_restarts=0,
+        )
+        assert supervised.stats.corrupt_generations_skipped == 1
+        assert supervised.stats.resumed_generations == (newest - 1,)
+        assert supervised.report.summary == base.summary
+
+    def test_metrics_published(self, tmp_path):
+        metrics = MetricsRegistry()
+        supervised_stream(
+            _scalar_items,
+            FirstFit,
+            store=CheckpointStore(tmp_path, keep=3),
+            checkpoint_every=CHECKPOINT_EVERY,
+            max_restarts=1000,
+            recover_on=(InjectedCrash,),
+            checkpoint_hook=_crash_at_every(3),
+            metrics=metrics,
+        )
+        counters = metrics.snapshot()["counters"]
+        assert counters["dbp_resilience_restarts_total"] > 0
+        assert counters["dbp_resilience_checkpoints_total"] > 0
+        assert counters["dbp_resilience_corrupt_generations_total"] == 0
