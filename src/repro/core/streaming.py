@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from .numeric import Num
@@ -58,8 +59,14 @@ class StreamSummary:
     end_time: Num | None
 
     @property
-    def cost_per_item(self) -> float:
-        return float(self.total_cost) / self.num_items
+    def cost_per_item(self) -> Num:
+        """Mean cost per item, exact when the trace is exact.
+
+        Dividing through :class:`Fraction` keeps an int/Fraction trace's
+        ratio exact; a float ``total_cost`` (inherited from float inputs)
+        stays float.
+        """
+        return self.total_cost / Fraction(self.num_items)
 
 
 def simulate_stream(

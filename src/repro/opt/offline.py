@@ -63,7 +63,7 @@ def _fits(group: list[Item], item: Item, capacity: numbers.Real) -> bool:
     for x in overlapping:
         if item.arrival <= x.arrival < item.departure:
             checkpoints.add(x.arrival)
-    for t in checkpoints:
+    for t in sorted(checkpoints):
         load = item.size
         for x in overlapping:
             if x.arrival <= t < x.departure:

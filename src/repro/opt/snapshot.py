@@ -85,7 +85,7 @@ def l2_lower_bound(sizes: Sequence[numbers.Real], capacity: numbers.Real = 1) ->
         if s <= half + eps:
             candidates.add(s)
     best = 0
-    for alpha in candidates:
+    for alpha in sorted(candidates):
         j1 = j2 = 0
         j2_residual: numbers.Real = 0
         j3_volume: numbers.Real = 0

@@ -117,7 +117,7 @@ class CheckpointStore:
     def generations(self) -> tuple[int, ...]:
         """Stored generation numbers, oldest first."""
         found = []
-        for name in os.listdir(self._dir):
+        for name in sorted(os.listdir(self._dir)):
             match = _GENERATION_RE.fullmatch(name)
             if match:
                 found.append(int(match.group(1)))

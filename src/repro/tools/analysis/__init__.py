@@ -1,0 +1,84 @@
+"""Whole-program static analysis: exactness, effects, determinism.
+
+The per-file linter (:mod:`repro.tools.lint`, DBP001–DBP010) checks what a
+single AST can prove.  This package owns the properties that need the whole
+program (DBP011–DBP015): it builds a project call graph — methods resolved
+through the class hierarchy, Protocol dispatch fanned out over every
+registered algorithm, observer callbacks over every observer — and runs
+three fixpoint passes over per-file facts:
+
+* **exactness** — float-qualifier dataflow proving no *engine-introduced*
+  float (literal, ``float()`` cast, ``math.*`` result, ``int/int`` true
+  division) reaches a billed-cost expression (DBP011) or a checkpoint
+  payload (DBP012);
+* **effects** — interprocedural purity summaries (reads-clock,
+  performs-io, global-rng, mutates-argument/global) upgrading the linter's
+  syntactic hook check to a transitive guarantee over everything reachable
+  from ``SimulationObserver`` hooks and ``choose_bin`` implementations
+  (DBP013);
+* **determinism** — unordered set/dict-listing iteration feeding engine
+  decisions or serialized artifacts (DBP014), and parallel worker tasks
+  touching shared mutable state (DBP015).
+
+Run it as ``python -m repro.tools.analysis src``; see ``docs/ANALYSIS.md``
+for the rule catalogue and the baseline/suppression workflow.  Extraction
+results are cached by source-content hash, findings can be sanctioned via
+a justified committed baseline, and output is available as human text,
+deterministic JSON, or SARIF 2.1.0.
+"""
+
+from repro.tools.analysis.baseline import (
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.tools.analysis.cache import FactsCache
+from repro.tools.analysis.callgraph import ProjectIndex
+from repro.tools.analysis.catalog import (
+    ANALYSIS_RULES,
+    AnalysisRule,
+    DEFAULT_EXACT_PACKAGES,
+    PASSES,
+    all_codes,
+    iter_rules,
+)
+from repro.tools.analysis.cli import main
+from repro.tools.analysis.effects import compute_effect_summaries
+from repro.tools.analysis.engine import (
+    AnalysisReport,
+    analysis_config,
+    analyze_paths,
+    analyze_sources,
+)
+from repro.tools.analysis.exactness import compute_return_summaries
+from repro.tools.analysis.facts import ModuleFacts, extract_module_facts
+from repro.tools.analysis.sarif import sarif_document, to_sarif
+
+__all__ = [
+    "ANALYSIS_RULES",
+    "AnalysisReport",
+    "AnalysisRule",
+    "BaselineEntry",
+    "BaselineError",
+    "DEFAULT_EXACT_PACKAGES",
+    "FactsCache",
+    "ModuleFacts",
+    "PASSES",
+    "ProjectIndex",
+    "all_codes",
+    "analysis_config",
+    "analyze_paths",
+    "analyze_sources",
+    "apply_baseline",
+    "compute_effect_summaries",
+    "compute_return_summaries",
+    "extract_module_facts",
+    "iter_rules",
+    "load_baseline",
+    "main",
+    "render_baseline",
+    "sarif_document",
+    "to_sarif",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.tools.analysis`` entry point."""
+
+from repro.tools.analysis.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Content-hash keyed summary cache for per-file facts.
+
+Extraction is the expensive part of an analyzer run (full AST walks per
+file); the fixpoint passes over facts are cheap.  Because
+:class:`~repro.tools.analysis.facts.ModuleFacts` is a pure function of
+``(schema version, module name, source bytes)``, caching it under the
+sha256 of exactly that triple is sound: a warm run over an unchanged tree
+re-extracts nothing and — since passes consume facts only — produces
+byte-identical findings (CI asserts this).
+
+Cache entries are pickles written atomically (temp file + ``os.replace``)
+so a crashed run never leaves a torn entry; unreadable or stale-schema
+entries count as misses and are silently rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.tools.analysis.facts import FACTS_SCHEMA_VERSION, ModuleFacts
+
+__all__ = ["DEFAULT_CACHE_DIR", "FactsCache"]
+
+DEFAULT_CACHE_DIR = ".dbp-analysis-cache"
+
+
+class FactsCache:
+    """Pickle store of extracted facts keyed by source-content hash."""
+
+    def __init__(self, directory: str | Path | None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(module: str, source: str) -> str:
+        hasher = hashlib.sha256()
+        hasher.update(f"{FACTS_SCHEMA_VERSION}\0{module}\0".encode())
+        hasher.update(source.encode("utf-8", errors="surrogateescape"))
+        return hasher.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.facts"
+
+    def get(self, key: str) -> ModuleFacts | None:
+        if self.directory is None:
+            self.misses += 1
+            return None
+        try:
+            with open(self._path(key), "rb") as handle:
+                facts = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            self.misses += 1
+            return None
+        if not isinstance(facts, ModuleFacts):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts
+
+    def put(self, key: str, facts: ModuleFacts) -> None:
+        if self.directory is None:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(facts, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache directory degrades to cold runs.
+            pass

@@ -1,0 +1,180 @@
+"""The whole-program pass and rule catalogue (DBP011–DBP015).
+
+The per-file linter owns DBP001–DBP010; the codes here are reserved for
+properties that only a cross-module analysis can establish.  Each rule
+belongs to exactly one *pass* (selectable with ``--only``) and carries a
+path scope:
+
+* ``"exact"`` — the exactness-critical packages: the engine proper plus
+  the layers whose artifacts must replay bit-for-bit
+  (``repro.obs``, ``repro.resilience``).
+* ``"src"`` — every ``repro`` module but not the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tools.common.config import DEFAULT_ENGINE_PACKAGES, LintConfig, is_test_module
+
+__all__ = [
+    "ANALYSIS_RULES",
+    "AnalysisRule",
+    "DEFAULT_EXACT_PACKAGES",
+    "PASSES",
+    "all_codes",
+    "codes_for_passes",
+    "iter_rules",
+    "rule_scope_applies",
+]
+
+#: Packages whose numeric results must stay exact when their inputs are
+#: exact: the engine plus the observability and resilience layers (their
+#: artifacts — metrics snapshots, checkpoints — feed exact-replay oracles).
+DEFAULT_EXACT_PACKAGES: tuple[str, ...] = DEFAULT_ENGINE_PACKAGES + (
+    "repro.obs",
+    "repro.resilience",
+)
+
+#: Pass names in execution (and ``--only``) order.
+PASSES: tuple[str, ...] = ("exactness", "effects", "determinism")
+
+
+@dataclass(frozen=True, slots=True)
+class AnalysisRule:
+    """One whole-program rule: code, pass membership, scope, and prose."""
+
+    code: str
+    name: str
+    pass_name: str
+    scope: str  # "exact" | "src"
+    summary: str
+    #: Remediation guidance rendered into SARIF rule help and the docs.
+    help: str
+
+
+_RULES = (
+    AnalysisRule(
+        code="DBP011",
+        name="float-contaminates-cost",
+        pass_name="exactness",
+        scope="exact",
+        summary=(
+            "No engine-introduced float may reach a billed-cost expression"
+        ),
+        help=(
+            "A float literal, float() cast, math.* result, or int/int true "
+            "division flowing into a cost accumulator forces the whole "
+            "accumulation to float even when the trace is exact "
+            "(int/Fraction), breaking the exact-replay guarantees behind "
+            "Theorems 1-5.  Initialise accumulators with int 0, divide via "
+            "Fraction, and keep floats out of cost arithmetic; the flow is "
+            "tracked across call boundaries, so check the named callee when "
+            "the message cites one."
+        ),
+    ),
+    AnalysisRule(
+        code="DBP012",
+        name="float-contaminates-checkpoint",
+        pass_name="exactness",
+        scope="exact",
+        summary=(
+            "No engine-introduced float may reach a checkpoint or snapshot payload"
+        ),
+        help=(
+            "Checkpoint payloads must round-trip the engine's numeric state "
+            "exactly: a float introduced while building the payload means "
+            "resumed runs diverge from uninterrupted ones.  Store the "
+            "original int/Fraction values (the envelope encodes them "
+            "losslessly) and leave any display rounding to readers."
+        ),
+    ),
+    AnalysisRule(
+        code="DBP013",
+        name="impure-hook-reachability",
+        pass_name="effects",
+        scope="exact",
+        summary=(
+            "Observer hooks and choose_bin must be transitively pure "
+            "(no clock/io/rng/argument mutation anywhere reachable)"
+        ),
+        help=(
+            "DBP005 checks the hook body syntactically; this rule follows "
+            "every call reachable from SimulationObserver hooks and "
+            "choose_bin/choose_bin_indexed implementations and reports the "
+            "call chain to any wall-clock read, global-RNG draw, stdout/"
+            "logging side channel, or mutation of a hook argument.  Move the "
+            "effect out of the hook's reach, or thread an injected "
+            "clock/generator through."
+        ),
+    ),
+    AnalysisRule(
+        code="DBP014",
+        name="unordered-iteration",
+        pass_name="determinism",
+        scope="src",
+        summary=(
+            "Library code must not iterate sets or directory listings unordered"
+        ),
+        help=(
+            "set/frozenset iteration order depends on PYTHONHASHSEED for str "
+            "elements, and os.listdir/Path.glob/iterdir order depends on the "
+            "filesystem — any of them feeding a loop, a serialized artifact, "
+            "or an engine decision makes byte-stability a coincidence.  Wrap "
+            "the iterable in sorted(); membership tests, len(), and "
+            "sorted()/min()/max() consumption are fine."
+        ),
+    ),
+    AnalysisRule(
+        code="DBP015",
+        name="worker-task-shared-state",
+        pass_name="determinism",
+        scope="src",
+        summary=(
+            "Parallel worker tasks must not write module globals or capture "
+            "mutable state"
+        ),
+        help=(
+            "Each pool worker runs in its own process: a task function that "
+            "writes a module-level mutable (directly or via any callee), or "
+            "a closure/lambda task capturing a mutable variable, operates on "
+            "a silently diverging per-worker copy — results then depend on "
+            "task-to-worker placement.  Pass all state through task "
+            "arguments and return values; the runner's merge machinery is "
+            "the only cross-task channel."
+        ),
+    ),
+)
+
+ANALYSIS_RULES: dict[str, AnalysisRule] = {rule.code: rule for rule in _RULES}
+
+
+def iter_rules() -> list[AnalysisRule]:
+    return [ANALYSIS_RULES[code] for code in sorted(ANALYSIS_RULES)]
+
+
+def all_codes() -> list[str]:
+    return sorted(ANALYSIS_RULES)
+
+
+def codes_for_passes(passes: tuple[str, ...]) -> frozenset[str]:
+    return frozenset(
+        rule.code for rule in ANALYSIS_RULES.values() if rule.pass_name in passes
+    )
+
+
+def rule_scope_applies(rule: AnalysisRule, module: str, config: LintConfig) -> bool:
+    """Whether ``rule`` applies to ``module``.
+
+    ``config.engine_packages`` is interpreted as the *exact* package list
+    here (the analyzer constructs its config with
+    :data:`DEFAULT_EXACT_PACKAGES`).
+    """
+    if rule.scope == "src":
+        return not is_test_module(module)
+    if rule.scope == "exact":
+        return any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in config.engine_packages
+        )
+    raise ValueError(f"unknown analysis rule scope {rule.scope!r}")

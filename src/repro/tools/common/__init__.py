@@ -1,0 +1,45 @@
+"""Shared static-analysis core.
+
+Both analyzers in the tools layer — the per-file determinism linter
+(:mod:`repro.tools.lint`) and the whole-program dataflow analyzer
+(:mod:`repro.tools.analysis`) — speak the same vocabulary: a
+:class:`Violation` record with a stable ``DBPnnn`` code, path-scoped rule
+application (engine / src / all), ``# dbp: noqa[CODE] -- why`` suppression
+comments that must carry a justification, and sorted-order file discovery.
+This package holds that vocabulary once so a rule code means the same thing
+no matter which tool reported it, and suppressions written for the linter
+keep working when the whole-program passes re-derive the finding.
+"""
+
+from __future__ import annotations
+
+from .config import (
+    DEFAULT_ENGINE_PACKAGES,
+    DEFAULT_EXCLUDES,
+    SCOPES,
+    LintConfig,
+    is_test_module,
+    module_name_for,
+    scope_applies,
+)
+from .loader import SourceFile, apply_suppressions, iter_python_files, load_source_files, parse_source
+from .noqa import Suppression, scan_suppressions
+from .violations import Violation
+
+__all__ = [
+    "DEFAULT_ENGINE_PACKAGES",
+    "DEFAULT_EXCLUDES",
+    "LintConfig",
+    "SCOPES",
+    "SourceFile",
+    "Suppression",
+    "Violation",
+    "apply_suppressions",
+    "is_test_module",
+    "iter_python_files",
+    "load_source_files",
+    "module_name_for",
+    "parse_source",
+    "scan_suppressions",
+    "scope_applies",
+]

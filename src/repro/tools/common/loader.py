@@ -1,0 +1,108 @@
+"""File discovery, parsing, and suppression application shared by the tools.
+
+The linter and the whole-program analyzer both consume the same parsed view
+of a source file (:class:`SourceFile`) so that path display, module naming,
+and ``dbp: noqa`` handling cannot drift between them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .config import LintConfig, module_name_for
+from .noqa import Suppression, scan_suppressions
+from .violations import Violation
+
+__all__ = [
+    "SourceFile",
+    "apply_suppressions",
+    "iter_python_files",
+    "load_source_files",
+    "parse_source",
+]
+
+
+@dataclass(slots=True)
+class SourceFile:
+    """One parsed source file, ready for rule or pass execution."""
+
+    path: str  # display path (as given on the command line)
+    module: str  # dotted module name (drives scoping)
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    suppressions: dict[int, Suppression]
+
+
+def parse_source(source: str, *, path: str, module: str) -> SourceFile:
+    """Parse ``source`` into a :class:`SourceFile`; raises ``SyntaxError``."""
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    return SourceFile(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        lines=lines,
+        suppressions=scan_suppressions(lines),
+    )
+
+
+def iter_python_files(paths: Sequence[Path], config: LintConfig) -> Iterator[Path]:
+    """Expand files/directories into the `.py` files to analyze, in sorted order."""
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not config.is_excluded(candidate):
+                    yield candidate
+        elif path.suffix == ".py" and not config.is_excluded(path):
+            yield path
+
+
+def load_source_files(
+    paths: Sequence[str | Path], config: LintConfig
+) -> tuple[list[SourceFile], list[tuple[str, str]]]:
+    """Load and parse every file under ``paths``.
+
+    Returns the parsed files plus ``(path, message)`` pairs for files that
+    could not be read or parsed — unparsable files are reported, never
+    silently skipped.
+    """
+    loaded: list[SourceFile] = []
+    errors: list[tuple[str, str]] = []
+    for path in iter_python_files([Path(p) for p in paths], config):
+        display = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            loaded.append(
+                parse_source(source, path=display, module=module_name_for(path))
+            )
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append((display, str(exc)))
+    return loaded, errors
+
+
+def apply_suppressions(
+    violations: Iterable[Violation], suppressions: dict[int, Suppression]
+) -> tuple[list[Violation], int]:
+    """Drop violations whose ``[line, end_line]`` span holds a matching noqa."""
+    if not suppressions:
+        ordered = sorted(violations, key=Violation.sort_key)
+        return ordered, 0
+    kept: list[Violation] = []
+    dropped = 0
+    for violation in violations:
+        end = violation.end_line or violation.line
+        span = range(violation.line, end + 1)
+        if any(
+            lineno in suppressions and suppressions[lineno].suppresses(violation.code)
+            for lineno in span
+        ):
+            dropped += 1
+        else:
+            kept.append(violation)
+    kept.sort(key=Violation.sort_key)
+    return kept, dropped

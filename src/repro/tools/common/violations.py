@@ -1,0 +1,45 @@
+"""The violation record emitted by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule violation at one source location.
+
+    ``line``/``col`` are 1-based line and 0-based column, matching CPython's
+    :mod:`ast` conventions (and compiler ``file:line:col`` output).
+    ``end_line`` is the last line of the offending statement — suppression
+    comments anywhere in ``[line, end_line]`` apply.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    message: str
+    end_line: int | None = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def render(self) -> str:
+        """Human-readable one-liner: ``path:line:col: CODE message``."""
+        return f"{self.location()}: {self.code} {self.message}"
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)

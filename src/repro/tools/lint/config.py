@@ -1,91 +1,29 @@
 """Path-scoped lint configuration.
 
-Rules carry a *scope* deciding where they apply:
-
-* ``"engine"`` — only the exactness-critical engine packages
-  (``repro.core``, ``repro.algorithms``, ``repro.cloud``).  Experiments may
-  time themselves with ``perf_counter``; the engine may not.
-* ``"src"`` — every ``repro`` module but not the test suite.  Float ``==``
-  on costs is a bug in library code, while tests legitimately assert exact
-  costs of exactly-representable constructions.
-* ``"all"`` — everywhere, tests included (hygiene rules).
+The configuration model lives in :mod:`repro.tools.common.config` (shared
+with the whole-program analyzer so "engine scope" means the same packages in
+both tools); this module re-exports it under the linter's historical import
+path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from pathlib import Path
-
-DEFAULT_ENGINE_PACKAGES: tuple[str, ...] = (
-    "repro.core",
-    "repro.algorithms",
-    "repro.cloud",
+from repro.tools.common.config import (
+    DEFAULT_ENGINE_PACKAGES,
+    DEFAULT_EXCLUDES,
+    SCOPES,
+    LintConfig,
+    is_test_module,
+    module_name_for,
+    scope_applies,
 )
 
-#: Path components that are never linted by default (rule fixtures contain
-#: violations on purpose; caches are not source).
-DEFAULT_EXCLUDES: tuple[str, ...] = ("lint_fixtures", "__pycache__", ".git")
-
-SCOPES: tuple[str, ...] = ("engine", "src", "all")
-
-
-@dataclass(frozen=True, slots=True)
-class LintConfig:
-    """Immutable analyzer configuration.
-
-    ``select``/``ignore`` filter by rule code after scoping; an empty
-    ``select`` (the default ``None``) means every registered rule.
-    """
-
-    engine_packages: tuple[str, ...] = DEFAULT_ENGINE_PACKAGES
-    exclude: tuple[str, ...] = DEFAULT_EXCLUDES
-    select: frozenset[str] | None = None
-    ignore: frozenset[str] = field(default_factory=frozenset)
-
-    def rule_enabled(self, code: str) -> bool:
-        if code in self.ignore:
-            return False
-        return self.select is None or code in self.select
-
-    def is_excluded(self, path: Path) -> bool:
-        parts = set(path.parts)
-        return any(marker in parts for marker in self.exclude)
-
-
-def module_name_for(path: Path) -> str:
-    """Best-effort dotted module name of a source file.
-
-    ``src/repro/core/bin.py`` → ``repro.core.bin``;
-    ``tests/test_simulator.py`` → ``tests.test_simulator``; anything else
-    falls back to the stem.  The name only drives *scoping*, so a stable
-    guess is all that is needed.
-    """
-    parts = list(path.parts)
-    stem = path.stem
-    for anchor in ("repro", "tests"):
-        if anchor in parts:
-            rel = parts[parts.index(anchor) : -1] + [stem]
-            if rel[-1] == "__init__":
-                rel = rel[:-1]
-            return ".".join(rel)
-    return stem
-
-
-def is_test_module(module: str) -> bool:
-    first = module.split(".", 1)[0]
-    last = module.rsplit(".", 1)[-1]
-    return first in ("tests", "test") or last.startswith("test_")
-
-
-def scope_applies(scope: str, module: str, config: LintConfig) -> bool:
-    """Whether a rule of ``scope`` applies to ``module`` under ``config``."""
-    if scope == "all":
-        return True
-    if scope == "src":
-        return not is_test_module(module)
-    if scope == "engine":
-        return any(
-            module == pkg or module.startswith(pkg + ".")
-            for pkg in config.engine_packages
-        )
-    raise ValueError(f"unknown rule scope {scope!r}; options: {SCOPES}")
+__all__ = [
+    "DEFAULT_ENGINE_PACKAGES",
+    "DEFAULT_EXCLUDES",
+    "LintConfig",
+    "SCOPES",
+    "is_test_module",
+    "module_name_for",
+    "scope_applies",
+]

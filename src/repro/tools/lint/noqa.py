@@ -1,74 +1,12 @@
 """``# dbp: noqa[CODE] -- justification`` suppression comments.
 
-Suppressions are deliberately narrow: they name the exact rule codes being
-silenced and must carry a justification after ``--``.  A bare
-``# dbp: noqa`` (no codes) or a code list without a justification is itself
-a violation (``DBP008``) — the point of the analyzer is that every
-deviation from the invariants is *explained*, not merely hidden.
+Parsing lives in :mod:`repro.tools.common.noqa` (shared with the
+whole-program analyzer so one suppression syntax governs every ``DBPnnn``
+code); this module re-exports it under the linter's historical import path.
 """
 
 from __future__ import annotations
 
-import io
-import re
-import tokenize
-from dataclasses import dataclass
+from repro.tools.common.noqa import Suppression, scan_suppressions
 
-#: Matches the whole suppression comment; ``codes`` and ``why`` may be absent.
-_NOQA_RE = re.compile(
-    r"#\s*dbp:\s*noqa"
-    r"(?:\s*\[(?P<codes>[^\]]*)\])?"
-    r"(?:\s*--\s*(?P<why>.*\S))?",
-)
-
-_CODE_RE = re.compile(r"^DBP\d{3}$")
-
-
-@dataclass(frozen=True, slots=True)
-class Suppression:
-    """One parsed suppression comment."""
-
-    line: int
-    codes: frozenset[str]
-    justification: str
-
-    @property
-    def well_formed(self) -> bool:
-        """Codes present and syntactically valid, justification non-empty."""
-        return bool(self.codes) and bool(self.justification)
-
-    def suppresses(self, code: str) -> bool:
-        return self.well_formed and code in self.codes
-
-
-def scan_suppressions(lines: list[str]) -> dict[int, Suppression]:
-    """Parse every ``dbp: noqa`` comment; keyed by 1-based line number.
-
-    Only real ``#`` comment tokens are scanned (via :mod:`tokenize`), so
-    prose *about* the suppression syntax inside docstrings never registers.
-    Malformed code tokens (not ``DBPnnn``) are dropped from ``codes``, which
-    leaves the suppression inert — the original violation still fires, and
-    ``DBP008`` points at the malformed comment.
-    """
-    found: dict[int, Suppression] = {}
-    source = "\n".join(lines) + "\n"
-    try:
-        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
-    except (tokenize.TokenError, SyntaxError, IndentationError):
-        return found
-    for tok in tokens:
-        if tok.type != tokenize.COMMENT:
-            continue
-        match = _NOQA_RE.search(tok.string)
-        if match is None:
-            continue
-        raw_codes = match.group("codes") or ""
-        codes = frozenset(
-            token
-            for token in (part.strip() for part in raw_codes.split(","))
-            if _CODE_RE.fullmatch(token)
-        )
-        why = (match.group("why") or "").strip()
-        lineno = tok.start[0]
-        found[lineno] = Suppression(line=lineno, codes=codes, justification=why)
-    return found
+__all__ = ["Suppression", "scan_suppressions"]

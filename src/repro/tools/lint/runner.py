@@ -1,16 +1,21 @@
-"""File discovery, rule execution, and suppression application."""
+"""Rule execution over the shared loader (see :mod:`repro.tools.common`)."""
 
 from __future__ import annotations
 
-import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Sequence
 
-from .config import LintConfig, module_name_for, scope_applies
-from .noqa import Suppression, scan_suppressions
+from repro.tools.common.config import LintConfig, scope_applies
+from repro.tools.common.loader import (
+    SourceFile,
+    apply_suppressions,
+    load_source_files,
+    parse_source,
+)
+from repro.tools.common.violations import Violation
+
 from .rules import RULES, FileContext, collect_frozen_classes
-from .violations import Violation
 
 __all__ = ["LintReport", "lint_paths", "lint_source"]
 
@@ -47,54 +52,9 @@ class LintReport:
         }
 
 
-def iter_python_files(paths: Sequence[Path], config: LintConfig) -> Iterator[Path]:
-    """Expand files/directories into the `.py` files to lint, in sorted order."""
-    for path in paths:
-        if path.is_dir():
-            for candidate in sorted(path.rglob("*.py")):
-                if not config.is_excluded(candidate):
-                    yield candidate
-        elif path.suffix == ".py" and not config.is_excluded(path):
-            yield path
-
-
-@dataclass(slots=True)
-class _ParsedFile:
-    path: str
-    module: str
-    tree: ast.Module
-    lines: list[str]
-    suppressions: dict[int, Suppression]
-
-
-def _parse(display_path: str, source: str) -> ast.Module:
-    return ast.parse(source, filename=display_path)
-
-
-def _apply_suppressions(
-    violations: Iterable[Violation], suppressions: dict[int, Suppression]
+def _check_file(
+    parsed: SourceFile, config: LintConfig, frozen: frozenset[str]
 ) -> tuple[list[Violation], int]:
-    """Drop violations whose ``[line, end_line]`` span holds a matching noqa."""
-    if not suppressions:
-        ordered = sorted(violations, key=Violation.sort_key)
-        return ordered, 0
-    kept: list[Violation] = []
-    dropped = 0
-    for violation in violations:
-        end = violation.end_line or violation.line
-        span = range(violation.line, end + 1)
-        if any(
-            lineno in suppressions and suppressions[lineno].suppresses(violation.code)
-            for lineno in span
-        ):
-            dropped += 1
-        else:
-            kept.append(violation)
-    kept.sort(key=Violation.sort_key)
-    return kept, dropped
-
-
-def _check_file(parsed: _ParsedFile, config: LintConfig, frozen: frozenset[str]) -> tuple[list[Violation], int]:
     ctx = FileContext(
         path=parsed.path,
         module=parsed.module,
@@ -111,32 +71,15 @@ def _check_file(parsed: _ParsedFile, config: LintConfig, frozen: frozenset[str])
         if not scope_applies(rule.scope, parsed.module, config):
             continue
         raw.extend(rule.check(ctx))
-    return _apply_suppressions(raw, parsed.suppressions)
+    return apply_suppressions(raw, parsed.suppressions)
 
 
 def lint_paths(paths: Sequence[str | Path], config: LintConfig | None = None) -> LintReport:
     """Lint files and directory trees; the CLI is a thin wrapper over this."""
     config = config or LintConfig()
     report = LintReport()
-    parsed_files: list[_ParsedFile] = []
-    for path in iter_python_files([Path(p) for p in paths], config):
-        display = str(path)
-        try:
-            source = path.read_text(encoding="utf-8")
-            tree = _parse(display, source)
-        except (OSError, SyntaxError, ValueError) as exc:
-            report.errors.append((display, str(exc)))
-            continue
-        lines = source.splitlines()
-        parsed_files.append(
-            _ParsedFile(
-                path=display,
-                module=module_name_for(path),
-                tree=tree,
-                lines=lines,
-                suppressions=scan_suppressions(lines),
-            )
-        )
+    parsed_files, errors = load_source_files(paths, config)
+    report.errors.extend(errors)
     # Pass 1: frozen-class registry across the whole linted set, so DBP004
     # sees dataclasses frozen in *other* modules than the mutation site.
     frozen = collect_frozen_classes(p.tree for p in parsed_files)
@@ -168,19 +111,11 @@ def lint_source(
     config = config or LintConfig()
     report = LintReport()
     try:
-        tree = _parse(path, source)
+        parsed = parse_source(source, path=path, module=module)
     except SyntaxError as exc:
         report.errors.append((path, str(exc)))
         return report
-    lines = source.splitlines()
-    parsed = _ParsedFile(
-        path=path,
-        module=module,
-        tree=tree,
-        lines=lines,
-        suppressions=scan_suppressions(lines),
-    )
-    frozen = collect_frozen_classes([tree]) | frozenset(extra_frozen)
+    frozen = collect_frozen_classes([parsed.tree]) | frozenset(extra_frozen)
     kept, dropped = _check_file(parsed, config, frozen)
     report.violations = kept
     report.suppressed = dropped

@@ -1,45 +1,13 @@
-"""The violation record emitted by every lint rule."""
+"""The violation record emitted by every lint rule.
+
+The record itself lives in :mod:`repro.tools.common.violations` so the
+whole-program analyzer (:mod:`repro.tools.analysis`) reports findings in the
+same shape; this module re-exports it under the linter's historical import
+path.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from repro.tools.common.violations import Violation
 
-
-@dataclass(frozen=True, slots=True)
-class Violation:
-    """One rule violation at one source location.
-
-    ``line``/``col`` are 1-based line and 0-based column, matching CPython's
-    :mod:`ast` conventions (and compiler ``file:line:col`` output).
-    ``end_line`` is the last line of the offending statement — suppression
-    comments anywhere in ``[line, end_line]`` apply.
-    """
-
-    path: str
-    line: int
-    col: int
-    code: str
-    rule: str
-    message: str
-    end_line: int | None = None
-
-    def location(self) -> str:
-        return f"{self.path}:{self.line}:{self.col + 1}"
-
-    def render(self) -> str:
-        """Human-readable one-liner: ``path:line:col: CODE message``."""
-        return f"{self.location()}: {self.code} {self.message}"
-
-    def as_json(self) -> dict[str, Any]:
-        return {
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "code": self.code,
-            "rule": self.rule,
-            "message": self.message,
-        }
-
-    def sort_key(self) -> tuple[str, int, int, str]:
-        return (self.path, self.line, self.col, self.code)
+__all__ = ["Violation"]

@@ -1,0 +1,50 @@
+"""Determinism true negatives: none of these may fire DBP014/DBP015.
+
+Order-insensitive consumption of sets (sorted, len, membership, min/max,
+frozenset), sorted directory listings, pure worker tasks, and closures
+over immutable values are all fine.
+"""
+
+from __future__ import annotations
+
+import os
+
+LIMITS = (1, 2, 3)
+
+
+def ordered(tags: set):
+    return [t for t in sorted(tags)]
+
+
+def count(tags: set):
+    return len(tags)
+
+
+def member(tags: set, x):
+    return x in tags
+
+
+def spread(tags: set):
+    lo, hi = min(tags), max(tags)
+    return hi - lo
+
+
+def freeze(tags: set):
+    return frozenset(tags)
+
+
+def listing(dirpath):
+    return [n for n in sorted(os.listdir(dirpath))]
+
+
+def pure_task(x):
+    return x * LIMITS[0]
+
+
+def run_all(run_tasks, items):
+    return run_tasks([pure_task])
+
+
+def scaled_dispatch(run_tasks):
+    k = 3
+    return run_tasks(lambda: k)

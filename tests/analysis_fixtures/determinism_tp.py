@@ -1,0 +1,44 @@
+"""Deliberate determinism violations (DBP014/DBP015) — analyzer fixtures."""
+
+from __future__ import annotations
+
+import os
+
+REGISTRY = {}
+
+
+def order_matters(tags: set):
+    out = []
+    for t in tags:  # DBP014
+        out.append(t)
+    return out
+
+
+def union_walk(a: set, b: set):
+    return [x for x in a | b]  # DBP014
+
+
+def materialise(s: frozenset):
+    return list(s)  # DBP014
+
+
+def join_tags(tags: set):
+    return ",".join(tags)  # DBP014
+
+
+def listing(dirpath):
+    return [n for n in os.listdir(dirpath)]  # DBP014
+
+
+def task(x):
+    REGISTRY["last"] = x
+    return x
+
+
+def run_all(run_tasks, items):
+    return run_tasks([task])  # DBP015
+
+
+def closure_dispatch(run_tasks):
+    acc = []
+    return run_tasks(lambda: acc.append(1))  # DBP015

@@ -1,0 +1,46 @@
+"""Purity true negatives: none of these may fire DBP013.
+
+Observers may mutate *their own* state (that is what observers are for);
+algorithms may draw from an *injected* generator; helpers that only read
+their arguments are pure.
+"""
+
+from __future__ import annotations
+
+
+class SimulationObserver:
+    pass
+
+
+class CountingObserver(SimulationObserver):
+    def __init__(self):
+        self.events = []
+        self.total = 0
+
+    def on_arrival(self, time_now, item, bin):
+        self.events.append((time_now, item))
+        self.total += 1
+        self._bump(1)
+
+    def _bump(self, k):
+        self.total = self.total + k
+
+
+class InjectedRngAlgorithm:
+    def __init__(self, rng):
+        self._rng = rng
+
+    def choose_bin(self, item, open_bins):
+        if not open_bins:
+            return None
+        return self._rng.randrange(len(open_bins))
+
+
+def _span(bins):
+    return len(bins)
+
+
+class ScanningAlgorithm:
+    def choose_bin(self, item, open_bins):
+        best = _span(open_bins)
+        return best if best else None

@@ -1,0 +1,46 @@
+"""Deliberate purity violations (DBP013) — analyzer fixtures.
+
+Each marked line is where the effect *enters the hook*: the local effect
+itself, or the call that (transitively) reaches one.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+class SimulationObserver:
+    pass
+
+
+class TimingObserver(SimulationObserver):
+    def on_arrival(self, time_now, item, bin):
+        self._stamp()  # DBP013
+
+    def _stamp(self):
+        self.last = time.time()
+
+
+class NoisyObserver(SimulationObserver):
+    def on_departure(self, time_now, item, bin):
+        print("departed", item)  # DBP013
+
+
+def _jitter(n):
+    return random.randrange(n + 1)
+
+
+class JitterAlgorithm:
+    def choose_bin(self, item, open_bins):
+        return _jitter(len(open_bins))  # DBP013
+
+
+def _prune(bins):
+    bins.pop()
+
+
+class MutatingAlgorithm:
+    def choose_bin(self, item, open_bins):
+        _prune(open_bins)  # DBP013
+        return 0

@@ -1,0 +1,54 @@
+"""Exactness true negatives: none of these may fire DBP011/DBP012.
+
+Covers the boundary the pass must respect: exact int/Fraction arithmetic,
+Fraction division, floor division, *inherited* floats (the caller's
+business, policed at the boundary by the linter), and floats flowing into
+non-sink names.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+
+def accumulate(durations: list):
+    total_cost = 0
+    for _ in durations:
+        total_cost = total_cost + Fraction(1, 3)
+    return total_cost
+
+
+def unit_cost(total, n: int):
+    cost = total / Fraction(n)
+    return cost
+
+
+def whole_cost(a: int, b: int):
+    cost = a // b
+    return cost
+
+
+def inherited(cost_in: float):
+    total_cost = cost_in
+    return total_cost
+
+
+def display_ratio(x: int, y: int):
+    ratio = float(x) / y
+    return ratio
+
+
+class Meter:
+    def __init__(self) -> None:
+        self.elapsed = 0
+        self._bin_time = 0
+
+    def advance(self, dt: int) -> None:
+        self._bin_time += dt
+
+    def checkpoint_state(self) -> dict:
+        return {
+            "elapsed": self.elapsed,
+            "bin_time": self._bin_time,
+            "tag": "meter",
+        }

@@ -1,0 +1,67 @@
+"""Deliberate exactness violations (DBP011/DBP012) — analyzer fixtures.
+
+Lines carrying their rule-code marker comment must fire; every other line
+must not.  This directory is excluded from tree runs of both tools.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def base_rate():
+    return 1.5
+
+
+def scaled_rate(n: int):
+    return base_rate() * n
+
+
+def accumulate(durations: list) -> None:
+    total_cost = 0
+    for _ in durations:
+        total_cost = total_cost + 0.5  # DBP011
+    return total_cost
+
+
+def quantise(quantum: int):
+    billed = float(quantum)  # DBP011
+    return billed
+
+
+def mean_share(duration: int, parts: int):
+    cost = duration / parts  # DBP011
+    return cost
+
+
+def root_estimate(area: int):
+    run_cost = math.sqrt(area)  # DBP011
+    return run_cost
+
+
+def lost_work_cost(n: int):
+    return n / 2  # DBP011
+
+
+def via_call(n: int):
+    cost = scaled_rate(n)  # DBP011
+    return cost
+
+
+class Meter:
+    def __init__(self) -> None:
+        self.elapsed = 0
+        self._bin_time = 0
+
+    def advance(self, dt: int, steps: int) -> None:
+        self._bin_time += dt / steps  # DBP011
+
+    def checkpoint_state(self) -> dict:
+        return {
+            "elapsed": float(self.elapsed),  # DBP012
+            "tag": "meter",
+        }
+
+    def build_envelope(self) -> dict:
+        payload = {"t": 0.25}  # DBP012
+        return payload
