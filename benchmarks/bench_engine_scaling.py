@@ -18,6 +18,11 @@ so future PRs can track engine throughput:
   full ``repro.obs`` stack attached (metrics registry + probe counting +
   lifecycle tracer writing JSONL to disk) and records the wall-time ratio
   against the uninstrumented run — the acceptance bar is <= 2x.
+* A **live scrape** pass re-runs the registry-observed streamed size with
+  the live metrics endpoint attached (``LiveMetricsServer`` + a background
+  client scraping ``/metrics`` at ~1 Hz) and records the wall-time ratio
+  against the plain registry-observed run — the acceptance bar is <= 1.1x,
+  i.e. serving live snapshots is nearly free on top of observation.
 * A **workers scaling** pass runs the same multi-seed sweep serially and
   sharded across ``--workers`` processes (``repro.parallel``), asserts the
   rows are identical (the determinism contract), and records both
@@ -41,6 +46,7 @@ import argparse
 import json
 import os
 import tempfile
+import threading
 import time
 import tracemalloc
 from functools import partial
@@ -49,7 +55,13 @@ from pathlib import Path
 from repro import BestFit, FirstFit, simulate
 from repro.analysis.sweep import grid, run_sweep
 from repro.core.streaming import simulate_stream
-from repro.obs import observe_stream
+from repro.obs import (
+    LiveExportObserver,
+    LiveMetricsServer,
+    MetricsRegistry,
+    observe_stream,
+    scrape,
+)
 from repro.workloads import (
     Clipped,
     Exponential,
@@ -216,6 +228,71 @@ def run_observability_overhead(n_items: int, seed: int = 0) -> list[dict]:
     return rows
 
 
+def run_live_scrape_overhead(n_items: int, seed: int = 0) -> list[dict]:
+    """Registry-observed streamed run with and without the live plane.
+
+    The live run adds everything ``dispatch --serve-metrics`` would: a
+    ``LiveMetricsServer`` receiving producer-rendered snapshots from a
+    ``LiveExportObserver`` (republish every 1000 events) while a background
+    client scrapes ``/metrics`` at ~1 Hz.  Both runs carry the metrics
+    registry, so the ratio isolates the cost of *serving* telemetry from
+    the already-measured cost of collecting it.
+    """
+    rows = []
+    for name, algo_cls in _algorithms():
+        t0 = time.perf_counter()
+        plain, _session = observe_stream(workload(n_items, seed), algo_cls())
+        plain_s = time.perf_counter() - t0
+
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        scrapes: list[int] = []
+        with LiveMetricsServer() as server:
+            live = LiveExportObserver(registry, server, publish_every=1000)
+
+            def scraper():
+                while not stop.wait(1.0):
+                    try:
+                        scrapes.append(len(scrape(server.port, "/metrics")))
+                    except ConnectionError:
+                        pass  # not ready yet: the run has not published
+
+            client = threading.Thread(target=scraper, daemon=True)
+            client.start()
+            t0 = time.perf_counter()
+            served, _session = observe_stream(
+                workload(n_items, seed),
+                algo_cls(),
+                registry=registry,
+                extra_observers=(live,),
+            )
+            served_s = time.perf_counter() - t0
+            stop.set()
+            client.join()
+        if served != plain:
+            raise AssertionError(
+                f"{name} live-served run changed the packing at {n_items}"
+            )
+        overhead = served_s / plain_s
+        rows.append(
+            {
+                "algorithm": name,
+                "n_items": n_items,
+                "observed_seconds": round(plain_s, 3),
+                "live_seconds": round(served_s, 3),
+                "scrapes": len(scrapes),
+                "overhead": round(overhead, 2),
+                "within_1_1x": overhead <= 1.1,
+            }
+        )
+        print(
+            f"{name:>10} n={n_items:>9,}: observed {plain_s:.2f}s, "
+            f"live-served {served_s:.2f}s ({len(scrapes)} scrapes), "
+            f"overhead {overhead:.2f}x"
+        )
+    return rows
+
+
 def _sweep_replication(replicate: int, seed: int, n_items: int) -> dict:
     """One multi-seed sweep point: pack a freshly generated workload.
 
@@ -370,6 +447,7 @@ def run_baseline(
         scalar_indexed_ips=scalar_indexed_ips.get(vector_size),
     )
     observability = run_observability_overhead(obs_size, seed)
+    live_scrape = run_live_scrape_overhead(obs_size, seed)
     parallel_sweep = run_workers_scaling(
         n_seeds=sweep_seeds, n_items=sweep_items, workers=workers, root_seed=seed
     )
@@ -395,6 +473,7 @@ def run_baseline(
             "results": vector,
         },
         "observability": observability,
+        "live_scrape_overhead": live_scrape,
         "parallel_sweep": parallel_sweep,
     }
 
@@ -508,6 +587,10 @@ def test_engine_baseline_smoke():
     }
     for row in baseline["observability"]:
         assert row["overhead"] > 0
+    live_rows = baseline["live_scrape_overhead"]
+    assert {row["algorithm"] for row in live_rows} == {"first-fit", "best-fit"}
+    for row in live_rows:
+        assert row["overhead"] > 0 and "within_1_1x" in row
     sweep = baseline["parallel_sweep"]
     assert sweep["rows_identical"] is True
     assert sweep["n_seeds"] == 4 and sweep["workers"] == 2

@@ -58,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard experiments across N worker processes (results are "
         "identical to the serial run; progress goes to stderr)",
     )
+    run_p.add_argument(
+        "--serve-metrics",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="PORT",
+        help="serve the fleet-wide merged registry live over HTTP while "
+        "experiments run (omit the port for an ephemeral one; the URL is "
+        "printed to stderr)",
+    )
 
     gen_p = sub.add_parser("generate", help="generate a synthetic trace file")
     gen_p.add_argument(
@@ -110,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile hot paths (adds profile.json to --metrics, prints a "
         "phase report); switches to streamed dispatch",
     )
+    disp_p.add_argument(
+        "--serve-metrics",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /snapshot.json, /healthz, /readyz live from "
+        "the running dispatch (omit the port for an ephemeral one) with a "
+        "heartbeat line on stderr; switches to streamed dispatch",
+    )
 
     vt_p = sub.add_parser(
         "verify-trace", help="replay a lifecycle trace and check its summary"
@@ -155,6 +177,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_p.add_argument(
         "--out", type=Path, default=None, help="write the campaign report JSON here"
+    )
+    chaos_p.add_argument(
+        "--serve-metrics",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="PORT",
+        help="serve live campaign-progress metrics over HTTP while the "
+        "scenarios run (omit the port for an ephemeral one)",
     )
     return parser
 
@@ -232,11 +264,17 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     algorithms = [name.strip() for name in args.algorithm.split(",") if name.strip()]
     for name in algorithms:
         get_algorithm(name)  # fail fast on unknown names
+    observed = (
+        args.trace_out is not None
+        or args.metrics is not None
+        or args.profile
+        or args.serve_metrics is not None
+    )
     if len(algorithms) > 1:
-        if args.trace_out is not None or args.metrics is not None or args.profile:
+        if observed:
             print(
-                "dispatch: --trace-out/--metrics/--profile need a single "
-                "--algorithm",
+                "dispatch: --trace-out/--metrics/--profile/--serve-metrics "
+                "need a single --algorithm",
                 file=sys.stderr,
             )
             return 2
@@ -246,7 +284,7 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     server = ServerType(
         gpu_capacity=args.capacity, rate=args.rate, billing_quantum=args.quantum
     )
-    if args.trace_out is not None or args.metrics is not None or args.profile:
+    if observed:
         return _dispatch_observed(args, trace, algo, server)
     report = dispatch_trace(trace, algo, server_type=server)
     for key, value in report.summary_row().items():
@@ -303,30 +341,74 @@ def _dispatch_observed(args: argparse.Namespace, trace, algo, server) -> int:
         workload={"trace_file": args.trace.name, "num_items": len(trace)},
         extra={"billing_quantum": server.billing_quantum},
     )
-    # Streamed dispatch requires arrival order; trace files may be unsorted.
-    items = iter(sorted(trace.items, key=lambda it: it.arrival))
-    report = dispatch_stream(
-        items, session.instrumented, server_type=server, observers=session.observers
-    )
-    session.finish(report.summary)
-    print(f"{'algorithm':14s} {report.algorithm_name}")
-    print(f"{'sessions':14s} {report.num_sessions}")
-    print(f"{'servers':14s} {report.num_servers_rented}")
-    print(f"{'peak':14s} {report.peak_concurrent_servers}")
-    print(f"{'cost(cont)':14s} {float(report.continuous_cost)}")
-    print(f"{'cost(billed)':14s} {float(report.billed_cost)}")
-    if args.trace_out is not None:
-        print(f"trace written to {args.trace_out} ({session.tracer.records_written} records)")
-    if args.metrics is not None:
-        written = session.write_artifacts(args.metrics)
-        for name in sorted(written):
-            print(f"{name} written to {written[name]}")
-    if args.profile and session.profiler is not None:
-        for phase, row in session.profiler.report().items():
-            print(
-                f"phase {phase}: {int(row['count'])} timings, "
-                f"total {row['total_seconds']:.6g}s, mean {row['mean_seconds']:.3g}s"
-            )
+    extra_observers: tuple = ()
+    live_server = live_obs = None
+    uninstall = None
+    if args.serve_metrics is not None:
+        from .obs import (
+            FlightObserver,
+            FlightRecorder,
+            Heartbeat,
+            LiveExportObserver,
+            LiveMetricsServer,
+            install_signal_dump,
+        )
+
+        live_server = LiveMetricsServer(port=args.serve_metrics).start()
+        print(f"live metrics on {live_server.url}/metrics", file=sys.stderr)
+        heartbeat = Heartbeat(sys.stderr, total_items=len(trace), label="dispatch")
+        live_obs = LiveExportObserver(
+            session.registry, live_server, heartbeat=heartbeat
+        )
+        # A killed live run should still explain itself: keep a flight
+        # ring and dump it as a post-mortem on SIGTERM.
+        flight = FlightRecorder(
+            capacity=256,
+            path=args.metrics / "flight.jsonl" if args.metrics is not None else None,
+        )
+        uninstall = install_signal_dump(flight)
+        extra_observers = (live_obs, FlightObserver(flight))
+    try:
+        # Streamed dispatch requires arrival order; trace files may be unsorted.
+        items = iter(sorted(trace.items, key=lambda it: it.arrival))
+        report = dispatch_stream(
+            items,
+            session.instrumented,
+            server_type=server,
+            observers=session.observers + extra_observers,
+        )
+        session.finish(report.summary)
+        if live_obs is not None:
+            live_obs.publish()  # final snapshot equals the artifact bytes
+        print(f"{'algorithm':14s} {report.algorithm_name}")
+        print(f"{'sessions':14s} {report.num_sessions}")
+        print(f"{'servers':14s} {report.num_servers_rented}")
+        print(f"{'peak':14s} {report.peak_concurrent_servers}")
+        print(f"{'cost(cont)':14s} {float(report.continuous_cost)}")
+        print(f"{'cost(billed)':14s} {float(report.billed_cost)}")
+        if args.trace_out is not None:
+            print(f"trace written to {args.trace_out} ({session.tracer.records_written} records)")
+        if args.metrics is not None:
+            written = session.write_artifacts(args.metrics)
+            if live_server is not None:
+                from .obs import scrape
+
+                live_path = Path(args.metrics) / "metrics.live.prom"
+                live_path.write_bytes(scrape(live_server.port))
+                written["metrics_live_prom"] = live_path
+            for name in sorted(written):
+                print(f"{name} written to {written[name]}")
+        if args.profile and session.profiler is not None:
+            for phase, row in session.profiler.report().items():
+                print(
+                    f"phase {phase}: {int(row['count'])} timings, "
+                    f"total {row['total_seconds']:.6g}s, mean {row['mean_seconds']:.3g}s"
+                )
+    finally:
+        if uninstall is not None:
+            uninstall()
+        if live_server is not None:
+            live_server.stop()
     return 0
 
 
@@ -378,7 +460,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         checkpoint_every=24,
         include_worker_kill=not args.no_worker_kill,
     )
-    report = run_campaign(config, workers=args.workers)
+    live_server = None
+    on_progress = None
+    if args.serve_metrics is not None:
+        from .obs import LiveMetricsServer, MetricsRegistry
+
+        registry = MetricsRegistry()
+        scenarios_done = registry.counter(
+            "dbp_chaos_scenarios_total", "Chaos scenarios completed"
+        )
+        live_server = LiveMetricsServer(port=args.serve_metrics).start()
+        print(f"live metrics on {live_server.url}/metrics", file=sys.stderr)
+        live_server.publish_registry(registry)
+
+        def on_progress(completed: int, total: int, index: int) -> None:
+            scenarios_done.inc()
+            live_server.publish_registry(registry)
+            print(f"chaos[{index}]: {completed}/{total}", file=sys.stderr)
+            sys.stderr.flush()
+
+    try:
+        report = run_campaign(config, workers=args.workers, on_progress=on_progress)
+    finally:
+        if live_server is not None:
+            live_server.stop()
     header = f"{'scenario':9s} {'kind':12s} {'trace':7s} {'param':9s} {'ok':4s} detail"
     print(header)
     print("-" * len(header))
@@ -443,15 +548,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     names = available_experiments() if args.experiment == "all" else [args.experiment]
     ok = True
     collected: list = []
-    if args.workers > 1 and len(names) > 1:
+    if (args.workers > 1 and len(names) > 1) or args.serve_metrics is not None:
         from .experiments import run_experiments
         from .parallel import progress_printer
 
-        collected = run_experiments(
-            names,
-            parallel=args.workers,
-            on_progress=progress_printer(sys.stderr, label="experiments"),
-        )
+        live_server = None
+        on_task_registry = None
+        if args.serve_metrics is not None:
+            from .obs import LiveMetricsServer, RegistryAggregate
+
+            aggregate = RegistryAggregate()
+            live_server = LiveMetricsServer(port=args.serve_metrics).start()
+            print(f"live metrics on {live_server.url}/metrics", file=sys.stderr)
+
+            def on_task_registry(index: int, state: dict) -> None:
+                # fleet-wide merged registry, republished per finished task
+                aggregate.add(state)
+                live_server.publish(
+                    aggregate.to_prometheus(), aggregate.to_json() + "\n"
+                )
+
+        try:
+            collected = run_experiments(
+                names,
+                parallel=args.workers if args.workers > 1 else None,
+                on_progress=progress_printer(sys.stderr, label="experiments"),
+                on_task_registry=on_task_registry,
+            )
+        finally:
+            if live_server is not None:
+                live_server.stop()
         for result in collected:
             print(result.render(precision=args.precision))
             print()

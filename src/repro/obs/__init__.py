@@ -19,9 +19,25 @@ imports this package, and lint rule DBP002 keeps it wall-clock-free):
 :func:`~repro.obs.session.observe_stream` wire all three around a run and
 export the artifact set (metrics snapshot, Prometheus text, run
 manifest, trace, profile report).
+
+The live observability plane builds on the same pillars without touching
+them: :mod:`repro.obs.live` serves published registry snapshots over
+HTTP beside a running simulation, :mod:`repro.obs.aggregate` merges
+per-shard registries into one byte-stable fleet registry, and
+:mod:`repro.obs.flight` keeps a bounded flight recorder so crashed runs
+leave a post-mortem.
 """
 
+from .aggregate import MergeError, RegistryAggregate, merge_registries, merge_states
 from .clock import Clock, ManualClock, MonotonicClock
+from .flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightObserver,
+    FlightRecorder,
+    install_signal_dump,
+    iter_flight_records,
+)
+from .live import Heartbeat, LiveExportObserver, LiveMetricsServer, scrape
 from .manifest import RunManifest, build_chaos_manifest, build_manifest
 from .metrics import (
     LATENCY_SECONDS_BUCKETS,
@@ -81,4 +97,20 @@ __all__ = [
     "build_manifest",
     "ObservationSession",
     "observe_stream",
+    # live plane
+    "Heartbeat",
+    "LiveExportObserver",
+    "LiveMetricsServer",
+    "scrape",
+    # aggregation
+    "MergeError",
+    "RegistryAggregate",
+    "merge_registries",
+    "merge_states",
+    # flight recorder
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightObserver",
+    "FlightRecorder",
+    "install_signal_dump",
+    "iter_flight_records",
 ]

@@ -1,0 +1,274 @@
+"""Cross-worker registry aggregation: an exact, order-independent merge.
+
+Parallel sweeps shard work across processes, and each shard populates its
+own :class:`~repro.obs.metrics.MetricsRegistry`.  This module folds those
+per-shard registry states back into one fleet-wide registry under the
+same determinism contract the rest of :mod:`repro.parallel` keeps: the
+merged export is **byte-identical** at any worker count, any chunking,
+and any completion order.
+
+The merge is a commutative monoid over registry states:
+
+* **counters** sum,
+* **gauges** sum their values and take the max of their peaks,
+* **histograms** add bucket-wise (schemes must agree exactly),
+
+and the algebra is made *exactly* associative/commutative by accumulating
+in exact arithmetic: ``int`` values stay ``int``, ``float`` values are
+promoted to :class:`fractions.Fraction` (every float is exactly
+representable), and a single correctly-rounded conversion back to
+``float`` happens only when the aggregate is materialized.  Folding the
+same states in any grouping or order therefore renders the same bytes —
+the property the Hypothesis suite asserts on the Prometheus text.
+
+Inputs are the payloads of :meth:`MetricsRegistry.export_state`
+(``{name: {"kind", "help", "value"}}``), which are plain JSON-able dicts
+so they cross process boundaries as shard-result baggage.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Any, Iterable, Mapping
+
+from .metrics import MetricsRegistry
+
+__all__ = ["MergeError", "RegistryAggregate", "merge_states", "merge_registries"]
+
+#: Exact accumulator: ints stay ints, floats ride as Fractions.
+_Exact = int | Fraction
+
+
+class MergeError(ValueError):
+    """Raised when registry states disagree on a metric's shape."""
+
+
+def _exact(value: Any, *, context: str) -> _Exact:
+    """Promote a JSON number to the exact domain (int, or Fraction)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise MergeError(f"{context}: non-numeric value {value!r}")
+    if isinstance(value, int):
+        return value
+    if not math.isfinite(value):
+        raise MergeError(f"{context}: non-finite value {value!r}")
+    return Fraction(value)
+
+
+def _add(acc: _Exact, value: Any, *, context: str) -> _Exact:
+    incoming = _exact(value, context=context)
+    if isinstance(acc, int) and isinstance(incoming, int):
+        return acc + incoming
+    return Fraction(acc) + Fraction(incoming)
+
+
+def _materialize(acc: _Exact) -> int | float:
+    """One correctly-rounded exit from the exact domain.
+
+    ``int`` accumulators (pure integer inputs) stay ``int``; anything that
+    ever saw a float renders as the correctly-rounded ``float`` of the
+    exact sum — the same value in every grouping of the same inputs.
+    """
+    if isinstance(acc, int):
+        return acc
+    return float(acc)
+
+
+class _MergedMetric:
+    """One metric's exact accumulator inside an aggregate."""
+
+    __slots__ = ("name", "kind", "help", "value", "peak", "buckets", "counts", "count")
+
+    def __init__(self, name: str, kind: str, help: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.value: _Exact = 0  # counter value / gauge value / histogram sum
+        self.peak: _Exact = 0  # gauges only
+        self.buckets: tuple[float, ...] | None = None  # histograms only
+        self.counts: list[int] = []
+        self.count = 0
+
+    def fold(self, payload: Any) -> None:
+        if self.kind == "counter":
+            self.value = _add(self.value, payload, context=self.name)
+        elif self.kind == "gauge":
+            self.value = _add(self.value, payload["value"], context=self.name)
+            peak = _exact(payload["peak"], context=self.name)
+            if peak > self.peak:
+                self.peak = peak
+        else:  # histogram
+            buckets = tuple(float(b) for b in payload["buckets"])
+            if self.buckets is None:
+                self.buckets = buckets
+                self.counts = [0] * (len(buckets) + 1)
+            elif buckets != self.buckets:
+                raise MergeError(
+                    f"histogram {self.name!r} bucket schemes disagree: "
+                    f"{buckets} vs {self.buckets}"
+                )
+            counts = payload["counts"]
+            if len(counts) != len(self.counts):
+                raise MergeError(
+                    f"histogram {self.name!r} bucket count mismatch"
+                )
+            for i, c in enumerate(counts):
+                self.counts[i] += int(c)
+            self.count += int(payload["count"])
+            self.value = _add(self.value, payload["sum"], context=self.name)
+
+    def combine(self, other: "_MergedMetric") -> None:
+        """Fold another exact accumulator in — stays in the exact domain."""
+        if self.kind == "counter":
+            self.value = (
+                self.value + other.value
+                if isinstance(self.value, int) and isinstance(other.value, int)
+                else Fraction(self.value) + Fraction(other.value)
+            )
+        elif self.kind == "gauge":
+            self.value = (
+                self.value + other.value
+                if isinstance(self.value, int) and isinstance(other.value, int)
+                else Fraction(self.value) + Fraction(other.value)
+            )
+            if other.peak > self.peak:
+                self.peak = other.peak
+        else:
+            if other.buckets is None:
+                return
+            if self.buckets is None:
+                self.buckets = other.buckets
+                self.counts = list(other.counts)
+                self.count = other.count
+                self.value = other.value
+                return
+            if self.buckets != other.buckets:
+                raise MergeError(
+                    f"histogram {self.name!r} bucket schemes disagree: "
+                    f"{other.buckets} vs {self.buckets}"
+                )
+            for i, c in enumerate(other.counts):
+                self.counts[i] += c
+            self.count += other.count
+            self.value = (
+                self.value + other.value
+                if isinstance(self.value, int) and isinstance(other.value, int)
+                else Fraction(self.value) + Fraction(other.value)
+            )
+
+
+class RegistryAggregate:
+    """Exact fold of registry states with byte-stable exports.
+
+    ``add`` folds one :meth:`MetricsRegistry.export_state` payload in;
+    ``combine`` folds another aggregate in without leaving the exact
+    domain (so hierarchical merges — per-chunk, per-worker, fleet — render
+    the same bytes as one flat fold).  Exports go through a materialized
+    :class:`MetricsRegistry`, so the merged ``to_prometheus``/``to_json``
+    use exactly the canonical single-registry renderers.
+    """
+
+    def __init__(self, states: Iterable[Mapping[str, Any]] = ()) -> None:
+        self._metrics: dict[str, _MergedMetric] = {}
+        self.sources = 0
+        for state in states:
+            self.add(state)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def add(self, state: Mapping[str, Any]) -> "RegistryAggregate":
+        """Fold one registry export in; returns ``self`` for chaining."""
+        for name in sorted(state):
+            payload = state[name]
+            kind, help = payload["kind"], payload.get("help", "")
+            merged = self._metrics.get(name)
+            if merged is None:
+                merged = _MergedMetric(name, kind, help)
+                self._metrics[name] = merged
+            elif merged.kind != kind:
+                raise MergeError(
+                    f"metric {name!r} is a {merged.kind} in one shard and a "
+                    f"{kind} in another"
+                )
+            elif merged.help != help:
+                raise MergeError(
+                    f"metric {name!r} help text disagrees across shards: "
+                    f"{merged.help!r} vs {help!r}"
+                )
+            merged.fold(payload["value"])
+        self.sources += 1
+        return self
+
+    def combine(self, other: "RegistryAggregate") -> "RegistryAggregate":
+        """Fold another aggregate in (exact — no intermediate rounding)."""
+        for name in sorted(other._metrics):
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                fresh = _MergedMetric(theirs.name, theirs.kind, theirs.help)
+                fresh.combine(theirs)
+                self._metrics[name] = fresh
+                continue
+            if mine.kind != theirs.kind:
+                raise MergeError(
+                    f"metric {name!r} is a {mine.kind} in one aggregate and "
+                    f"a {theirs.kind} in another"
+                )
+            if mine.help != theirs.help:
+                raise MergeError(
+                    f"metric {name!r} help text disagrees across aggregates"
+                )
+            mine.combine(theirs)
+        self.sources += other.sources
+        return self
+
+    # ------------------------------------------------------------- exports
+
+    def to_registry(self) -> MetricsRegistry:
+        """Materialize the fold into an ordinary registry (one rounding)."""
+        registry = MetricsRegistry()
+        for name in sorted(self._metrics):
+            merged = self._metrics[name]
+            if merged.kind == "counter":
+                registry.counter(name, merged.help).restore_value(
+                    _materialize(merged.value)
+                )
+            elif merged.kind == "gauge":
+                registry.gauge(name, merged.help).restore_value(
+                    {
+                        "value": _materialize(merged.value),
+                        "peak": _materialize(merged.peak),
+                    }
+                )
+            else:
+                buckets = merged.buckets or (1.0,)
+                counts = merged.counts or [0, 0]
+                registry.histogram(name, merged.help, buckets=buckets).restore_value(
+                    {
+                        "buckets": list(buckets),
+                        "counts": list(counts),
+                        "count": merged.count,
+                        "sum": _materialize(merged.value),
+                    }
+                )
+        return registry
+
+    def snapshot(self) -> dict[str, Any]:
+        return self.to_registry().snapshot()
+
+    def to_json(self) -> str:
+        return self.to_registry().to_json()
+
+    def to_prometheus(self) -> str:
+        return self.to_registry().to_prometheus()
+
+
+def merge_states(states: Iterable[Mapping[str, Any]]) -> RegistryAggregate:
+    """Fold an iterable of registry exports into one aggregate."""
+    return RegistryAggregate(states)
+
+
+def merge_registries(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """Merge whole registries; returns the materialized fleet registry."""
+    return RegistryAggregate(r.export_state() for r in registries).to_registry()

@@ -51,6 +51,8 @@ class MetricsObserver(SimulationObserver):
       dispatch layer via :meth:`record_rejection`.
     * ``dbp_checkpoints_total`` — checkpoint activity; counted inside
       :meth:`checkpoint_state` so resumed runs continue the tally exactly.
+    * ``dbp_events_processed_total`` — every observed engine event
+      (arrival, departure, or failure); the heartbeat's rate/ETA signal.
     * ``dbp_open_bins`` / ``dbp_active_sessions`` gauges (with peaks) and
       the ``dbp_sim_time`` gauge (last event time).
     * ``dbp_bin_lifetime`` / ``dbp_session_duration`` histograms (sim-time
@@ -88,6 +90,10 @@ class MetricsObserver(SimulationObserver):
         )
         self._checkpoints = r.counter(
             "dbp_checkpoints_total", "Checkpoints captured during the run"
+        )
+        self._events = r.counter(
+            "dbp_events_processed_total",
+            "Engine events observed (arrivals, departures, failures)",
         )
         self._open_bins = r.gauge("dbp_open_bins", "Currently open bins")
         self._active = r.gauge("dbp_active_sessions", "Currently active sessions")
@@ -127,6 +133,7 @@ class MetricsObserver(SimulationObserver):
     # ------------------------------------------------------------------ hooks
 
     def on_arrival(self, time: Num, item: "Arrival", bin: "Bin", opened: bool) -> None:
+        self._events.inc()
         self._started.inc()
         self._active.inc()
         self._sim_time.set(time)
@@ -143,6 +150,7 @@ class MetricsObserver(SimulationObserver):
         self._sessions[item.item_id] = (item.size, time)
 
     def on_departure(self, time: Num, item_id: str, bin: "Bin", closed: bool) -> None:
+        self._events.inc()
         self._completed.inc()
         self._active.dec()
         self._sim_time.set(time)
@@ -160,6 +168,7 @@ class MetricsObserver(SimulationObserver):
     def on_server_failure(
         self, time: Num, bin: "Bin", evicted: Sequence["Arrival"]
     ) -> None:
+        self._events.inc()
         self._failures.inc()
         self._evicted.inc(len(evicted))
         self._active.dec(len(evicted))

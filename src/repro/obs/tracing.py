@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import fields
+from fractions import Fraction
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from ..core.numeric import Num
+from ..core.resources import Resources
 from ..core.streaming import StreamSummary
 from ..core.telemetry import SimulationObserver
 
@@ -54,11 +56,34 @@ __all__ = [
 #: Bumped whenever the record layout changes incompatibly.
 TRACE_SCHEMA_VERSION = 1
 
+def _tag_exact(obj: Any) -> Any:
+    """Tag non-JSON numerics exactly as :mod:`repro.core.checkpoint` does.
+
+    Vector sizes/capacities render as ``{"__resources__": [...]}`` and
+    exact rationals as ``{"__fraction__": [num, den]}``, so vector and
+    rational runs trace (and replay) bit for bit alongside scalar ones.
+    """
+    if isinstance(obj, Resources):
+        return {"__resources__": list(obj.values)}
+    if isinstance(obj, Fraction):
+        return {"__fraction__": [obj.numerator, obj.denominator]}
+    raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
+
+
+def _untag_exact(obj: dict[str, Any]) -> Any:
+    if len(obj) == 1 and "__resources__" in obj:
+        return Resources(*obj["__resources__"])
+    if len(obj) == 1 and "__fraction__" in obj:
+        num, den = obj["__fraction__"]
+        return Fraction(num, den)
+    return obj
+
+
 #: One shared canonical encoder: ``json.dumps`` with keyword arguments
 #: constructs a fresh ``JSONEncoder`` per call, which is the dominant cost
 #: of emitting a record on the simulator's hot path.
 _encode = json.JSONEncoder(
-    sort_keys=True, separators=(",", ":"), check_circular=False
+    sort_keys=True, separators=(",", ":"), check_circular=False, default=_tag_exact
 ).encode
 
 #: Canonical string escaping (quoted, ``\\uXXXX`` for non-ASCII) — the
@@ -300,11 +325,11 @@ def iter_trace_records(source: str | Path | IO[str] | Iterable[str]) -> Iterator
         with open(source, "r", encoding="utf-8") as handle:
             for line in handle:
                 if line.strip():
-                    yield json.loads(line)
+                    yield json.loads(line, object_hook=_untag_exact)
         return
     for line in source:
         if line.strip():
-            yield json.loads(line)
+            yield json.loads(line, object_hook=_untag_exact)
 
 
 def replay_summary(

@@ -119,7 +119,16 @@ class PoolCounters:
 
 
 def _worker_main(conn: Connection, fn_bytes: bytes) -> None:
-    """Worker loop: receive task chunks, reply one message per task."""
+    """Worker loop: receive task chunks, reply one message per task.
+
+    Each task attempt runs inside a fresh
+    :func:`~repro.parallel.taskmetrics.task_registry_scope`; the exported
+    registry state (or ``None`` when the task recorded nothing) travels
+    back with the result, so the coordinator can fold per-task telemetry
+    into one fleet registry independent of chunking or worker count.
+    """
+    from .taskmetrics import export_if_used, task_registry_scope
+
     fn = pickle.loads(fn_bytes)
     try:
         while True:
@@ -128,12 +137,14 @@ def _worker_main(conn: Connection, fn_bytes: bytes) -> None:
                 return
             for index, payload in message[1]:
                 try:
-                    result = fn(payload)
+                    with task_registry_scope() as registry:
+                        result = fn(payload)
+                    state = export_if_used(registry)
                 except Exception as exc:  # a raising task is data, not death
                     conn.send((_ERR, index, f"{type(exc).__name__}: {exc}"))
                 else:
                     try:
-                        conn.send((_OK, index, result))
+                        conn.send((_OK, index, result, state))
                     except Exception as exc:  # unpicklable result
                         conn.send(
                             (
@@ -170,9 +181,10 @@ class _Coordinator:
         retries: int,
         chunk_size: int,
         ctx: Any,
-        on_progress: Callable[[int, int], None] | None,
+        on_progress: Callable[[int, int, int], None] | None,
         counters: PoolCounters,
         retry_policy: "RetryPolicy | None" = None,
+        on_task_registry: Callable[[int, dict], None] | None = None,
     ) -> None:
         self._fn_bytes = fn_bytes
         self._tasks = tasks
@@ -183,6 +195,7 @@ class _Coordinator:
         self._on_progress = on_progress
         self._counters = counters
         self._retry_policy = retry_policy
+        self._on_task_registry = on_task_registry
         self._delayed: list[tuple[float, int]] = []  # (due monotonic, index)
         self._pending: deque[int] = deque(range(len(tasks)))
         self._attempts = [0] * len(tasks)
@@ -309,19 +322,25 @@ class _Coordinator:
             worker.assigned.remove(index)
         self._arm_deadline(worker)
         if tag == _OK:
-            self._record_result(index, message[2])
+            self._record_result(index, message[2], message[3])
         else:
             self._attempts[index] += 1
             self._retry_or_fail(index, "error", message[2])
 
-    def _record_result(self, index: int, result: Any) -> None:
+    def _record_result(
+        self, index: int, result: Any, registry_state: dict | None = None
+    ) -> None:
         # First success wins; assignment is exclusive so seconds cannot occur.
         if index in self._results or index in self._failures:
             return
         self._results[index] = result
         self._counters.completed += 1
+        # Registry before progress: a progress callback exporting the
+        # fleet-wide merge must already see this task's telemetry.
+        if registry_state is not None and self._on_task_registry is not None:
+            self._on_task_registry(index, registry_state)
         if self._on_progress is not None:
-            self._on_progress(len(self._results), len(self._tasks))
+            self._on_progress(len(self._results), len(self._tasks), index)
 
     def _retry_or_fail(self, index: int, kind: str, message: str) -> None:
         if self._attempts[index] <= self._retries:
@@ -389,8 +408,9 @@ def run_tasks(
     chunk_size: int | None = None,
     start_method: str | None = None,
     metrics: Any = None,
-    on_progress: Callable[[int, int], None] | None = None,
+    on_progress: Callable[[int, int, int], None] | None = None,
     retry_policy: "RetryPolicy | None" = None,
+    on_task_registry: Callable[[int, dict], None] | None = None,
 ) -> list[Any]:
     """Run ``fn(task)`` for every task across ``workers`` processes.
 
@@ -407,7 +427,16 @@ def run_tasks(
 
     ``metrics`` may be a :class:`repro.obs.MetricsRegistry`; the pool
     publishes deterministic ``dbp_parallel_*`` counters into it.
-    ``on_progress(completed, total)`` fires after every completed task.
+    ``on_progress(completed, total, index)`` fires after every completed
+    task (``index`` is the completing task's shard index).
+
+    ``on_task_registry(index, state)`` delivers the per-task metrics
+    registry state a task recorded via
+    :func:`~repro.parallel.taskmetrics.task_registry` (tasks that record
+    nothing deliver nothing).  Exactly one delivery per task — the first
+    successful attempt's — before that task's ``on_progress`` call, so a
+    :class:`~repro.obs.aggregate.RegistryAggregate` fed from this callback
+    is always consistent with the reported completion count.
 
     ``retry_policy`` (a :class:`repro.resilience.RetryPolicy`) spaces
     retries by seeded exponential backoff on the wall clock instead of
@@ -444,6 +473,7 @@ def run_tasks(
         on_progress=on_progress,
         counters=counters,
         retry_policy=retry_policy,
+        on_task_registry=on_task_registry,
     )
     try:
         return coordinator.run()

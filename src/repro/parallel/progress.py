@@ -47,16 +47,20 @@ def parallel_manifest(
 
 def progress_printer(
     stream: TextIO, *, label: str, every: int = 1
-) -> Callable[[int, int], None]:
-    """An ``on_progress`` callback printing ``label: k/n`` lines.
+) -> Callable[[int, int, int], None]:
+    """An ``on_progress`` callback printing ``label[shard]: k/n`` lines.
 
     Writes to ``stream`` (point it at stderr: stdout stays byte-identical
     to the serial run) and throttles to every ``every``-th completion plus
-    the final one.
+    the final one.  Each line names the shard index that just completed,
+    is emitted as a **single write**, and is flushed immediately — so
+    progress stays readable (and promptly visible) even when interleaved
+    with worker output under ``--workers``.
     """
 
-    def on_progress(completed: int, total: int) -> None:
+    def on_progress(completed: int, total: int, index: int) -> None:
         if completed % every == 0 or completed == total:
-            print(f"{label}: {completed}/{total}", file=stream, flush=True)
+            stream.write(f"{label}[{index}]: {completed}/{total}\n")
+            stream.flush()
 
     return on_progress

@@ -1,0 +1,66 @@
+"""Per-task metrics registries for sharded runs.
+
+Cross-worker aggregation needs telemetry that is independent of *where* a
+task ran: per-worker registries would make the merged export depend on
+chunking and worker count, breaking the determinism contract.  Instead,
+every task attempt gets a **fresh registry** scoped to just that task —
+activated here by the pool worker (and by the serial fallbacks, so
+``workers=1`` produces the exact same per-task states) — and the
+coordinator receives each task's exported state alongside its result.
+Folding those per-task states with the commutative
+:class:`~repro.obs.aggregate.RegistryAggregate` merge then yields the
+same fleet registry bytes at any worker count, chunking, or completion
+order.
+
+Task functions opt in by calling :func:`task_registry` and recording into
+it when it is active (outside a task scope it is ``None``, so the same
+function works un-sharded).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
+
+__all__ = ["export_if_used", "task_registry", "task_registry_scope"]
+
+#: Stack, not a slot: scenario tasks may themselves run nested pools
+#: (the chaos worker-kill scenario does), and each scope must see its own.
+_active: list["MetricsRegistry"] = []
+
+
+def task_registry() -> "MetricsRegistry | None":
+    """The registry of the task currently executing, or ``None``.
+
+    ``None`` outside a task scope — callers record metrics only when a
+    registry is active, so the same task function runs sharded and
+    un-sharded without branching at the call sites' module level.
+    """
+    return _active[-1] if _active else None
+
+
+@contextmanager
+def task_registry_scope() -> Iterator[Any]:
+    """Activate a fresh registry for one task attempt.
+
+    Yields the registry; on exit it is deactivated.  The pool worker (and
+    every serial fallback) wraps each task call in one of these and ships
+    ``registry.export_state()`` — or ``None`` when nothing was recorded —
+    back with the result.
+    """
+    from ..obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    _active.append(registry)
+    try:
+        yield registry
+    finally:
+        _active.pop()
+
+
+def export_if_used(registry: "MetricsRegistry") -> dict[str, Any] | None:
+    """The registry's export state, or ``None`` if nothing was recorded."""
+    return registry.export_state() if len(registry) else None

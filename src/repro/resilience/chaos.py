@@ -36,6 +36,7 @@ experiment itself runs inside a daemonized pool worker) and the
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import random
@@ -50,7 +51,9 @@ from ..cloud.dispatcher import ServerType, dispatch_stream
 from ..core.numeric import Num
 from ..core.resources import Resources
 from ..core.telemetry import SimulationObserver
+from ..obs.flight import SPAN_KINDS, FlightObserver, FlightRecorder
 from ..obs.manifest import build_chaos_manifest
+from ..obs.tracing import LifecycleTracer
 from ..workloads.distributions import Clipped, Exponential, Uniform
 from ..workloads.generators import generate_vector_trace, stream_trace
 from .store import CheckpointStore
@@ -215,24 +218,45 @@ def _server_type(spec: dict[str, Any]) -> ServerType:
     return ServerType(gpu_capacity=capacity, rate=1.0, billing_quantum=30.0)
 
 
-def _baseline(spec: dict[str, Any]):
+def _baseline(spec: dict[str, Any], extra_observers: tuple[Any, ...] = ()):
     """The uninterrupted run every invariant is measured against."""
     return dispatch_stream(
         _trace_items(spec),
         get_algorithm(spec["algorithm"]),
         server_type=_server_type(spec),
-        observers=(_MonotoneTimeObserver(),),
+        observers=(_MonotoneTimeObserver(), *extra_observers),
     )
 
 
+def _span_lines(trace_text: str) -> list[str]:
+    """The lifecycle-span record lines of a JSONL trace, in order."""
+    return [
+        line
+        for line in trace_text.splitlines()
+        if line and json.loads(line).get("kind") in SPAN_KINDS
+    ]
+
+
 def _run_crash_scenario(spec: dict[str, Any], workdir: Path) -> dict[str, Any]:
-    base = _baseline(spec)
+    # Trace the uninterrupted run too: the flight recorder's surviving
+    # span window must be a byte-exact suffix of it.
+    base_trace = io.StringIO()
+    base = _baseline(
+        spec,
+        (
+            LifecycleTracer(
+                base_trace, algorithm=spec["algorithm"], capacity=1, cost_rate=1
+            ),
+        ),
+    )
+    base_spans = _span_lines(base_trace.getvalue())
     store = CheckpointStore(workdir / "store", keep=spec["keep"])
     every_k = spec["crash_every"]
     monotone = _MonotoneTimeObserver()
+    flight = FlightRecorder(capacity=96, path=workdir / "flight.jsonl")
 
     def observers():
-        return (monotone,)
+        return (monotone, FlightObserver(flight))
 
     def hook(generation: int, checkpoint: Any) -> None:
         if (generation + 1) % every_k == 0:
@@ -248,6 +272,7 @@ def _run_crash_scenario(spec: dict[str, Any], workdir: Path) -> dict[str, Any]:
         max_restarts=10_000,
         recover_on=(InjectedCrash,),
         checkpoint_hook=hook,
+        flight=flight,
     )
     report, stats = supervised.report, supervised.stats
     exact = (
@@ -256,6 +281,8 @@ def _run_crash_scenario(spec: dict[str, Any], workdir: Path) -> dict[str, Any]:
         and report.num_servers_rented == base.num_servers_rented
         and report.peak_concurrent_servers == base.peak_concurrent_servers
     )
+    spans = flight.span_lines()
+    flight_suffix = len(spans) > 0 and spans == base_spans[-len(spans) :]
     return {
         "scenario": spec["scenario"],
         "kind": "crash",
@@ -267,7 +294,14 @@ def _run_crash_scenario(spec: dict[str, Any], workdir: Path) -> dict[str, Any]:
         "corruptions_detected": 0,
         "exact_resume": exact,
         "monotone_time": monotone.violations == 0,
-        "ok": exact and stats.crashes > 0 and monotone.violations == 0,
+        "flight_dumps": flight.dumps,
+        "flight_records": len(flight),
+        "flight_span_suffix": flight_suffix,
+        "ok": exact
+        and stats.crashes > 0
+        and monotone.violations == 0
+        and flight.dumps == stats.crashes
+        and flight_suffix,
     }
 
 
@@ -338,6 +372,9 @@ def _run_corrupt_scenario(spec: dict[str, Any], workdir: Path) -> dict[str, Any]
         "corruptions_detected": int(detected and stats.corrupt_generations_skipped >= 1),
         "exact_resume": exact,
         "monotone_time": monotone.violations == 0,
+        "flight_dumps": 0,
+        "flight_records": 0,
+        "flight_span_suffix": True,
         "ok": bool(detected) and exact and monotone.violations == 0,
     }
 
@@ -389,6 +426,9 @@ def _run_worker_kill_scenario(spec: dict[str, Any], workdir: Path) -> dict[str, 
         "corruptions_detected": 0,
         "exact_resume": correct,
         "monotone_time": True,
+        "flight_dumps": 0,
+        "flight_records": 0,
+        "flight_span_suffix": True,
         "ok": correct and respawns >= 1 and retried >= 1,
     }
 
@@ -415,6 +455,7 @@ def run_campaign(
     config: ChaosCampaignConfig | None = None,
     *,
     workers: int = 1,
+    on_progress: Any = None,
 ) -> ChaosCampaignReport:
     """Run the full seeded campaign and assemble the byte-stable report.
 
@@ -423,24 +464,49 @@ def run_campaign(
     process because they spawn processes themselves (pool workers are
     daemonized and may not).  Rows land in spec order either way, so the
     report bytes do not depend on the worker count.
+
+    ``on_progress(completed, total, index)`` follows the
+    :func:`repro.parallel.run_tasks` contract over the *whole* campaign:
+    ``total`` counts every scenario (worker-kill included) and ``index``
+    is the scenario's position in spec order, whichever path ran it.
     """
     config = config or ChaosCampaignConfig()
     specs = build_scenarios(config)
     shardable = [s for s in specs if s["kind"] != "worker-kill"]
     local = [s for s in specs if s["kind"] == "worker-kill"]
+    total = len(specs)
+    index_of = {spec["scenario"]: i for i, spec in enumerate(specs)}
+    completed = 0
     rows_by_scenario: dict[str, dict[str, Any]] = {}
     if workers > 1 and len(shardable) > 1:
         from ..parallel.pool import run_tasks
 
-        for row in run_tasks(_run_scenario, shardable, workers=workers):
+        shard_index = [index_of[s["scenario"]] for s in shardable]
+
+        def pool_progress(done: int, _shard_total: int, idx: int) -> None:
+            on_progress(done, total, shard_index[idx])
+
+        for row in run_tasks(
+            _run_scenario,
+            shardable,
+            workers=workers,
+            on_progress=pool_progress if on_progress is not None else None,
+        ):
             rows_by_scenario[row["scenario"]] = row
+        completed = len(shardable)
     else:
         for spec in shardable:
             row = _run_scenario(spec)
             rows_by_scenario[row["scenario"]] = row
+            completed += 1
+            if on_progress is not None:
+                on_progress(completed, total, index_of[spec["scenario"]])
     for spec in local:
         row = _run_scenario(spec)
         rows_by_scenario[row["scenario"]] = row
+        completed += 1
+        if on_progress is not None:
+            on_progress(completed, total, index_of[spec["scenario"]])
     rows = tuple(rows_by_scenario[spec["scenario"]] for spec in specs)
     totals = {
         "scenarios": len(rows),

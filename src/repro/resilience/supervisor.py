@@ -44,6 +44,7 @@ from ..core.item import Item
 from ..core.resources import Size
 from ..core.streaming import StreamSummary, simulate_stream
 from ..core.telemetry import SimulationObserver
+from ..obs.flight import FlightRecorder
 from .store import CheckpointStore
 
 __all__ = [
@@ -130,6 +131,7 @@ def _supervise(
     recover_on: tuple[type[BaseException], ...],
     checkpoint_hook: CheckpointHook | None,
     metrics: Any,
+    flight: FlightRecorder | None = None,
 ) -> tuple[_R, RecoveryStats]:
     """The restart loop shared by both supervised entry points."""
     if max_restarts < 0:
@@ -145,11 +147,15 @@ def _supervise(
             corrupt_skipped += len(entry.skipped)
             resume_from = entry.checkpoint
             resumed.append(entry.generation)
+            if flight is not None:
+                flight.note_recovery(entry.generation)
 
         def sink(checkpoint: StreamCheckpoint) -> None:
             nonlocal written
             generation = store.save(checkpoint)
             written += 1
+            if flight is not None:
+                flight.note_checkpoint(generation)
             if checkpoint_hook is not None:
                 checkpoint_hook(generation, checkpoint)
 
@@ -157,8 +163,14 @@ def _supervise(
             result = run_attempt(resume_from, sink)
         except recover_on as exc:
             crashes += 1
+            if flight is not None:
+                flight.note_fault(exc, attempt=crashes)
             if crashes > max_restarts:
+                if flight is not None:
+                    flight.dump(reason="recovery-exhausted")
                 raise RecoveryExhaustedError(crashes, exc) from exc
+            if flight is not None:
+                flight.dump(reason="restart")
             continue
         stats = RecoveryStats(
             crashes=crashes,
@@ -184,6 +196,7 @@ def supervised_stream(
     recover_on: tuple[type[BaseException], ...] = (Exception,),
     checkpoint_hook: CheckpointHook | None = None,
     metrics: Any = None,
+    flight: FlightRecorder | None = None,
 ) -> SupervisedStreamResult:
     """Run :func:`~repro.core.streaming.simulate_stream` under supervision.
 
@@ -192,6 +205,12 @@ def supervised_stream(
     from the newest verifiable generation, up to ``max_restarts`` times
     (then :class:`RecoveryExhaustedError`).  The returned summary is
     float-identical to the uninterrupted run's.
+
+    With a ``flight`` recorder attached, every persisted generation,
+    fault, and recovery is recorded, and the ring is dumped as a JSONL
+    post-mortem on each restart and on recovery exhaustion (attach a
+    :class:`~repro.obs.flight.FlightObserver` via ``observer_factory`` to
+    get lifecycle spans into the same ring).
     """
 
     def attempt(
@@ -216,6 +235,7 @@ def supervised_stream(
         recover_on=recover_on,
         checkpoint_hook=checkpoint_hook,
         metrics=metrics,
+        flight=flight,
     )
     return SupervisedStreamResult(summary=summary, stats=stats)
 
@@ -232,6 +252,7 @@ def supervised_dispatch_stream(
     recover_on: tuple[type[BaseException], ...] = (Exception,),
     checkpoint_hook: CheckpointHook | None = None,
     metrics: Any = None,
+    flight: FlightRecorder | None = None,
 ) -> SupervisedDispatchReport:
     """Run :func:`~repro.cloud.dispatcher.dispatch_stream` under supervision.
 
@@ -262,5 +283,6 @@ def supervised_dispatch_stream(
         recover_on=recover_on,
         checkpoint_hook=checkpoint_hook,
         metrics=metrics,
+        flight=flight,
     )
     return SupervisedDispatchReport(report=report, stats=stats)

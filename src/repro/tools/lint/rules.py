@@ -880,3 +880,63 @@ def check_raw_size_comparison(ctx: FileContext) -> Iterator[Violation]:
                     "a partial order",
                 )
                 break
+
+
+# --------------------------------------------------------------------------
+# DBP016 — concurrency/network primitives in the engine
+
+
+_CONCURRENCY_MODULES = frozenset(
+    {
+        "socket",
+        "socketserver",
+        "ssl",
+        "http",
+        "threading",
+        "_thread",
+        "concurrent",
+        "multiprocessing",
+        "signal",
+        "selectors",
+        "asyncio",
+        "queue",
+    }
+)
+
+
+@register_rule(
+    "DBP016",
+    "engine-concurrency-import",
+    "engine",
+    "Engine code must not import socket/thread/signal machinery; the live "
+    "plane stays observer-side",
+)
+def check_engine_concurrency(ctx: FileContext) -> Iterator[Violation]:
+    """The engine is single-threaded and deterministic by contract: the
+    live observability plane (HTTP serving, handler threads, signal-driven
+    post-mortems) consumes *published snapshots* on the observer side and
+    must never leak inward.  A socket/thread/signal import in engine scope
+    couples packing decisions to schedulers, sockets, and delivery timing
+    — exactly the nondeterminism the exact-replay oracles rule out.
+    Serve telemetry via :mod:`repro.obs.live`; shard work via
+    :mod:`repro.parallel`."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".", 1)[0] in _CONCURRENCY_MODULES:
+                    yield _violation(
+                        ctx,
+                        node,
+                        "DBP016",
+                        f"engine code imports {alias.name!r}, a concurrency/"
+                        "network primitive; keep the live plane observer-side",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if (node.module or "").split(".", 1)[0] in _CONCURRENCY_MODULES:
+                yield _violation(
+                    ctx,
+                    node,
+                    "DBP016",
+                    f"engine code imports from {node.module!r}, a concurrency/"
+                    "network primitive; keep the live plane observer-side",
+                )

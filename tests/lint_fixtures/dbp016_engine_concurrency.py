@@ -1,0 +1,29 @@
+"""Fixture for DBP016: concurrency/network primitives in engine scope.
+
+Every marked import drags scheduler or I/O timing into the engine; the
+unmarked imports are ordinary deterministic stdlib and must not fire.
+"""
+
+import socket  # DBP016
+import threading  # DBP016
+import signal  # DBP016
+import http.client  # DBP016
+import asyncio  # DBP016
+import queue  # DBP016
+import _thread  # DBP016
+from socketserver import TCPServer  # DBP016
+from http.server import ThreadingHTTPServer  # DBP016
+from concurrent.futures import ThreadPoolExecutor  # DBP016
+from multiprocessing import get_context  # DBP016
+from selectors import DefaultSelector  # DBP016
+
+import json
+import math
+from collections import deque
+from pathlib import Path
+
+
+def fine(values: list[float]) -> str:
+    """Deterministic stdlib use is allowed in engine scope."""
+    ring: deque[float] = deque(values, maxlen=4)
+    return json.dumps({"sum": math.fsum(ring), "cwd": str(Path("."))})

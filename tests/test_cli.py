@@ -38,3 +38,46 @@ class TestMain:
     def test_run_unknown_experiment(self):
         with pytest.raises(KeyError):
             main(["run", "definitely-not-real"])
+
+
+class TestServeMetrics:
+    def test_parser_port_forms(self):
+        parser = build_parser()
+        assert parser.parse_args(["dispatch", "t.json"]).serve_metrics is None
+        assert (
+            parser.parse_args(["dispatch", "t.json", "--serve-metrics"]).serve_metrics
+            == 0
+        )
+        assert (
+            parser.parse_args(
+                ["dispatch", "t.json", "--serve-metrics", "9100"]
+            ).serve_metrics
+            == 9100
+        )
+        assert parser.parse_args(["run", "all", "--serve-metrics"]).serve_metrics == 0
+        assert parser.parse_args(["chaos", "--serve-metrics"]).serve_metrics == 0
+
+    def test_dispatch_live_scrape_byte_equals_artifact(self, tmp_path, capsys):
+        trace = tmp_path / "day.json"
+        obs = tmp_path / "obs"
+        assert main(["generate", "--kind", "poisson", "--seed", "3",
+                     "--horizon", "120", "--out", str(trace)]) == 0
+        assert main(["dispatch", str(trace), "--algorithm", "best-fit",
+                     "--serve-metrics", "--metrics", str(obs)]) == 0
+        live = (obs / "metrics.live.prom").read_bytes()
+        assert live == (obs / "metrics.prom").read_bytes()
+        assert b"dbp_events_processed_total" in live
+        assert "metrics_live_prom written to" in capsys.readouterr().out
+
+    def test_dispatch_serve_metrics_rejects_algorithm_lists(self, tmp_path, capsys):
+        trace = tmp_path / "day.json"
+        assert main(["generate", "--kind", "poisson", "--seed", "3",
+                     "--horizon", "60", "--out", str(trace)]) == 0
+        code = main(["dispatch", str(trace), "--algorithm", "first-fit,best-fit",
+                     "--serve-metrics"])
+        assert code == 2
+
+    def test_run_serves_fleet_aggregate(self, capsys):
+        assert main(["run", "bounds-sandwich", "--serve-metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out

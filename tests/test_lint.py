@@ -66,8 +66,8 @@ def lines_fired(source: str, code: str, module: str = ENGINE_MODULE) -> set[int]
 
 
 class TestRegistry:
-    def test_rules_have_sequential_codes(self):
-        assert all_codes() == [f"DBP{i:03d}" for i in range(1, 11)]
+    def test_rules_have_stable_codes(self):
+        assert all_codes() == [f"DBP{i:03d}" for i in range(1, 11)] + ["DBP016"]
 
     def test_rules_carry_scope_name_summary_and_doc(self):
         for rule in iter_rules():
@@ -95,6 +95,7 @@ FIXTURE_CASES = [
     ("dbp007_slots.py", "DBP007"),
     ("dbp009_engine_io.py", "DBP009"),
     ("dbp010_size_compare.py", "DBP010"),
+    ("dbp016_engine_concurrency.py", "DBP016"),
 ]
 
 
@@ -209,6 +210,12 @@ class TestScoping:
         assert lines_fired(source, "DBP010", module="repro.core.resources") == set()
         assert lines_fired(source, "DBP010", module="repro.core.bin") == set()
         assert lines_fired(source, "DBP010", module="repro.opt.offline") == set()
+
+    def test_concurrency_rule_skips_observer_and_parallel_side(self):
+        source = fixture_source("dbp016_engine_concurrency.py")
+        assert lines_fired(source, "DBP016", module="repro.obs.live") == set()
+        assert lines_fired(source, "DBP016", module="repro.parallel.pool") == set()
+        assert lines_fired(source, "DBP016", module="repro.cloud.fleet") != set()
 
     def test_src_rules_cover_experiments_but_not_tests(self):
         source = fixture_source("dbp003_float_eq.py")

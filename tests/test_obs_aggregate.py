@@ -1,0 +1,225 @@
+"""Property suite for the cross-worker registry merge (`repro.obs.aggregate`).
+
+The merge claims to be an exact commutative monoid over registry export
+states: folding the same states in any order, any grouping, and through
+any hierarchy of intermediate aggregates must render byte-identical
+Prometheus text and JSON.  Hypothesis drives those algebraic laws over
+random registry sets; the deterministic tests pin the mismatch errors
+and the int-stays-int rendering contract.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MergeError, MetricsRegistry, RegistryAggregate, merge_registries
+from repro.obs.aggregate import merge_states
+
+BUCKETS = (0.5, 2.0, 8.0)
+
+
+# ----------------------------------------------------------------- strategies
+
+
+def _fill_registry(
+    counter_vals: list[int | float],
+    gauge_vals: list[tuple[int | float, int | float]],
+    histo_obs: list[float],
+) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for value in counter_vals:
+        registry.counter("c_total", "counter under merge").inc(value)
+    gauge = registry.gauge("g", "gauge under merge")
+    for up, down in gauge_vals:
+        gauge.inc(up)
+        gauge.dec(down)
+    histo = registry.histogram("h", "histogram under merge", buckets=BUCKETS)
+    for obs in histo_obs:
+        histo.observe(obs)
+    return registry
+
+
+_num = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+    ),
+)
+
+_registry = st.builds(
+    _fill_registry,
+    st.lists(_num, max_size=4),
+    st.lists(st.tuples(_num, _num), max_size=4),
+    st.lists(
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False), max_size=6
+    ),
+)
+
+_states = st.lists(_registry, min_size=1, max_size=6).map(
+    lambda rs: [r.export_state() for r in rs]
+)
+
+
+def _export(aggregate: RegistryAggregate) -> tuple[str, str]:
+    return aggregate.to_prometheus(), aggregate.to_json()
+
+
+# ------------------------------------------------------------ algebraic laws
+
+
+@settings(max_examples=60, deadline=None)
+@given(_states, st.randoms(use_true_random=False))
+def test_merge_is_permutation_invariant(states, rng):
+    baseline = _export(merge_states(states))
+    shuffled = list(states)
+    rng.shuffle(shuffled)
+    assert _export(merge_states(shuffled)) == baseline
+
+
+@settings(max_examples=60, deadline=None)
+@given(_states, _states)
+def test_merge_is_commutative(a, b):
+    assert _export(merge_states(a + b)) == _export(merge_states(b + a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_states, _states, _states)
+def test_merge_is_associative_under_combine(a, b, c):
+    left = merge_states(a).combine(merge_states(b)).combine(merge_states(c))
+    right = merge_states(a).combine(merge_states(b).combine(merge_states(c)))
+    flat = merge_states(a + b + c)
+    assert _export(left) == _export(right) == _export(flat)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_registry)
+def test_single_state_merge_is_identity(registry):
+    # Merging one export renders exactly the registry's own artifacts.
+    merged = merge_states([registry.export_state()])
+    assert merged.to_prometheus() == registry.to_prometheus()
+    assert merged.to_json() == registry.to_json()
+
+
+@settings(max_examples=40, deadline=None)
+@given(_states)
+def test_empty_aggregate_is_identity_element(states):
+    folded = RegistryAggregate().combine(merge_states(states))
+    assert _export(folded) == _export(merge_states(states))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_states, st.integers(min_value=1, max_value=4))
+def test_chunked_hierarchical_merge_matches_flat(states, chunk):
+    # Per-chunk aggregates folded into a fleet aggregate (what the pool
+    # coordinator effectively does) must equal one flat fold.
+    flat = merge_states(states)
+    fleet = RegistryAggregate()
+    for start in range(0, len(states), chunk):
+        fleet.combine(merge_states(states[start : start + chunk]))
+    assert _export(fleet) == _export(flat)
+    assert fleet.sources == flat.sources == len(states)
+
+
+# --------------------------------------------------------- deterministic pins
+
+
+def test_counters_sum_and_int_stays_int():
+    a = MetricsRegistry()
+    a.counter("c_total").inc(3)
+    b = MetricsRegistry()
+    b.counter("c_total").inc(4)
+    merged = merge_registries([a, b])
+    assert merged.snapshot()["counters"]["c_total"] == 7
+    assert "c_total 7\n" in merged.to_prometheus()  # no trailing .0
+
+
+def test_float_counter_sum_is_correctly_rounded():
+    states = []
+    for _ in range(10):
+        r = MetricsRegistry()
+        r.counter("c_total").inc(0.1)
+        states.append(r.export_state())
+    # Exact Fraction accumulation: ten 0.1s round to the closest double
+    # to 1.0 (which is 1.0), not the float-addition drift 0.9999999999999999.
+    assert merge_states(states).to_registry().snapshot()["counters"]["c_total"] == 1.0
+
+
+def test_gauges_sum_values_and_max_peaks():
+    a = MetricsRegistry()
+    ga = a.gauge("g")
+    ga.inc(5)
+    ga.dec(3)  # value 2, peak 5
+    b = MetricsRegistry()
+    gb = b.gauge("g")
+    gb.inc(4)  # value 4, peak 4
+    snap = merge_registries([a, b]).snapshot()["gauges"]["g"]
+    assert snap == {"peak": 5, "value": 6}
+
+
+def test_histograms_add_bucket_wise():
+    a = MetricsRegistry()
+    a.histogram("h", buckets=BUCKETS).observe(0.3)
+    b = MetricsRegistry()
+    hb = b.histogram("h", buckets=BUCKETS)
+    hb.observe(1.0)
+    hb.observe(100.0)  # overflow bucket
+    snap = merge_registries([a, b]).snapshot()["histograms"]["h"]
+    assert snap["count"] == 3
+    assert snap["counts"] == [1, 1, 0, 1]
+    assert snap["sum"] == pytest.approx(101.3)
+
+
+def test_kind_mismatch_raises():
+    a = MetricsRegistry()
+    a.counter("m")
+    b = MetricsRegistry()
+    b.gauge("m")
+    with pytest.raises(MergeError, match="counter in one shard"):
+        merge_states([a.export_state(), b.export_state()])
+
+
+def test_help_mismatch_raises():
+    a = MetricsRegistry()
+    a.counter("m", "one help")
+    b = MetricsRegistry()
+    b.counter("m", "another help")
+    with pytest.raises(MergeError, match="help text disagrees"):
+        merge_states([a.export_state(), b.export_state()])
+
+
+def test_bucket_scheme_mismatch_raises():
+    a = MetricsRegistry()
+    a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+    b = MetricsRegistry()
+    b.histogram("h", buckets=(1.0, 4.0)).observe(0.5)
+    with pytest.raises(MergeError, match="bucket schemes disagree"):
+        merge_states([a.export_state(), b.export_state()])
+
+
+def test_disjoint_metric_sets_union():
+    a = MetricsRegistry()
+    a.counter("only_a_total").inc(1)
+    b = MetricsRegistry()
+    b.counter("only_b_total").inc(2)
+    counters = merge_registries([a, b]).snapshot()["counters"]
+    assert counters == {"only_a_total": 1, "only_b_total": 2}
+
+
+def test_shuffled_fold_matches_seeded_oracle():
+    rng = random.Random(7)
+    registries = []
+    for i in range(8):
+        r = MetricsRegistry()
+        r.counter("c_total").inc(i)
+        r.gauge("g").inc(rng.uniform(0.0, 5.0))
+        r.histogram("h", buckets=BUCKETS).observe(rng.uniform(0.0, 10.0))
+        registries.append(r)
+    states = [r.export_state() for r in registries]
+    baseline = merge_states(states).to_prometheus()
+    for _ in range(5):
+        rng.shuffle(states)
+        assert merge_states(states).to_prometheus() == baseline

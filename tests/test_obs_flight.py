@@ -1,0 +1,265 @@
+"""Tests for the crash flight recorder (`repro.obs.flight`).
+
+The ring, the dump format, the trace-identical span rendering, the
+supervisor's mark/rewind protocol (a killed-and-resumed run's surviving
+span window must be a byte-exact suffix of the uninterrupted run's
+trace), and the SIGTERM post-mortem hook.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import signal
+
+import pytest
+
+from repro import FirstFit
+from repro.cloud import ServerType, dispatch_stream
+from repro.obs import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightObserver,
+    FlightRecorder,
+    LifecycleTracer,
+    install_signal_dump,
+    iter_flight_records,
+)
+from repro.obs.flight import SPAN_KINDS
+from repro.resilience import (
+    CheckpointStore,
+    InjectedCrash,
+    supervised_dispatch_stream,
+)
+from repro.workloads import Clipped, Exponential, Uniform
+from repro.workloads.generators import stream_trace
+
+WORKLOAD = dict(
+    arrival_rate=5.0,
+    duration=Clipped(Exponential(6.0), 1.0, 20.0),
+    size=Uniform(0.1, 0.6),
+    n_items=180,
+    seed=17,
+)
+
+
+def fresh_stream():
+    return stream_trace(**WORKLOAD)
+
+
+def span_lines_of(trace_text: str) -> list[str]:
+    return [
+        line
+        for line in trace_text.splitlines()
+        if line and json.loads(line).get("kind") in SPAN_KINDS
+    ]
+
+
+# ----------------------------------------------------------------- the ring
+
+
+class TestFlightRecorder:
+    def test_ring_drops_oldest_and_counts(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(6):
+            recorder.record({"kind": "close", "n": i})
+        assert len(recorder) == 4
+        assert recorder.dropped == 2
+        assert [json.loads(line)["n"] for line in recorder.lines()] == [2, 3, 4, 5]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_dump_header_and_roundtrip(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(capacity=8, path=path)
+        recorder.note_checkpoint(0)
+        recorder.note_fault(RuntimeError("boom"), attempt=1)
+        recorder.dump(reason="restart")
+        records = iter_flight_records(path)
+        header = records[0]
+        assert header == {
+            "kind": "flight",
+            "schema": FLIGHT_SCHEMA_VERSION,
+            "reason": "restart",
+            "capacity": 8,
+            "dropped": 0,
+            "records": 2,
+            "seq_first": 1,
+            "seq_last": 2,
+        }
+        assert records[1] == {"generation": 0, "kind": "checkpoint"}
+        assert records[2] == {
+            "attempt": 1,
+            "error": "RuntimeError",
+            "kind": "fault",
+            "message": "boom",
+        }
+
+    def test_dump_overwrites_with_latest_reason(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(capacity=4, path=path)
+        recorder.dump(reason="restart")
+        recorder.dump(reason="recovery-exhausted")
+        assert recorder.dumps == 2
+        assert iter_flight_records(path)[0]["reason"] == "recovery-exhausted"
+
+    def test_recovery_rewinds_spans_past_the_mark(self):
+        recorder = FlightRecorder(capacity=16)
+        recorder.record({"kind": "open", "bin": 0})
+        recorder.note_checkpoint(0)  # marks after the first span
+        recorder.record({"kind": "place", "item": "a"})
+        recorder.record({"kind": "depart", "item": "a"})
+        recorder.note_recovery(0)
+        kinds = [json.loads(line)["kind"] for line in recorder.lines()]
+        # Doomed-attempt spans are gone; meta records survive.
+        assert kinds == ["open", "checkpoint", "recovery"]
+
+    def test_recovery_for_unknown_generation_keeps_everything(self):
+        recorder = FlightRecorder(capacity=16)
+        recorder.record({"kind": "open", "bin": 0})
+        recorder.note_recovery(7)  # generation predates this recorder
+        kinds = [json.loads(line)["kind"] for line in recorder.lines()]
+        assert kinds == ["open", "recovery"]
+
+
+# ------------------------------------------------- trace-identical rendering
+
+
+class TestFlightObserver:
+    def test_span_lines_byte_match_the_trace(self):
+        trace = io.StringIO()
+        recorder = FlightRecorder(capacity=10_000)
+        dispatch_stream(
+            fresh_stream(),
+            FirstFit(),
+            server_type=ServerType(billing_quantum=30.0),
+            observers=(
+                LifecycleTracer(trace, algorithm="first-fit", capacity=1, cost_rate=1),
+                FlightObserver(recorder),
+            ),
+        )
+        assert recorder.span_lines() == span_lines_of(trace.getvalue())
+        assert recorder.dropped == 0
+
+    def test_bounded_ring_keeps_a_trace_suffix(self):
+        trace = io.StringIO()
+        recorder = FlightRecorder(capacity=48)
+        dispatch_stream(
+            fresh_stream(),
+            FirstFit(),
+            server_type=ServerType(billing_quantum=30.0),
+            observers=(
+                LifecycleTracer(trace, algorithm="first-fit", capacity=1, cost_rate=1),
+                FlightObserver(recorder),
+            ),
+        )
+        spans = recorder.span_lines()
+        assert 0 < len(spans) <= 48
+        assert spans == span_lines_of(trace.getvalue())[-len(spans) :]
+        assert recorder.dropped > 0
+
+
+# -------------------------------------------------- supervisor crash suffix
+
+
+class TestCrashPostMortem:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_killed_run_leaves_suffix_matching_postmortem(self, tmp_path, k):
+        base_trace = io.StringIO()
+        dispatch_stream(
+            fresh_stream(),
+            FirstFit(),
+            server_type=ServerType(billing_quantum=30.0),
+            observers=(
+                LifecycleTracer(
+                    base_trace, algorithm="first-fit", capacity=1, cost_rate=1
+                ),
+            ),
+        )
+        base_spans = span_lines_of(base_trace.getvalue())
+        path = tmp_path / "flight.jsonl"
+        flight = FlightRecorder(capacity=64, path=path)
+
+        def hook(generation, checkpoint):
+            if (generation + 1) % k == 0:
+                raise InjectedCrash(f"killed at generation {generation}")
+
+        supervised = supervised_dispatch_stream(
+            fresh_stream,
+            FirstFit,
+            store=CheckpointStore(tmp_path / "store", keep=3),
+            checkpoint_every=24,
+            server_type=ServerType(billing_quantum=30.0),
+            observer_factory=lambda: (FlightObserver(flight),),
+            max_restarts=1000,
+            recover_on=(InjectedCrash,),
+            checkpoint_hook=hook,
+            flight=flight,
+        )
+        assert supervised.stats.crashes > 0
+        # One post-mortem dump per restart, each overwriting the last.
+        assert flight.dumps == supervised.stats.crashes
+        records = iter_flight_records(path)
+        assert records[0]["kind"] == "flight"
+        assert records[0]["reason"] == "restart"
+        # The surviving span window is a byte-exact suffix of the
+        # uninterrupted run's trace: no doomed-attempt duplicates, no holes.
+        spans = flight.span_lines()
+        assert spans and spans == base_spans[-len(spans) :]
+
+    def test_exhausted_recovery_dumps_before_raising(self, tmp_path):
+        from repro.resilience import RecoveryExhaustedError
+
+        path = tmp_path / "flight.jsonl"
+        flight = FlightRecorder(capacity=32, path=path)
+
+        def hook(generation, checkpoint):
+            raise InjectedCrash("always")
+
+        with pytest.raises(RecoveryExhaustedError):
+            supervised_dispatch_stream(
+                fresh_stream,
+                FirstFit,
+                store=CheckpointStore(tmp_path / "store", keep=2),
+                checkpoint_every=24,
+                server_type=ServerType(billing_quantum=30.0),
+                max_restarts=1,
+                recover_on=(InjectedCrash,),
+                checkpoint_hook=hook,
+                flight=flight,
+            )
+        records = iter_flight_records(path)
+        assert records[0]["reason"] == "recovery-exhausted"
+        assert any(r["kind"] == "fault" for r in records)
+
+
+# ------------------------------------------------------------ SIGTERM hook
+
+
+class TestSignalDump:
+    def test_handler_dumps_then_reraises_to_previous(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        recorder = FlightRecorder(capacity=8, path=path)
+        recorder.record({"kind": "open", "bin": 0})
+        delivered = []
+        previous = signal.signal(signal.SIGUSR1, lambda s, f: delivered.append(s))
+        try:
+            uninstall = install_signal_dump(
+                recorder, signum=signal.SIGUSR1, reason="sigterm"
+            )
+            signal.raise_signal(signal.SIGUSR1)
+            assert delivered == [signal.SIGUSR1]  # re-raised to the old handler
+            assert iter_flight_records(path)[0]["reason"] == "sigterm"
+            uninstall()  # the dump handler re-installed the old one already
+            assert signal.getsignal(signal.SIGUSR1) is not None
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
+
+    def test_uninstall_restores_previous_disposition(self):
+        recorder = FlightRecorder(capacity=4)
+        previous = signal.getsignal(signal.SIGUSR2)
+        uninstall = install_signal_dump(recorder, signum=signal.SIGUSR2)
+        assert signal.getsignal(signal.SIGUSR2) is not previous
+        uninstall()
+        assert signal.getsignal(signal.SIGUSR2) is previous

@@ -223,9 +223,10 @@ def test_on_progress_reports_monotonic_completion():
         _square,
         list(range(7)),
         workers=2,
-        on_progress=lambda done, total: seen.append((done, total)),
+        on_progress=lambda done, total, index: seen.append((done, total, index)),
     )
-    assert seen == [(k, 7) for k in range(1, 8)]
+    assert [(done, total) for done, total, _ in seen] == [(k, 7) for k in range(1, 8)]
+    assert sorted(index for _, _, index in seen) == list(range(7))
 
 
 def test_parallel_manifest_is_byte_stable():
