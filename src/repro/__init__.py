@@ -78,6 +78,7 @@ from .algorithms import (
     available_algorithms,
     get_algorithm,
 )
+from .renting import BoundedRepacker, EqualDurationFit, Hybrid, MoveToFront
 
 __version__ = "1.0.0"
 
@@ -143,4 +144,9 @@ __all__ = [
     "BalancedInterleaveFit",
     "get_algorithm",
     "available_algorithms",
+    # renting / migration-bounded families
+    "Hybrid",
+    "MoveToFront",
+    "EqualDurationFit",
+    "BoundedRepacker",
 ]

@@ -102,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--quantum", type=float, default=None, help="billing quantum (e.g. 60 for hourly)"
     )
     disp_p.add_argument(
+        "--migration-factor",
+        type=float,
+        default=None,
+        metavar="BETA",
+        help="migration-bounded dispatch: every arriving session of size s "
+        "grants BETA*s of moved-size budget to a consolidating repacker "
+        "(0 keeps the run byte-identical to no-migration); switches to "
+        "streamed dispatch",
+    )
+    disp_p.add_argument(
         "--trace-out",
         type=Path,
         default=None,
@@ -270,11 +280,12 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         or args.profile
         or args.serve_metrics is not None
     )
+    migrating = args.migration_factor is not None
     if len(algorithms) > 1:
-        if observed:
+        if observed or migrating:
             print(
-                "dispatch: --trace-out/--metrics/--profile/--serve-metrics "
-                "need a single --algorithm",
+                "dispatch: --trace-out/--metrics/--profile/--serve-metrics/"
+                "--migration-factor need a single --algorithm",
                 file=sys.stderr,
             )
             return 2
@@ -286,6 +297,8 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     )
     if observed:
         return _dispatch_observed(args, trace, algo, server)
+    if migrating:
+        return _dispatch_migrating(args, trace, algo, server)
     report = dispatch_trace(trace, algo, server_type=server)
     for key, value in report.summary_row().items():
         print(f"{key:14s} {value}")
@@ -324,6 +337,29 @@ def _dispatch_compare(args: argparse.Namespace, algorithms: list[str]) -> int:
             title=f"dispatch comparison: {args.trace.name}",
         )
     )
+    return 0
+
+
+def _dispatch_migrating(args: argparse.Namespace, trace, algo, server) -> int:
+    """Migration-bounded streamed dispatch: sessions may be consolidated
+    onto fewer servers within the ``--migration-factor`` budget, each move
+    settled exactly by the engine."""
+    from .cloud import dispatch_stream
+    from .renting import BoundedRepacker
+
+    repacker = BoundedRepacker(factor=args.migration_factor)
+    items = iter(sorted(trace.items, key=lambda it: it.arrival))
+    report = dispatch_stream(items, algo, server_type=server, repacker=repacker)
+    print(f"{'algorithm':14s} {report.algorithm_name}")
+    print(f"{'beta':14s} {args.migration_factor}")
+    print(f"{'sessions':14s} {report.num_sessions}")
+    print(f"{'servers':14s} {report.num_servers_rented}")
+    print(f"{'peak':14s} {report.peak_concurrent_servers}")
+    print(f"{'cost(cont)':14s} {float(report.continuous_cost)}")
+    print(f"{'cost(billed)':14s} {float(report.billed_cost)}")
+    print(f"{'migrations':14s} {repacker.migrations_done}")
+    print(f"{'size moved':14s} {float(repacker.size_moved)}")
+    print(f"{'emptied':14s} {repacker.bins_emptied}")
     return 0
 
 

@@ -20,7 +20,7 @@ from ..core.item import Item
 from ..core.metrics import utilization
 from ..core.result import PackingResult
 from ..core.simulator import Simulator
-from ..core.streaming import StreamSummary, simulate_stream
+from ..core.streaming import StreamRepacker, StreamSummary, simulate_stream
 from ..core.telemetry import SimulationObserver
 from ..workloads.trace import Trace
 
@@ -150,6 +150,22 @@ class _BillingMeter(SimulationObserver):
     ) -> None:
         self._settle(bin)
 
+    def on_migration(
+        self,
+        time: Num,
+        item: Arrival,
+        from_bin: "Bin",
+        to_bin: "Bin",
+        from_closed: bool,
+        to_opened: bool,
+    ) -> None:
+        # A consolidating move can empty the source server, ending its
+        # rental mid-session-lifetime; settle it here so every server is
+        # still billed exactly once.  The session itself is never billed —
+        # only server usage periods are — so a move can't double-bill it.
+        if from_closed:
+            self._settle(from_bin)
+
     def checkpoint_state(self) -> dict[str, Any]:
         return {"billed": self.billed, "servers_billed": self.servers_billed}
 
@@ -167,6 +183,7 @@ def dispatch_stream(
     checkpoint_every: int | None = None,
     on_checkpoint: "Callable[[StreamCheckpoint], None] | None" = None,
     resume_from: "StreamCheckpoint | None" = None,
+    repacker: "StreamRepacker | None" = None,
 ) -> StreamDispatchReport:
     """Serve an arrival-ordered session stream in O(active sessions) memory.
 
@@ -185,6 +202,11 @@ def dispatch_stream(
     :func:`repro.core.streaming.simulate_stream`; the billing meter's
     accrued state rides along in each snapshot, so a resumed dispatch
     bills exactly what the uninterrupted one would.
+
+    Pass a ``repacker`` (e.g. :class:`repro.renting.BoundedRepacker`) for
+    migration-bounded dispatch: sessions may be live-migrated between
+    servers within the repacker's budget, and a source server emptied by a
+    move is released and settled at that instant.
     """
     server_type = server_type or ServerType()
     meter = _BillingMeter(server_type.billed_model())
@@ -197,6 +219,7 @@ def dispatch_stream(
         checkpoint_every=checkpoint_every,
         on_checkpoint=on_checkpoint,
         resume_from=resume_from,
+        repacker=repacker,
     )
     return StreamDispatchReport(
         algorithm_name=algorithm.name,

@@ -105,6 +105,11 @@ class StreamCheckpoint:
     #: Per-observer ``checkpoint_state()`` payloads, positionally aligned.
     observers: tuple[Any, ...]
     algorithm_state: Any = None
+    #: ``checkpoint_state()`` of the bounded-migration repacker, if one was
+    #: driving the run (``None`` otherwise).  Migrated item→bin membership
+    #: itself needs no extra state: ``active`` already records the *current*
+    #: bin of every item.
+    repacker_state: Any = None
     version: int = CHECKPOINT_VERSION
 
     # ---------------------------------------------------------------- capture
@@ -117,6 +122,7 @@ class StreamCheckpoint:
         items_consumed: int,
         events_processed: int,
         last_arrival: Num | None,
+        repacker_state: Any = None,
     ) -> "StreamCheckpoint":
         """Snapshot a live streaming simulator at an event boundary.
 
@@ -170,6 +176,7 @@ class StreamCheckpoint:
             active=tuple(active),
             observers=tuple(o.checkpoint_state() for o in sim.observers),
             algorithm_state=sim.algorithm.checkpoint_state(),
+            repacker_state=repacker_state,
         )
 
     # ---------------------------------------------------------------- restore

@@ -56,7 +56,7 @@ from .validation import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
-    from .streaming import StreamSummary
+    from .streaming import StreamRepacker, StreamSummary
     from .telemetry import SimulationObserver
 
 __all__ = ["Simulator", "simulate", "SimulationError"]
@@ -150,6 +150,7 @@ class Simulator:
         self._bins_opened = 0
         self._peak_open = 0
         self._items_arrived = 0
+        self._migrations = 0
         self._closed_bin_time: Num = 0
         # A run is scalar or d-dimensional throughout.  A vector capacity
         # fixes d immediately; a scalar capacity broadcasts to the
@@ -186,6 +187,11 @@ class Simulator:
     @property
     def active_item_ids(self) -> list[str]:
         return list(self._active)
+
+    @property
+    def migrations(self) -> int:
+        """Number of :meth:`migrate` moves performed so far."""
+        return self._migrations
 
     def bin_of(self, item_id: str) -> Bin:
         """The bin currently holding an active item."""
@@ -325,6 +331,102 @@ class Simulator:
             )
         return target
 
+    def migrate(
+        self,
+        item_id: str,
+        to_bin: Bin | Any = None,
+        *,
+        time: Num | None = None,
+    ) -> Bin:
+        """Move an active item into another open bin (or a fresh one).
+
+        The bounded-migration primitive (Berndt–Jansen–Klein style
+        repacking): at ``time`` (default: the current simulation time) the
+        item leaves its current bin and lands in ``to_bin`` atomically.  If
+        the source bin empties it closes *at that instant* and its rental is
+        settled exactly — billed usage is unchanged by where the item sits,
+        so total cost stays the integral of the open-bin count.  Pass
+        ``to_bin=OPEN_NEW`` (or omit it) to open a fresh default-capacity
+        bin for the item.
+
+        Observers are notified once through
+        :meth:`~repro.core.telemetry.SimulationObserver.on_migration`; the
+        packing algorithm is *not* consulted — migration is driven by a
+        repacker policy outside the online algorithm, exactly as in the
+        fully-dynamic model where the algorithm packs and the repacker
+        re-packs.  Stateful algorithms that cache bin references (NextFit's
+        current bin, MoveToFront's ordering) remain safe because they check
+        ``is_open``/membership before reusing a cached bin.
+
+        Returns the destination bin.
+        """
+        when = self._now if time is None else time
+        if when is None:
+            raise SimulationError("cannot migrate before any event has been processed")
+        self._advance(when)
+        try:
+            record = self._active[item_id]
+        except KeyError:
+            raise SimulationError(
+                f"cannot migrate unknown/inactive item {item_id!r}"
+            ) from None
+        view, source = record.view, record.bin
+        if to_bin is OPEN_NEW or to_bin is None:
+            new_capacity = self.capacity
+            if isinstance(view.size, Resources) and not isinstance(
+                new_capacity, Resources
+            ):
+                new_capacity = Resources.uniform(new_capacity, view.size.dims)
+            target = Bin(
+                index=self._bins_opened,
+                capacity=new_capacity,
+                record_log=self._record,
+            )
+            opened = True
+        else:
+            target = to_bin
+            opened = False
+            if target is source:
+                raise SimulationError(
+                    f"item {item_id!r} is already in bin {source.index}"
+                )
+            if self.strict:
+                if not isinstance(target, Bin) or not target.is_open or target not in self._bins:
+                    raise SimulationError(
+                        f"cannot migrate {item_id!r} into {to_bin!r}: not an "
+                        "open bin of this simulation"
+                    )
+                if not target.fits(view):
+                    raise SimulationError(
+                        f"bin {target.index} (residual {target.residual}) cannot "
+                        f"take migrated item {item_id!r} of size {view.size}"
+                    )
+        source.remove(item_id, when)
+        from_closed = source.is_closed
+        if from_closed:
+            self._bins.discard(source)
+            self._closed_bin_time = self._closed_bin_time + source.usage_length
+        else:
+            self._bins.update(source)
+        target.add(view, when)
+        if opened:
+            self._bins_opened += 1
+            if self._record:
+                self._all_bins.append(target)
+            self.algorithm.on_bin_opened(target, view)
+            self._bins.add(target)
+            if len(self._bins) > self._peak_open:
+                self._peak_open = len(self._bins)
+        else:
+            self._bins.update(target)
+        record.bin = target
+        if self._record:
+            self._assignment[item_id] = target.index
+        self._migrations += 1
+        for observer in self.observers:
+            observer.on_migration(when, view, source, target, from_closed, opened)
+        return target
+
     def fail_bin(self, target: Bin, time: Num) -> list[Arrival]:
         """Revoke an open bin at ``time`` (server failure), evicting its items.
 
@@ -462,6 +564,7 @@ def simulate(
     indexed: bool = True,
     observers: Sequence["SimulationObserver"] = (),
     max_bin_capacity: Size | None = None,
+    repacker: "StreamRepacker | None" = None,
 ) -> PackingResult:
     """Replay a complete item list against an online packing algorithm.
 
@@ -490,6 +593,14 @@ def simulate(
         ``capacity`` (see :meth:`PackingAlgorithm.new_bin_capacity`): the
         largest capacity the algorithm may request, used to validate item
         sizes up front.
+    repacker:
+        Optional bounded-migration repacker (see
+        :class:`repro.core.streaming.StreamRepacker`): invoked after every
+        event and may move active items between bins via
+        :meth:`Simulator.migrate`.  Note ``check=True`` cannot be combined
+        with a repacker that actually migrates —
+        :meth:`PackingResult.check_invariants` assumes each item spent its
+        whole life in one bin.
 
     Returns
     -------
@@ -520,6 +631,8 @@ def simulate(
         indexed=indexed,
         observers=observers,
     )
+    if repacker is not None:
+        repacker.reset()
     for event in events:
         if event.kind is EventKind.ARRIVAL:
             sim.arrive(
@@ -528,8 +641,12 @@ def simulate(
                 item_id=event.item.item_id,
                 tag=event.item.tag,
             )
+            if repacker is not None:
+                repacker.after_arrival(sim, event.item)
         else:
             sim.depart(event.item.item_id, event.item.departure)
+            if repacker is not None:
+                repacker.after_departure(sim, event.item.item_id)
     result = sim.finish()
     if check:
         result.check_invariants()

@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Protocol, Sequence
 
 from .numeric import Num
 from ..algorithms.base import PackingAlgorithm
@@ -35,7 +35,41 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .checkpoint import StreamCheckpoint
     from .telemetry import SimulationObserver
 
-__all__ = ["StreamSummary", "simulate_stream"]
+__all__ = ["StreamRepacker", "StreamSummary", "simulate_stream"]
+
+
+class StreamRepacker(Protocol):
+    """Structural protocol for bounded-migration repackers.
+
+    A repacker sits *outside* the online algorithm: the algorithm packs
+    each arrival, then the repacker may call
+    :meth:`~repro.core.simulator.Simulator.migrate` to consolidate open
+    bins, subject to whatever migration budget it tracks internally (see
+    :class:`repro.renting.BoundedRepacker`).  Hooks run synchronously
+    inside event processing, before any checkpoint is shipped, so
+    checkpoint/resume stays exact: a checkpoint always reflects the fully
+    repacked state plus :meth:`checkpoint_state`'s budget counters.
+    """
+
+    def reset(self) -> None:
+        """Clear accumulated state at the start of a fresh run."""
+        ...
+
+    def after_arrival(self, sim: "Simulator", item: Item) -> None:
+        """React to ``item`` having just been placed (may migrate)."""
+        ...
+
+    def after_departure(self, sim: "Simulator", item_id: str) -> None:
+        """React to ``item_id`` having just departed (may migrate)."""
+        ...
+
+    def checkpoint_state(self) -> Any:
+        """JSON-serializable snapshot of budget counters."""
+        ...
+
+    def restore_state(self, state: Any) -> None:
+        """Restore the state captured by :meth:`checkpoint_state`."""
+        ...
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +115,7 @@ def simulate_stream(
     checkpoint_every: int | None = None,
     on_checkpoint: "Callable[[StreamCheckpoint], None] | None" = None,
     resume_from: "StreamCheckpoint | None" = None,
+    repacker: StreamRepacker | None = None,
 ) -> StreamSummary:
     """Stream a trace through an algorithm in O(active items) memory.
 
@@ -103,6 +138,16 @@ def simulate_stream(
     snapshot as ``resume_from`` — the consumed prefix is skipped and the
     engine continues from the captured state, producing a summary equal to
     the uninterrupted run's.
+
+    Bounded migration
+    -----------------
+    Pass a ``repacker`` (anything satisfying :class:`StreamRepacker`, e.g.
+    :class:`repro.renting.BoundedRepacker`) to run in migration-bounded
+    dispatch mode: after every event the repacker may move active items
+    between open bins via :meth:`Simulator.migrate`, within its internal
+    budget.  Repacking composes with checkpointing — pass the *same*
+    repacker configuration when resuming; its counters ride in the
+    checkpoint's ``repacker_state`` field.
 
     Examples
     --------
@@ -127,6 +172,7 @@ def simulate_stream(
             checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint,
             resume_from=resume_from,
+            repacker=repacker,
         )
     sim = Simulator(
         algorithm,
@@ -137,6 +183,8 @@ def simulate_stream(
         record=False,
         observers=observers,
     )
+    if repacker is not None:
+        repacker.reset()
     for event in iter_events(_validated(items, capacity)):
         if event.kind is EventKind.ARRIVAL:
             sim.arrive(
@@ -145,8 +193,12 @@ def simulate_stream(
                 item_id=event.item.item_id,
                 tag=event.item.tag,
             )
+            if repacker is not None:
+                repacker.after_arrival(sim, event.item)
         else:
             sim.depart(event.item.item_id, event.item.departure)
+            if repacker is not None:
+                repacker.after_departure(sim, event.item.item_id)
     return sim.finish_summary()
 
 
@@ -162,6 +214,7 @@ def _simulate_stream_checkpointed(
     checkpoint_every: int | None,
     on_checkpoint: "Callable[[StreamCheckpoint], None] | None",
     resume_from: "StreamCheckpoint | None",
+    repacker: StreamRepacker | None,
 ) -> StreamSummary:
     """The checkpoint-aware streaming driver.
 
@@ -188,6 +241,13 @@ def _simulate_stream_checkpointed(
         consumed = resume_from.items_consumed
         events = resume_from.events_processed
         last_arrival = resume_from.last_arrival
+        if repacker is not None:
+            repacker.restore_state(resume_from.repacker_state)
+        elif resume_from.repacker_state is not None:
+            raise CheckpointError(
+                "checkpoint was taken in migration-bounded mode; pass the "
+                "same repacker configuration to resume"
+            )
     else:
         sim = Simulator(
             algorithm,
@@ -202,6 +262,8 @@ def _simulate_stream_checkpointed(
         consumed = 0
         events = 0
         last_arrival = None
+        if repacker is not None:
+            repacker.reset()
 
     source = iter(items)
     _missing = object()
@@ -216,7 +278,16 @@ def _simulate_stream_checkpointed(
         if checkpoint_every is not None and events % checkpoint_every == 0:
             assert on_checkpoint is not None  # validated above: given together
             on_checkpoint(
-                StreamCheckpoint.capture(sim, pending, consumed, events, last_arrival)
+                StreamCheckpoint.capture(
+                    sim,
+                    pending,
+                    consumed,
+                    events,
+                    last_arrival,
+                    repacker_state=(
+                        None if repacker is None else repacker.checkpoint_state()
+                    ),
+                )
             )
 
     for item in source:
@@ -232,17 +303,23 @@ def _simulate_stream_checkpointed(
         while pending and pending[0][0] <= item.arrival:
             dep_time, _, dep_id = heapq.heappop(pending)
             sim.depart(dep_id, dep_time)
+            if repacker is not None:
+                repacker.after_departure(sim, dep_id)
             events += 1
             ship_checkpoint()
         seq = consumed  # the item's 0-based source position
         consumed += 1
         sim.arrive(item.arrival, item.size, item_id=item.item_id, tag=item.tag)
+        if repacker is not None:
+            repacker.after_arrival(sim, item)
         heapq.heappush(pending, (item.departure, seq, item.item_id))
         events += 1
         ship_checkpoint()
     while pending:
         dep_time, _, dep_id = heapq.heappop(pending)
         sim.depart(dep_id, dep_time)
+        if repacker is not None:
+            repacker.after_departure(sim, dep_id)
         events += 1
         ship_checkpoint()
     return sim.finish_summary()

@@ -42,6 +42,24 @@ class SimulationObserver:
         never happens for a failed server.
         """
 
+    def on_migration(
+        self,
+        time: Num,
+        item: "Arrival",
+        from_bin: "Bin",
+        to_bin: "Bin",
+        from_closed: bool,
+        to_opened: bool,
+    ) -> None:
+        """``item`` moved from ``from_bin`` to ``to_bin`` at ``time``.
+
+        Fired by :meth:`~repro.core.simulator.Simulator.migrate` (the
+        bounded-migration dispatch mode).  ``from_closed`` marks a source
+        bin that emptied and closed with the move — billing observers must
+        settle its rental here, exactly as for a ``closed=True`` departure;
+        ``to_opened`` marks a brand-new destination bin.
+        """
+
     def checkpoint_state(self) -> Any:
         """JSON-serializable snapshot of this observer's state (or ``None``).
 
@@ -74,6 +92,8 @@ class TelemetryCollector(SimulationObserver):
     servers_failed: int = 0
     #: Active sessions evicted by those failures.
     sessions_evicted: int = 0
+    #: Sessions moved between bins by a bounded-migration repacker.
+    migrations: int = 0
     open_bins: int = 0
     active_items: int = 0
     peak_open_bins: int = 0
@@ -117,6 +137,29 @@ class TelemetryCollector(SimulationObserver):
         self._closed_bin_time = self._closed_bin_time + (time - opened_at)
         self._record(time)
 
+    def on_migration(
+        self,
+        time: Num,
+        item: "Arrival",
+        from_bin: "Bin",
+        to_bin: "Bin",
+        from_closed: bool,
+        to_opened: bool,
+    ) -> None:
+        self.migrations += 1
+        if to_opened:
+            self.bins_opened += 1
+            self.open_bins += 1
+            self.peak_open_bins = max(self.peak_open_bins, self.open_bins)
+            self._open_since[to_bin.index] = time
+        if from_closed:
+            self.bins_closed += 1
+            self.open_bins -= 1
+            opened_at = self._open_since.pop(from_bin.index)
+            self._closed_bin_time = self._closed_bin_time + (time - opened_at)
+        if to_opened or from_closed:
+            self._record(time)
+
     def _record(self, time: Num) -> None:
         self.open_bins_series.append((time, self.open_bins))
 
@@ -130,6 +173,7 @@ class TelemetryCollector(SimulationObserver):
             "bins_closed": self.bins_closed,
             "servers_failed": self.servers_failed,
             "sessions_evicted": self.sessions_evicted,
+            "migrations": self.migrations,
             "open_bins": self.open_bins,
             "active_items": self.active_items,
             "peak_open_bins": self.peak_open_bins,
@@ -153,6 +197,7 @@ class TelemetryCollector(SimulationObserver):
             "peak_active_items",
         ):
             setattr(self, name, state[name])
+        self.migrations = state.get("migrations", 0)
         self.open_bins_series = [(p[0], p[1]) for p in state["open_bins_series"]]
         self._closed_bin_time = state["closed_bin_time"]
         self._open_since = {int(k): v for k, v in state["open_since"].items()}

@@ -234,6 +234,7 @@ def _ensure_loaded() -> None:
         flash_crowd,
         fleet_mix,
         mff_experiment,
+        migration_frontier,
         migration_gap,
         observability,
         offline_gaps,

@@ -1,0 +1,41 @@
+"""Server-renting and migration-bounded algorithm families.
+
+Three strands of follow-up work to the paper's MinTotal DBP model, each
+with its own *home regime* — the instance class its competitive analysis
+covers — and its claimed ratio checked by the regime-scoped harness in
+``tests/ratio_harness.py``:
+
+* **Renting servers** (Kamali & López-Ortiz, arXiv 1408.4156): the same
+  objective under the name *renting servers in the cloud*.  Their Next
+  Fit analysis gives a ``2μ + 1`` upper bound; :class:`Hybrid` is the
+  size-threshold family that packs *large* items Next-Fit style and
+  *small* items First-Fit style in segregated pools, and
+  :class:`MoveToFront` is their recency heuristic (strong on
+  practically-distributed workloads, analysed on the uniform regime).
+* **Equal-duration jobs** (Masoori, López-Ortiz & Nikbakht Silab, arXiv
+  2108.12486): when all jobs share one duration, Next Fit is exactly
+  2-competitive and Any Fit variants tighten further.
+  :class:`EqualDurationFit` exploits the regime directly: it reuses only
+  *freshly opened* bins so co-located jobs expire together.
+* **Bounded repacking** (Berndt, Jansen & Klein, arXiv 1411.0960): fully
+  dynamic bin packing with a migration budget per insertion.
+  :class:`BoundedRepacker` is the dispatch-mode counterpart: it rides on
+  :func:`~repro.core.streaming.simulate_stream`/
+  :func:`~repro.cloud.dispatcher.dispatch_stream` via the ``repacker``
+  parameter, accrues ``factor × size`` of budget per arrival, and spends
+  it on deterministic bin-evacuating migrations through
+  :meth:`~repro.core.simulator.Simulator.migrate`.
+
+See ``docs/RENTING.md`` for each algorithm's regime, claimed constant,
+and the harness assertion that enforces it.
+"""
+
+from .repack import BoundedRepacker
+from .strategies import EqualDurationFit, Hybrid, MoveToFront
+
+__all__ = [
+    "BoundedRepacker",
+    "EqualDurationFit",
+    "Hybrid",
+    "MoveToFront",
+]

@@ -1,0 +1,184 @@
+"""Bounded-migration repacking (Berndt–Jansen–Klein style).
+
+Fully dynamic bin packing allows the packer to *move* items, but charges
+every move against a migration budget: BJK's model grants ``β × size(r)``
+of moved-size budget per inserted item ``r`` (``β`` the *migration
+factor*).  :class:`BoundedRepacker` brings that dispatch mode to the
+MinUsageTime engine: it rides on the ``repacker`` hook of
+:func:`~repro.core.streaming.simulate_stream` (and
+:func:`~repro.cloud.dispatcher.dispatch_stream`), accrues budget at each
+arrival, and spends it on *bin evacuations* — moving every item out of a
+nearly-empty open bin so the bin closes and its rental stops accruing.
+
+Everything is deterministic and exact: candidate source bins are tried in
+(level, youngest-first) order, items move largest-first into the earliest
+fitting destination, budget arithmetic stays in the trace's number types
+(``Fraction`` traces never touch floats), and the accumulated budget and
+move counters ride in stream checkpoints (``repacker_state``) so resumed
+runs repack identically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..core.numeric import Num
+from ..core.bin import Bin
+from .strategies import scalar_size
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.item import Item
+    from ..core.simulator import Simulator
+
+__all__ = ["BoundedRepacker"]
+
+
+class BoundedRepacker:
+    """Consolidate open bins by migration, within a per-insertion budget.
+
+    Parameters
+    ----------
+    factor:
+        The migration factor ``β``: every arrival of size ``s`` grants
+        ``β·s`` of moved-size budget.  ``factor=0`` grants nothing, so no
+        migration ever happens and a run is byte-identical to the same
+        run without a repacker (asserted by the differential tests).
+    consolidate_on_departure:
+        Also look for evacuations after departures (the default).
+        Departures grant no budget, but they *free* capacity, which is
+        when consolidation opportunities typically appear.
+
+    Implements the :class:`~repro.core.streaming.StreamRepacker`
+    protocol.  A single evacuation moves all items of one source bin into
+    other open bins (never a fresh one), costs the total moved size, and
+    closes the source at the migration instant with its rental settled
+    exactly (:meth:`~repro.core.simulator.Simulator.migrate`).
+    """
+
+    def __init__(
+        self, factor: Num = 1, *, consolidate_on_departure: bool = True
+    ) -> None:
+        if factor < 0:
+            raise ValueError(f"migration factor must be >= 0, got {factor}")
+        self.factor = factor
+        self.consolidate_on_departure = consolidate_on_departure
+        self._budget: Num = 0
+        self.migrations_done = 0
+        self.size_moved: Num = 0
+        self.bins_emptied = 0
+
+    # ------------------------------------------------------ repacker protocol
+
+    def reset(self) -> None:
+        self._budget = 0
+        self.migrations_done = 0
+        self.size_moved = 0
+        self.bins_emptied = 0
+
+    @property
+    def budget(self) -> Num:
+        """Moved-size budget currently available."""
+        return self._budget
+
+    def after_arrival(self, sim: "Simulator", item: "Item") -> None:
+        if self.factor == 0:
+            return
+        self._budget = self._budget + self.factor * scalar_size(item.size)
+        self._consolidate(sim)
+
+    def after_departure(self, sim: "Simulator", item_id: str) -> None:
+        if self.factor == 0 or not self.consolidate_on_departure:
+            return
+        self._consolidate(sim)
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        return {
+            "budget": self._budget,
+            "migrations_done": self.migrations_done,
+            "size_moved": self.size_moved,
+            "bins_emptied": self.bins_emptied,
+        }
+
+    def restore_state(self, state: Any) -> None:
+        if state is None:
+            raise ValueError(
+                "checkpoint carries no repacker state; it was taken without a "
+                "repacker and cannot resume in migration-bounded mode"
+            )
+        self._budget = state["budget"]
+        self.migrations_done = state["migrations_done"]
+        self.size_moved = state["size_moved"]
+        self.bins_emptied = state["bins_emptied"]
+
+    # ----------------------------------------------------------- consolidation
+
+    def _consolidate(self, sim: "Simulator") -> None:
+        """Perform every affordable evacuation, cheapest source first."""
+        while True:
+            plan = self._find_evacuation(sim)
+            if plan is None:
+                return
+            source, moves, moved = plan
+            for item_id, dest in moves:
+                sim.migrate(item_id, dest)
+            self._budget = self._budget - moved
+            self.size_moved = self.size_moved + moved
+            self.migrations_done += len(moves)
+            self.bins_emptied += 1
+
+    def _find_evacuation(
+        self, sim: "Simulator"
+    ) -> tuple[Bin, list[tuple[str, Bin]], Num] | None:
+        """An affordable full evacuation of one open bin, or ``None``.
+
+        Source candidates are tried lightest (then youngest) first; each
+        candidate's items are matched largest-first to the earliest-opened
+        other bin with enough *planned* residual.  The first candidate
+        whose items all fit elsewhere within the budget wins.
+        """
+        bins = list(sim.open_bins)
+        if len(bins) < 2:
+            return None
+        for source in sorted(
+            bins, key=lambda b: (scalar_size(b.level), -b.index)
+        ):
+            contents = sorted(
+                source.items(), key=lambda v: (-scalar_size(v.size), v.item_id)
+            )
+            moved: Num = 0
+            for view in contents:
+                moved = moved + scalar_size(view.size)
+            if moved > self._budget:
+                continue
+            others = [b for b in bins if b is not source]
+            # Track planned *levels* with the exact arithmetic Bin.add and
+            # Bin.fits use (level = level + size; size <= capacity - level):
+            # planning on decremented residuals associates float sums
+            # differently and can disagree with the bin by one ulp, making
+            # Simulator.migrate reject a "feasible" plan.
+            levels = {b.index: b.level for b in others}
+            moves: list[tuple[str, Bin]] = []
+            feasible = True
+            for view in contents:
+                dest = next(
+                    (
+                        b
+                        for b in others
+                        if view.size <= b.capacity - levels[b.index]
+                    ),
+                    None,
+                )
+                if dest is None:
+                    feasible = False
+                    break
+                levels[dest.index] = levels[dest.index] + view.size
+                moves.append((view.item_id, dest))
+            if feasible:
+                return source, moves, moved
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedRepacker(factor={self.factor!r}, "
+            f"consolidate_on_departure={self.consolidate_on_departure!r})"
+        )

@@ -20,6 +20,7 @@ from .distributions import (
 )
 from .generators import (
     generate_burst_trace,
+    generate_equal_duration_trace,
     generate_mmpp_trace,
     generate_vector_trace,
     generate_trace,
@@ -55,6 +56,7 @@ __all__ = [
     "generate_trace",
     "stream_trace",
     "generate_burst_trace",
+    "generate_equal_duration_trace",
     "generate_mmpp_trace",
     "generate_vector_trace",
     "Game",

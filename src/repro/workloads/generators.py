@@ -24,6 +24,7 @@ __all__ = [
     "generate_trace",
     "stream_trace",
     "generate_burst_trace",
+    "generate_equal_duration_trace",
     "generate_mmpp_trace",
     "generate_vector_trace",
 ]
@@ -238,6 +239,43 @@ def generate_burst_trace(
                 )
             )
             idx += 1
+    return Trace.from_items(items, name=name)
+
+
+def generate_equal_duration_trace(
+    *,
+    arrival_rate: float,
+    horizon: float,
+    duration: float,
+    size: Distribution,
+    seed: int = 0,
+    name: str = "equal-duration",
+    capacity: float = 1.0,
+) -> Trace:
+    """Poisson arrivals where *every* item lasts exactly ``duration``.
+
+    The home regime of the equal-duration-jobs analyses (Masoori et al.,
+    arXiv 2108.12486): μ = 1 by construction, so the only source of
+    waste is *phase misalignment* — a bin kept open by items that joined
+    it late.  The regime-scoped ratio harness generates its
+    equal-duration instances through this generator; the sweep grid
+    exposes it as the ``equal-duration`` workload.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    rng = np.random.default_rng(seed)
+    times = poisson_arrivals(arrival_rate, horizon, rng)
+    n = times.size
+    sizes = np.minimum(size.sample(rng, n), capacity)
+    items = [
+        Item(
+            arrival=float(times[i]),
+            departure=float(times[i]) + duration,
+            size=float(sizes[i]),
+            item_id=f"{name}-{i}",
+        )
+        for i in range(n)
+    ]
     return Trace.from_items(items, name=name)
 
 

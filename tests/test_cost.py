@@ -7,6 +7,8 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro import ContinuousCost, QuantizedCost
+from repro.core.cost import rate_for_capacity
+from repro.core.resources import Resources
 
 
 class TestContinuous:
@@ -40,7 +42,45 @@ class TestQuantized:
         with pytest.raises(ValueError):
             QuantizedCost(quantum=0)
         with pytest.raises(ValueError):
+            QuantizedCost(rate=0)
+        with pytest.raises(ValueError):
             QuantizedCost().bin_cost(-0.5)
+
+    def test_exact_fraction_quanta(self):
+        # ceil(7/3 / (1/2)) = ceil(14/3) = 5 quanta of 1/2 at rate 1/4.
+        model = QuantizedCost(rate=Fraction(1, 4), quantum=Fraction(1, 2))
+        assert model.bin_cost(Fraction(7, 3)) == Fraction(5, 8)
+
+
+class TestRateForCapacity:
+    def test_scalar_capacity_scalar_rate(self):
+        assert rate_for_capacity(Fraction(3, 2), 2) == 3
+
+    def test_scalar_capacity_defaults_to_unit_rate(self):
+        assert rate_for_capacity(4) == 4
+
+    def test_scalar_capacity_singleton_sequence(self):
+        assert rate_for_capacity(2, [Fraction(1, 2)]) == 1
+
+    def test_scalar_capacity_rejects_multi_rate(self):
+        with pytest.raises(ValueError):
+            rate_for_capacity(2, [1, 2])
+
+    def test_vector_capacity_dot_product(self):
+        cap = Resources((1, 2, 4))
+        assert rate_for_capacity(cap, [3, Fraction(1, 2), 1]) == 8
+
+    def test_vector_capacity_uniform_rate_sums_components(self):
+        cap = Resources((Fraction(1, 2), Fraction(3, 2)))
+        assert rate_for_capacity(cap, 3) == 6
+
+    def test_one_dimensional_vector_prices_like_scalar(self):
+        one_d = rate_for_capacity(Resources(Fraction(5, 4)), 2)
+        assert one_d == rate_for_capacity(Fraction(5, 4), 2)
+
+    def test_rejects_nonpositive_derived_rate(self):
+        with pytest.raises(ValueError):
+            rate_for_capacity(Resources((1, 1)), [0, 0])
 
 
 @given(

@@ -1,0 +1,56 @@
+"""The migration-budget-vs-cost frontier: determinism and resume guarantees.
+
+Acceptance gates for the bounded-migration dispatch mode: frontier rows
+must be byte-identical serial vs sharded, and a checkpoint-interrupted
+frontier cell must resume to the exact uninterrupted summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.core.checkpoint import StreamCheckpoint
+from repro.core.streaming import simulate_stream
+from repro.experiments import get_experiment
+from repro.experiments.io import results_to_json
+from repro.experiments.migration_frontier import frontier_trace
+from repro.renting import BoundedRepacker
+
+SMALL = dict(seeds=(0, 1), factors=(0.0, 1.0), rate=4.0, horizon=40.0)
+
+
+def test_frontier_rows_byte_identical_serial_vs_workers():
+    run = get_experiment("migration-frontier")
+    serial = results_to_json([run(**SMALL)])
+    for workers in (2, 4):
+        sharded = results_to_json([run(workers=workers, **SMALL)])
+        assert sharded == serial, f"workers={workers} artifact differs from serial"
+
+
+def test_frontier_claims_hold_on_small_grid():
+    result = get_experiment("migration-frontier")(**SMALL)
+    assert result.all_claims_hold, [str(c) for c in result.checks]
+
+
+@pytest.mark.parametrize("workload", ["general", "equal-duration"])
+@pytest.mark.parametrize("algorithm", ["first-fit", "best-fit"])
+def test_frontier_cell_resumes_exactly_after_interrupt(workload, algorithm):
+    """A checkpoint-interrupted frontier cell rerun is byte-identical."""
+    trace = frontier_trace(workload, 0, rate=6.0, horizon=40.0)
+
+    def cell(**kwargs):
+        return simulate_stream(
+            iter(trace.items),
+            get_algorithm(algorithm),
+            repacker=BoundedRepacker(factor=1),
+            **kwargs,
+        )
+
+    base = cell()
+    sink = []
+    cell(checkpoint_every=50, on_checkpoint=sink.append)
+    assert sink, "run too short to checkpoint"
+    for pick in (0, len(sink) // 2, len(sink) - 1):
+        snap = StreamCheckpoint.from_json(sink[pick].to_json())
+        assert cell(resume_from=snap) == base

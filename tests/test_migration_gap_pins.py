@@ -1,0 +1,52 @@
+"""Pinned-bytes regression for the legacy migration-gap rows.
+
+The migration-gap experiment now routes through the engine's
+bounded-migration path by default; the old ad-hoc FFD-rebuild comparison
+must stay reproducible behind ``legacy=True``, byte-for-byte against the
+committed artifact.  Regenerate (only on an intentional change) with::
+
+    PYTHONPATH=src python -c "
+    from pathlib import Path
+    from repro.experiments import get_experiment
+    from repro.experiments.io import results_to_json
+    Path('tests/data/migration_gap_legacy.json').write_text(
+        results_to_json([get_experiment('migration-gap')(legacy=True)]))"
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import get_experiment
+from repro.experiments.io import results_to_json
+
+PIN = Path(__file__).parent / "data" / "migration_gap_legacy.json"
+
+
+def test_legacy_rows_byte_equal_committed_pin():
+    result = get_experiment("migration-gap")(legacy=True)
+    assert results_to_json([result]) == PIN.read_text()
+
+
+def test_legacy_pin_has_the_pre_repacker_schema():
+    payload = json.loads(PIN.read_text())
+    (experiment,) = payload["experiments"]
+    assert experiment["headers"] == [
+        "rate",
+        "seed",
+        "items",
+        "ff_cost",
+        "ffd_repack",
+        "opt_lb",
+        "migration_gap",
+    ]
+
+
+def test_default_path_uses_bounded_migration_columns():
+    result = get_experiment("migration-gap")()
+    assert "bounded_repack" in result.table.headers
+    assert "migrations" in result.table.headers
+    assert result.all_claims_hold, [str(c) for c in result.checks]
+    migrations = result.table.column("migrations")
+    assert any(m > 0 for m in migrations), "default path never migrated"

@@ -19,6 +19,15 @@ class TestBasics:
         with pytest.raises(ValueError):
             ModifiedBestFit(k=1)
 
+    def test_classify_requires_reset(self):
+        algo = ModifiedBestFit()
+        (item,) = make_items([(0, 1, 0.5)])
+        with pytest.raises(RuntimeError):
+            algo.classify(item)
+
+    def test_repr_names_k(self):
+        assert repr(ModifiedBestFit(k=4)) == "ModifiedBestFit(k=4)"
+
     def test_pools_disjoint(self):
         items = make_items([(0, 10, 0.5), (0, 10, 0.05), (0, 10, 0.05)], prefix="h")
         result = simulate(items, ModifiedBestFit())
@@ -54,6 +63,48 @@ class TestTrapStillWorks:
         ff_cost = float(simulate(items, FirstFit()).total_cost())
         assert mff_cost == pytest.approx(ff_cost)
         assert mff_cost < bf_cost / 2
+
+
+class TestVectorItems:
+    def _trace(self):
+        from fractions import Fraction
+
+        from repro.core.item import Item
+        from repro.core.resources import Resources
+
+        eighth = Fraction(1, 8)
+        specs = [
+            (0, 6, (5, 2)), (0, 7, (2, 5)), (1, 5, (1, 1)), (1, 9, (6, 1)),
+            (2, 6, (1, 6)), (3, 8, (3, 3)), (4, 7, (2, 2)), (4, 10, (7, 7)),
+            (5, 9, (1, 2)), (6, 11, (4, 1)), (6, 12, (1, 4)), (7, 10, (2, 3)),
+        ]
+        return [
+            Item(
+                arrival=a,
+                departure=d,
+                size=Resources(eighth * x, eighth * y),
+                item_id=f"v-{i}",
+            )
+            for i, (a, d, (x, y)) in enumerate(specs)
+        ]
+
+    def test_vector_scan_matches_indexed_path(self):
+        """The explicit scalarize_max scan (list path) and the indexed
+        pool agree bin for bin on 2-D items."""
+        items = self._trace()
+        scan = simulate(items, ModifiedBestFit(), indexed=False)
+        indexed = simulate(items, ModifiedBestFit(), indexed=True)
+        assert scan.assignment == indexed.assignment
+        assert scan.total_cost() == indexed.total_cost()
+
+    def test_vector_pools_stay_disjoint(self):
+        items = self._trace()
+        result = simulate(items, ModifiedBestFit(k=2), indexed=False)
+        labels = {b.label for b in result.bins}
+        assert labels <= {"large", "small"}
+        for b in result.bins:
+            assert len({result.bin_of(it.item_id).label
+                        for it in result.items_in_bin(b.index)}) == 1
 
 
 @given(exact_items())

@@ -1,0 +1,128 @@
+"""Drive the regime-scoped competitive-ratio harness.
+
+The tentpole gate for the renting / migration-bounded families: every
+algorithm's empirical ratio, measured with exact Fraction arithmetic on
+≥ 50 seeded instances inside its paper's home regime, stays at or below
+the claimed constant — plus adversarial constructions showing the bounds
+are near-tight (and that migration genuinely escapes the no-migration
+lower bound).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.adversaries import predicted_anyfit_ratio, run_theorem1_adversary
+from repro.algorithms import get_algorithm
+from repro.core.item import Item
+from repro.core.simulator import simulate
+from repro.core.streaming import simulate_stream
+from repro.opt import dominance_lower_bound
+from repro.renting import BoundedRepacker
+from tests.ratio_harness import (
+    SEEDS_PER_CASE,
+    empirical_ratios,
+    home_regime_cases,
+)
+
+CASES = home_regime_cases()
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+def test_claimed_constant_never_exceeded_in_home_regime(case):
+    """≥ 50 seeded home-regime instances, exact-Fraction ratio ≤ constant."""
+    measurements = empirical_ratios(case)
+    assert len(measurements) >= SEEDS_PER_CASE
+    for m in measurements:
+        assert isinstance(m.cost, Fraction)
+        assert isinstance(m.ratio, Fraction)
+        assert m.ratio <= case.claimed_constant, (
+            f"{case.name} seed {m.seed}: ratio {m.ratio} = {float(m.ratio):.4f} "
+            f"exceeds claimed {case.claimed_constant} ({case.paper})"
+        )
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.name for c in CASES])
+def test_exact_opt_instances_price_a_true_competitive_ratio(case):
+    """Small seeds are priced by the exact no-migration optimum; any
+    *non-migrating* algorithm must then pay ratio ≥ 1.  The migrating case
+    is allowed below 1 — bounded migration can beat the best fixed
+    assignment, which is the whole point of the budget."""
+    exact = [m for m in empirical_ratios(case, seeds=range(5)) if m.exact_opt]
+    assert exact, "no exact-opt instances measured"
+    if "repack" not in case.name:
+        assert all(m.ratio >= 1 for m in exact)
+
+
+@pytest.mark.parametrize(
+    "name", ["renting-hybrid", "move-to-front", "equal-duration-fit"]
+)
+def test_theorem1_adversary_is_near_tight_for_renting_families(name):
+    """The adaptive kμ/(k+μ−1) adversary bites the new families exactly:
+    each packs the opening burst Any-Fit-style, so the measured ratio
+    matches the paper's formula Fraction-for-Fraction and approaches μ."""
+    outcome = run_theorem1_adversary(get_algorithm(name), k=13, mu=4)
+    assert outcome.matches_prediction
+    assert outcome.measured_ratio == predicted_anyfit_ratio(13, 4)
+    assert outcome.measured_ratio >= Fraction(4, 5) * outcome.mu
+
+
+def test_next_fit_equal_duration_alternation_approaches_masoori_bound():
+    """Masoori et al.'s NF = 2 bound is near-tight: alternating
+    (99/100, 2/100) items over one shared interval force Next Fit to open
+    a bin per item while the optimum packs all tinies together.  Here the
+    pointwise lower bound equals the optimum, so the ratio is exact."""
+    big, tiny = Fraction(99, 100), Fraction(2, 100)
+    items = [
+        Item(
+            arrival=Fraction(0),
+            departure=Fraction(4),
+            size=big if i % 2 == 0 else tiny,
+            item_id=f"a{i:02d}",
+        )
+        for i in range(38)
+    ]
+    cost = Fraction(simulate(items, get_algorithm("next-fit")).total_cost())
+    opt = Fraction(dominance_lower_bound(items))
+    # 19 bigs need a bin each, 19 tinies share one: ceil(19·101/100) = 20.
+    assert opt == 20 * 4
+    assert cost == 38 * 4  # one bin per item
+    ratio = cost / opt
+    assert ratio == Fraction(19, 10)
+    assert Fraction(9, 5) <= ratio <= 2
+
+
+def test_bounded_migration_escapes_the_anyfit_lower_bound():
+    """On the (static) Theorem 1 trace, plain FF pays exactly the
+    kμ/(k+μ−1) worst case while FF + BoundedRepacker(β = 1) consolidates
+    the survivors and pays the optimum exactly — the no-migration lower
+    bound does not survive a migration budget."""
+    k, mu = 6, 4
+    items = []
+    for i in range(k * k):
+        _, slot = divmod(i, k)
+        items.append(
+            Item(
+                arrival=Fraction(0),
+                departure=Fraction(mu) if slot == 0 else Fraction(1),
+                size=Fraction(1, k),
+                item_id=f"t{i:02d}",
+            )
+        )
+    plain = Fraction(
+        simulate_stream(iter(items), get_algorithm("first-fit")).total_cost
+    )
+    repacker = BoundedRepacker(factor=1)
+    moved = Fraction(
+        simulate_stream(
+            iter(items), get_algorithm("first-fit"), repacker=repacker
+        ).total_cost
+    )
+    opt = Fraction(dominance_lower_bound(items))
+    assert opt == k + (mu - 1)  # 6 bins for [0,1], one survivor bin to μ
+    assert plain == k * mu  # FF keeps k bins open the whole [0, μ]
+    assert plain / opt == predicted_anyfit_ratio(k, mu)
+    assert repacker.migrations_done > 0
+    assert moved == opt  # migration recovers the optimum exactly
